@@ -1,0 +1,19 @@
+"""Ablation: JAA with and without Lemma-1 pruning.
+
+Lemma 1 is what lets JAA confirm the rank of an anchor in a partition without
+inserting every competitor's half-space; disabling it forces deeper recursion.
+Both configurations must produce the same set of distinct top-k sets.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_ablation_jaa
+
+
+def test_jaa_ablation(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_ablation_jaa, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Ablation — JAA Lemma-1 pruning", rows)
+    assert {row["configuration"] for row in rows} == {"full", "no_lemma1"}
+    sizes = {row["utk2_sets"] for row in rows}
+    assert len(sizes) == 1, "both configurations must report the same partitioning"

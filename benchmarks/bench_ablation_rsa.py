@@ -1,0 +1,19 @@
+"""Ablation: RSA design choices (drill, Lemma-1 pruning, candidate ordering).
+
+The paper motivates the drill optimization (Section 4.3), the Lemma-1 based
+confirmation (Section 4.2) and the descending-count candidate order.  This
+benchmark quantifies each choice's contribution on an IND workload; every
+configuration must return the identical UTK1 answer.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_ablation_rsa
+
+
+def test_rsa_ablation(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_ablation_rsa, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Ablation — RSA design choices", rows)
+    sizes = {row["utk1_records"] for row in rows}
+    assert len(sizes) == 1, "every configuration must report the same answer"

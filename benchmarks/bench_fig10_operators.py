@@ -1,0 +1,22 @@
+"""Figure 10: UTK versus traditional operators (NBA workload).
+
+(a) number of records reported by the k-skyband, the k onion layers and UTK1
+    as k varies;
+(b) the k a plain top-k query needs (and the records it outputs) to cover the
+    UTK1 result.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig10
+
+
+def test_fig10_operator_comparison(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig10, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 10 — UTK vs k-skyband / onion / enlarged top-k (NBA)", rows)
+    for row in rows:
+        # Shape of the paper's result: UTK is the smallest set, the k-skyband
+        # the largest, and covering UTK1 with a plain top-k needs k' >= k.
+        assert row["utk"] <= row["onion"] <= row["k_skyband"]
+        assert row["required_k_for_topk"] >= row["k"]

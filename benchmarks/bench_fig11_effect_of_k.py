@@ -1,0 +1,21 @@
+"""Figure 11: effect of k on IND — RSA/JAA versus the SK/ON baselines.
+
+The paper's headline comparison: the proposed algorithms outperform the
+baselines by one to two orders of magnitude, and the gap grows with k.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig11
+
+
+def test_fig11_rsa_jaa_vs_baselines(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig11, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 11 — response time vs k (IND): RSA/JAA vs SK/ON", rows)
+    for row in rows:
+        # Shape check: our algorithms beat both baselines for every k.
+        assert row["RSA"] < row["SK1"]
+        assert row["RSA"] < row["ON1"]
+        assert row["JAA"] < row["SK2"]
+        assert row["JAA"] < row["ON2"]

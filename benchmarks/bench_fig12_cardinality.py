@@ -1,0 +1,28 @@
+"""Figure 12: effect of dataset cardinality and data distribution.
+
+Reports RSA response time and UTK1 output size, and JAA response time and the
+number of distinct top-k sets, for COR / IND / ANTI as n grows.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig12
+
+
+def test_fig12_cardinality_and_distribution(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig12, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 12 — effect of n and data distribution", rows)
+
+    by_distribution = {}
+    for row in rows:
+        by_distribution.setdefault(row["distribution"], []).append(row)
+    # Shape of the paper's result: anticorrelated data produces more possible
+    # top-k sets and more work than correlated data.  Aggregate over every
+    # tested cardinality — per-point comparisons are too noisy at the small
+    # quick-scale query counts.
+    totals = {name: {"sets": sum(r["utk2_sets"] for r in entries),
+                     "time": sum(r["jaa_seconds"] for r in entries)}
+              for name, entries in by_distribution.items()}
+    assert totals["COR"]["sets"] <= totals["ANTI"]["sets"]
+    assert totals["COR"]["time"] <= totals["ANTI"]["time"]

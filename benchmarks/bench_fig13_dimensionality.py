@@ -1,0 +1,15 @@
+"""Figure 13: effect of data dimensionality on response time and memory (IND)."""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig13
+
+
+def test_fig13_dimensionality(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig13, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 13 — effect of dimensionality d (IND)", rows)
+    # Shape: the problem gets harder with d (compare the 2-D and the largest-d
+    # settings; middle points may fluctuate at small scale).
+    assert rows[-1]["rsa_seconds"] >= rows[0]["rsa_seconds"]
+    assert all(row["rsa_peak_mb"] > 0 for row in rows)

@@ -1,0 +1,18 @@
+"""Figure 15: JAA on the real-data substitutes as k varies (HOTEL/HOUSE/NBA)."""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig15
+
+
+def test_fig15_real_datasets_vs_k(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig15, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 15 — JAA vs k on HOTEL/HOUSE/NBA substitutes", rows)
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for entries in by_dataset.values():
+        entries.sort(key=lambda r: r["k"])
+        # Shape: larger k never shrinks the number of top-k sets.
+        assert entries[0]["utk2_sets"] <= entries[-1]["utk2_sets"]

@@ -1,0 +1,18 @@
+"""Figure 16: JAA on the real-data substitutes as the region size varies."""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_fig16
+
+
+def test_fig16_real_datasets_vs_sigma(benchmark, bench_scale):
+    rows = benchmark.pedantic(experiment_fig16, args=(bench_scale,),
+                              iterations=1, rounds=1)
+    print_rows("Figure 16 — JAA vs region size on HOTEL/HOUSE/NBA substitutes", rows)
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for entries in by_dataset.values():
+        entries.sort(key=lambda r: r["sigma"])
+        # Shape: a larger region never shrinks the number of top-k sets.
+        assert entries[0]["utk2_sets"] <= entries[-1]["utk2_sets"]

@@ -1,0 +1,23 @@
+"""Table 1: experiment parameters (paper grid versus harness grid).
+
+This benchmark also measures the cost of generating one full query workload,
+which is the fixed overhead shared by every other experiment.
+"""
+
+from conftest import print_rows
+
+from repro.bench.experiments import experiment_table1
+from repro.bench.workloads import query_workload
+
+
+def test_table1_parameters(benchmark, bench_scale):
+    rows = benchmark(experiment_table1, bench_scale)
+    print_rows("Table 1 — experiment parameters", rows)
+    assert len(rows) == 5
+
+
+def test_workload_generation(benchmark, bench_scale):
+    workload = benchmark(query_workload, bench_scale["dimensionality"],
+                         bench_scale["k"], bench_scale["sigma"], 50,
+                         bench_scale["seed"])
+    assert len(workload) == 50

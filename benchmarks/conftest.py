@@ -1,0 +1,84 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper's
+evaluation (Section 7).  The ``BENCH_SCALE`` dictionary keeps the runs small
+enough for a quick pass (`pytest benchmarks/ --benchmark-only`); raise the
+values (or set the environment variable ``REPRO_BENCH_SCALE=full``) for a
+longer, closer-to-the-paper run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+#: Quick scale: a couple of seconds to a couple of minutes per benchmark case.
+QUICK_SCALE = {
+    "cardinality": 1_500,
+    "cardinalities": [500, 1_000, 2_000],
+    "baseline_cardinality": 250,
+    "dimensionality": 4,
+    "dimensionalities": [2, 3, 4],
+    "k": 4,
+    "k_values": [1, 2, 5],
+    "baseline_k_values": [1, 2],
+    "sigma": 0.05,
+    "sigma_values": [0.01, 0.05, 0.10],
+    # Real-data substitutes include 6-D and 8-D datasets; keep their quick
+    # workload small (the preference domain is 5- and 7-dimensional there).
+    "real_cardinality": 600,
+    "real_k_values": [1, 2, 3],
+    "real_sigma": 0.005,
+    "real_sigma_values": [0.002, 0.005, 0.01],
+    "queries": 1,
+    "seed": 7,
+}
+
+#: Larger scale, closer to the paper's grid (hours in pure Python).
+FULL_SCALE = {
+    "cardinality": 50_000,
+    "cardinalities": [10_000, 20_000, 40_000, 80_000, 160_000],
+    "baseline_cardinality": 2_000,
+    "dimensionality": 4,
+    "dimensionalities": [2, 3, 4, 5, 6, 7],
+    "k": 10,
+    "k_values": [1, 5, 10, 20, 50],
+    "baseline_k_values": [1, 5, 10],
+    "sigma": 0.01,
+    "sigma_values": [0.001, 0.005, 0.01, 0.05, 0.10],
+    "real_cardinality": 20_000,
+    "real_k_values": [1, 5, 10, 20],
+    "real_sigma": 0.01,
+    "real_sigma_values": [0.001, 0.005, 0.01, 0.05],
+    "queries": 5,
+    "seed": 7,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """The active benchmark scale (quick by default)."""
+    if os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full":
+        return dict(FULL_SCALE)
+    return dict(QUICK_SCALE)
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print experiment rows as the aligned table the figure would plot."""
+    from repro.bench.reporting import format_table
+
+    if not rows:
+        print(f"\n{title}: no rows")
+        return
+    headers = list(rows[0].keys())
+    table = format_table(headers, [[row[h] for h in headers] for row in rows],
+                         title=f"\n{title}")
+    print(table)

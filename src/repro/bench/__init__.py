@@ -1,0 +1,28 @@
+"""Benchmark harness: workload generation, experiment runner, reporting.
+
+Each experiment of the paper's evaluation section (Figures 9-16, Table 1) has
+a corresponding generator in :mod:`repro.bench.experiments` that produces the
+same rows/series the figure plots; the runnable entry points live under the
+repository's ``benchmarks/`` directory.
+"""
+
+from repro.bench.workloads import (
+    DEFAULT_PARAMETERS,
+    PAPER_PARAMETERS,
+    random_region,
+    query_workload,
+)
+from repro.bench.harness import QueryMeasurement, measure_query, run_workload
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "DEFAULT_PARAMETERS",
+    "PAPER_PARAMETERS",
+    "random_region",
+    "query_workload",
+    "QueryMeasurement",
+    "measure_query",
+    "run_workload",
+    "format_table",
+    "format_series",
+]

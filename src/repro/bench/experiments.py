@@ -1,0 +1,372 @@
+"""Per-figure experiment definitions (paper Section 7).
+
+Every public function reproduces the data series of one table or figure of
+the paper's evaluation and returns plain rows (lists of dicts) that the
+``benchmarks/`` scripts print with :mod:`repro.bench.reporting`.  A ``scale``
+dictionary controls dataset cardinalities and repetition counts so the same
+code can run both as a quick smoke benchmark and as a larger overnight run.
+
+The default scale is deliberately small: the library is pure Python, and the
+paper's shapes (relative ordering of methods, growth trends) already show at
+these sizes.  EXPERIMENTS.md records paper-versus-measured for each figure.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import numpy as np
+
+from repro.bench.harness import measure_query
+from repro.bench.workloads import DEFAULT_PARAMETERS, query_workload
+from repro.core.jaa import JAA
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.datasets.nba import nba_star_dataset
+from repro.datasets.real import real_dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.geometry.onion import onion_member_indices
+from repro.queries.topk import incremental_top_k_until
+from repro.skyline.skyband import k_skyband, onion_candidates
+
+#: Scale used by the quick benchmarks (kept small because the substrate is
+#: pure Python; raise these numbers for a longer run).
+QUICK_SCALE = {
+    "cardinality": 2_000,
+    "cardinalities": [500, 1_000, 2_000, 4_000],
+    "baseline_cardinality": 400,
+    "dimensionality": 4,
+    "dimensionalities": [2, 3, 4, 5],
+    "k": 5,
+    "k_values": [1, 2, 5, 10],
+    "baseline_k_values": [1, 2, 3],
+    "sigma": 0.05,
+    "sigma_values": [0.01, 0.05, 0.10, 0.20],
+    # The real-data substitutes include 6-D and 8-D datasets whose preference
+    # domains are much harder; their quick-scale workload is kept smaller.
+    "real_cardinality": 800,
+    "real_k_values": [1, 2, 3],
+    "real_sigma": 0.01,
+    "real_sigma_values": [0.005, 0.01, 0.02, 0.05],
+    "queries": 2,
+    "seed": 7,
+}
+
+
+def _scale(overrides: dict | None) -> dict:
+    merged = dict(QUICK_SCALE)
+    if overrides:
+        merged.update(overrides)
+    return merged
+
+
+# --------------------------------------------------------------------- Table 1
+def experiment_table1(scale: dict | None = None) -> list[dict]:
+    """Table 1: the experiment parameter grid (paper values and harness values)."""
+    scale = _scale(scale)
+    rows = [
+        {"parameter": "cardinality n", "paper": "100K..1600K (default 400K)",
+         "harness": f"{scale['cardinalities']} (default {scale['cardinality']})"},
+        {"parameter": "dimensionality d", "paper": "2..7 (default 4)",
+         "harness": f"{scale['dimensionalities']} (default {scale['dimensionality']})"},
+        {"parameter": "k", "paper": "1..100 (default 10)",
+         "harness": f"{scale['k_values']} (default {scale['k']})"},
+        {"parameter": "sigma", "paper": "0.1%..10% (default 1%)",
+         "harness": f"{scale['sigma_values']} (default {scale['sigma']})"},
+        {"parameter": "queries per setting", "paper": "50",
+         "harness": str(scale["queries"])},
+    ]
+    return rows
+
+
+# ------------------------------------------------------------------- Figure 9
+def experiment_fig9_2d(k: int = 3, region_bounds=(0.64, 0.74)) -> dict:
+    """Figure 9(a): 2-D NBA case study (Rebounds/Points, k=3, R=[0.64, 0.74])."""
+    data = nba_star_dataset(("rebounds", "points"))
+    region = hyperrectangle([region_bounds[0]], [region_bounds[1]])
+    utk = RSA(data.values, region, k).run()
+    utk2 = JAA(data.values, region, k).run()
+    onion = onion_candidates(data.values, k)
+    skyband = k_skyband(data.values, k)
+    return {
+        "utk1_players": [data.label_of(i) for i in utk.indices],
+        "utk2_partitions": [
+            {"top_k": sorted(data.label_of(i) for i in part.top_k),
+             "interior_wr": None if part.interior_point is None
+             else float(part.interior_point[0])}
+            for part in utk2.partitions
+        ],
+        "onion_players": [data.label_of(i) for i in onion],
+        "skyband_players": [data.label_of(i) for i in skyband],
+        "counts": {"utk": len(utk), "onion": int(onion.size),
+                   "skyband": int(skyband.size)},
+    }
+
+
+def experiment_fig9_3d(k: int = 3,
+                       region_low=(0.2, 0.5), region_high=(0.3, 0.6)) -> dict:
+    """Figure 9(b): 3-D NBA case study (Rebounds/Points/Assists, k=3)."""
+    data = nba_star_dataset(("rebounds", "points", "assists"))
+    region = hyperrectangle(list(region_low), list(region_high))
+    utk2 = JAA(data.values, region, k).run()
+    utk1 = RSA(data.values, region, k).run()
+    onion = onion_candidates(data.values, k)
+    skyband = k_skyband(data.values, k)
+    return {
+        "utk1_players": [data.label_of(i) for i in utk1.indices],
+        "utk2_partitions": [
+            {"top_k": sorted(data.label_of(i) for i in part.top_k)}
+            for part in utk2.partitions
+        ],
+        "counts": {"utk": len(utk1), "onion": int(onion.size),
+                   "skyband": int(skyband.size),
+                   "utk2_partitions": len(utk2)},
+    }
+
+
+# ------------------------------------------------------------------ Figure 10
+def experiment_fig10(scale: dict | None = None) -> list[dict]:
+    """Figure 10: UTK versus traditional operators on the NBA workload.
+
+    For each ``k``: the number of records in the k-skyband, the k onion
+    layers and the UTK1 result (Fig 10a), plus the ``k`` a plain top-k query
+    needs to cover the UTK1 result and how many records it outputs doing so
+    (Fig 10b).
+    """
+    scale = _scale(scale)
+    data = real_dataset("NBA", cardinality=scale["baseline_cardinality"],
+                        seed=scale["seed"])
+    values = data.values
+    rows = []
+    for k in scale["baseline_k_values"]:
+        workload = query_workload(values.shape[1], k, scale["sigma"],
+                                  scale["queries"], seed=scale["seed"])
+        skyband_sizes, onion_sizes, utk_sizes, needed_ks, tk_sizes = [], [], [], [], []
+        for spec in workload:
+            skyband = k_skyband(values, k)
+            onion = onion_member_indices(values[skyband], k)
+            utk = RSA(values, spec.region, k).run()
+            skyband_sizes.append(int(skyband.size))
+            onion_sizes.append(int(onion.size))
+            utk_sizes.append(len(utk))
+            needed, output = incremental_top_k_until(
+                values, spec.region.pivot, k, set(utk.indices))
+            needed_ks.append(needed)
+            tk_sizes.append(len(output))
+        rows.append({
+            "k": k,
+            "k_skyband": mean(skyband_sizes),
+            "onion": mean(onion_sizes),
+            "utk": mean(utk_sizes),
+            "required_k_for_topk": mean(needed_ks),
+            "topk_output": mean(tk_sizes),
+        })
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 11
+def experiment_fig11(scale: dict | None = None) -> list[dict]:
+    """Figure 11: response time versus ``k`` on IND — our algorithms vs baselines."""
+    scale = _scale(scale)
+    data = synthetic_dataset("IND", scale["baseline_cardinality"],
+                             scale["dimensionality"], seed=scale["seed"])
+    values = data.values
+    rows = []
+    for k in scale["baseline_k_values"]:
+        workload = query_workload(values.shape[1], k, scale["sigma"],
+                                  scale["queries"], seed=scale["seed"])
+        row = {"k": k}
+        for algorithm in ("RSA", "SK1", "ON1", "JAA", "SK2", "ON2"):
+            elapsed = [measure_query(algorithm, values, spec.region, k).elapsed_seconds
+                       for spec in workload]
+            row[algorithm] = mean(elapsed)
+        rows.append(row)
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 12
+def experiment_fig12(scale: dict | None = None) -> list[dict]:
+    """Figure 12: effect of cardinality and data distribution (RSA & JAA)."""
+    scale = _scale(scale)
+    rows = []
+    for distribution in ("COR", "IND", "ANTI"):
+        for cardinality in scale["cardinalities"]:
+            data = synthetic_dataset(distribution, cardinality,
+                                     scale["dimensionality"], seed=scale["seed"])
+            workload = query_workload(scale["dimensionality"], scale["k"],
+                                      scale["sigma"], scale["queries"],
+                                      seed=scale["seed"])
+            rsa_time, rsa_size, jaa_time, jaa_sets = [], [], [], []
+            for spec in workload:
+                rsa = measure_query("RSA", data.values, spec.region, spec.k)
+                jaa = measure_query("JAA", data.values, spec.region, spec.k)
+                rsa_time.append(rsa.elapsed_seconds)
+                rsa_size.append(rsa.output_size)
+                jaa_time.append(jaa.elapsed_seconds)
+                jaa_sets.append(jaa.output_size)
+            rows.append({
+                "distribution": distribution,
+                "n": cardinality,
+                "rsa_seconds": mean(rsa_time),
+                "utk1_records": mean(rsa_size),
+                "jaa_seconds": mean(jaa_time),
+                "utk2_sets": mean(jaa_sets),
+            })
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 13
+def experiment_fig13(scale: dict | None = None) -> list[dict]:
+    """Figure 13: effect of dimensionality on response time and memory (IND)."""
+    scale = _scale(scale)
+    rows = []
+    for dimensionality in scale["dimensionalities"]:
+        data = synthetic_dataset("IND", scale["cardinality"], dimensionality,
+                                 seed=scale["seed"])
+        workload = query_workload(dimensionality, scale["k"], scale["sigma"],
+                                  scale["queries"], seed=scale["seed"])
+        rsa_time, jaa_time, rsa_memory, jaa_memory = [], [], [], []
+        for spec in workload:
+            rsa = measure_query("RSA", data.values, spec.region, spec.k,
+                                track_memory=True)
+            jaa = measure_query("JAA", data.values, spec.region, spec.k,
+                                track_memory=True)
+            rsa_time.append(rsa.elapsed_seconds)
+            jaa_time.append(jaa.elapsed_seconds)
+            rsa_memory.append(rsa.peak_memory_bytes)
+            jaa_memory.append(jaa.peak_memory_bytes)
+        rows.append({
+            "d": dimensionality,
+            "rsa_seconds": mean(rsa_time),
+            "jaa_seconds": mean(jaa_time),
+            "rsa_peak_mb": mean(rsa_memory) / 1e6,
+            "jaa_peak_mb": mean(jaa_memory) / 1e6,
+        })
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 14
+def experiment_fig14(scale: dict | None = None) -> list[dict]:
+    """Figure 14: effect of the region size ``sigma`` on time and result size (IND)."""
+    scale = _scale(scale)
+    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
+                             seed=scale["seed"])
+    rows = []
+    for sigma in scale["sigma_values"]:
+        workload = query_workload(scale["dimensionality"], scale["k"], sigma,
+                                  scale["queries"], seed=scale["seed"])
+        rsa_time, rsa_size, jaa_time, jaa_sets = [], [], [], []
+        for spec in workload:
+            rsa = measure_query("RSA", data.values, spec.region, spec.k)
+            jaa = measure_query("JAA", data.values, spec.region, spec.k)
+            rsa_time.append(rsa.elapsed_seconds)
+            rsa_size.append(rsa.output_size)
+            jaa_time.append(jaa.elapsed_seconds)
+            jaa_sets.append(jaa.output_size)
+        rows.append({
+            "sigma": sigma,
+            "rsa_seconds": mean(rsa_time),
+            "utk1_records": mean(rsa_size),
+            "jaa_seconds": mean(jaa_time),
+            "utk2_sets": mean(jaa_sets),
+        })
+    return rows
+
+
+# ------------------------------------------------------- Figures 15 and 16
+def experiment_fig15(scale: dict | None = None) -> list[dict]:
+    """Figure 15: JAA versus ``k`` on the real-data substitutes."""
+    scale = _scale(scale)
+    rows = []
+    for name in ("HOTEL", "HOUSE", "NBA"):
+        data = real_dataset(name,
+                            cardinality=scale.get("real_cardinality",
+                                                  scale["cardinality"]),
+                            seed=scale["seed"])
+        for k in scale.get("real_k_values", scale["k_values"]):
+            workload = query_workload(data.dimensionality, k,
+                                      scale.get("real_sigma", scale["sigma"]),
+                                      scale["queries"], seed=scale["seed"])
+            times, sets = [], []
+            for spec in workload:
+                jaa = measure_query("JAA", data.values, spec.region, k)
+                times.append(jaa.elapsed_seconds)
+                sets.append(jaa.output_size)
+            rows.append({"dataset": name, "k": k,
+                         "jaa_seconds": mean(times), "utk2_sets": mean(sets)})
+    return rows
+
+
+def experiment_fig16(scale: dict | None = None) -> list[dict]:
+    """Figure 16: JAA versus the region size on the real-data substitutes."""
+    scale = _scale(scale)
+    rows = []
+    for name in ("HOTEL", "HOUSE", "NBA"):
+        data = real_dataset(name,
+                            cardinality=scale.get("real_cardinality",
+                                                  scale["cardinality"]),
+                            seed=scale["seed"])
+        for sigma in scale.get("real_sigma_values", scale["sigma_values"]):
+            workload = query_workload(data.dimensionality,
+                                      max(scale.get("real_k_values",
+                                                    [scale["k"]])),
+                                      sigma,
+                                      scale["queries"], seed=scale["seed"])
+            times, sets = [], []
+            for spec in workload:
+                jaa = measure_query("JAA", data.values, spec.region, spec.k)
+                times.append(jaa.elapsed_seconds)
+                sets.append(jaa.output_size)
+            rows.append({"dataset": name, "sigma": sigma,
+                         "jaa_seconds": mean(times), "utk2_sets": mean(sets)})
+    return rows
+
+
+# ------------------------------------------------------------------ Ablations
+def experiment_ablation_rsa(scale: dict | None = None) -> list[dict]:
+    """Ablation of RSA's design choices: drill, Lemma-1 pruning, candidate order."""
+    scale = _scale(scale)
+    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
+                             seed=scale["seed"])
+    workload = query_workload(scale["dimensionality"], scale["k"], scale["sigma"],
+                              scale["queries"], seed=scale["seed"])
+    configurations = [
+        ("full", {}),
+        ("no_drill", {"use_drill": False}),
+        ("no_lemma1", {"use_lemma1": False}),
+        ("order_asc", {"candidate_order": "count_asc"}),
+        ("order_index", {"candidate_order": "index"}),
+    ]
+    rows = []
+    for label, options in configurations:
+        times, sizes = [], []
+        for spec in workload:
+            import time as _time
+            started = _time.perf_counter()
+            result = RSA(data.values, spec.region, spec.k, **options).run()
+            times.append(_time.perf_counter() - started)
+            sizes.append(len(result))
+        rows.append({"configuration": label, "seconds": mean(times),
+                     "utk1_records": mean(sizes)})
+    return rows
+
+
+def experiment_ablation_jaa(scale: dict | None = None) -> list[dict]:
+    """Ablation of JAA: effect of disabling Lemma-1 pruning."""
+    scale = _scale(scale)
+    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
+                             seed=scale["seed"])
+    workload = query_workload(scale["dimensionality"], scale["k"], scale["sigma"],
+                              scale["queries"], seed=scale["seed"])
+    rows = []
+    for label, options in (("full", {}), ("no_lemma1", {"use_lemma1": False})):
+        times, sets = [], []
+        for spec in workload:
+            import time as _time
+            started = _time.perf_counter()
+            result = JAA(data.values, spec.region, spec.k, **options).run()
+            times.append(_time.perf_counter() - started)
+            sets.append(len(result))
+        rows.append({"configuration": label, "seconds": mean(times),
+                     "utk2_sets": mean(sets)})
+    return rows

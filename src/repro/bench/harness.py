@@ -1,0 +1,109 @@
+"""Experiment runner: timed, instrumented UTK query execution.
+
+``measure_query`` runs one algorithm (RSA, JAA, or one of the SK/ON
+baselines) on one query and records response time, peak memory and output
+size; ``run_workload`` aggregates a workload of queries the way the paper
+does (averaging over repetitions of randomly placed regions).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from statistics import mean
+
+import numpy as np
+
+from repro.core.jaa import JAA
+from repro.core.region import Region
+from repro.core.rsa import RSA
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+from repro.queries.baselines import baseline_utk1, baseline_utk2
+
+#: Algorithm identifiers accepted by the harness.
+ALGORITHMS = ("RSA", "JAA", "SK1", "ON1", "SK2", "ON2")
+
+
+@dataclass
+class QueryMeasurement:
+    """Outcome of one measured query execution."""
+
+    algorithm: str
+    elapsed_seconds: float
+    output_size: int
+    peak_memory_bytes: int = 0
+    details: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Aggregated measurements over a workload (mean over queries)."""
+
+    algorithm: str
+    queries: int
+    mean_seconds: float
+    mean_output_size: float
+    mean_peak_memory_bytes: float
+    per_query: list[QueryMeasurement] = field(default_factory=list)
+
+
+def _run_algorithm(algorithm: str, values: np.ndarray, region: Region, k: int,
+                   tree: RTree | None):
+    """Execute one algorithm and return ``(output_size, details)``."""
+    if algorithm == "RSA":
+        result = RSA(values, region, k, tree=tree).run()
+        return len(result), {"indices": list(result.indices), **result.stats}
+    if algorithm == "JAA":
+        result = JAA(values, region, k, tree=tree).run()
+        return len(result.distinct_top_k_sets), {"records": result.result_records,
+                                                 "partitions": len(result),
+                                                 **result.stats}
+    if algorithm in ("SK1", "ON1"):
+        variant = "skyband" if algorithm.startswith("SK") else "onion"
+        outcome = baseline_utk1(values, region, k, variant=variant, tree=tree)
+        return len(outcome.result_indices), {"candidates": outcome.candidate_count}
+    if algorithm in ("SK2", "ON2"):
+        variant = "skyband" if algorithm.startswith("SK") else "onion"
+        outcome = baseline_utk2(values, region, k, variant=variant, tree=tree)
+        cells = sum(len(res.cells) for res in outcome.per_candidate.values())
+        return cells, {"candidates": outcome.candidate_count}
+    raise InvalidQueryError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def measure_query(algorithm: str, values, region: Region, k: int, *,
+                  tree: RTree | None = None,
+                  track_memory: bool = False) -> QueryMeasurement:
+    """Run one algorithm on one query and measure time / memory / output size."""
+    values = np.asarray(values, dtype=float)
+    if track_memory:
+        tracemalloc.start()
+    started = time.perf_counter()
+    output_size, details = _run_algorithm(algorithm, values, region, k, tree)
+    elapsed = time.perf_counter() - started
+    peak = 0
+    if track_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return QueryMeasurement(algorithm=algorithm, elapsed_seconds=elapsed,
+                            output_size=output_size, peak_memory_bytes=peak,
+                            details=details)
+
+
+def run_workload(algorithm: str, values, queries, *, tree: RTree | None = None,
+                 track_memory: bool = False) -> WorkloadMeasurement:
+    """Run an algorithm over a workload of :class:`~repro.bench.workloads.QuerySpec`."""
+    measurements = [measure_query(algorithm, values, spec.region, spec.k,
+                                  tree=tree, track_memory=track_memory)
+                    for spec in queries]
+    if not measurements:
+        raise InvalidQueryError("workload contains no queries")
+    return WorkloadMeasurement(
+        algorithm=algorithm,
+        queries=len(measurements),
+        mean_seconds=mean(m.elapsed_seconds for m in measurements),
+        mean_output_size=mean(m.output_size for m in measurements),
+        mean_peak_memory_bytes=mean(m.peak_memory_bytes for m in measurements),
+        per_query=measurements,
+    )

@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every benchmark prints the same rows/series the corresponding paper figure
+plots; these helpers format them as aligned text tables so the shape of the
+result (who wins, by what factor, where trends bend) is readable directly
+from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 title: str | None = None) -> str:
+    """Format rows as an aligned text table."""
+    rendered_rows = [[_render(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for position, value in enumerate(row):
+            widths[position] = max(widths[position], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[i])
+                            for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Mapping], x_label: str, *,
+                  title: str | None = None) -> str:
+    """Format ``{series name: {x value: y value}}`` as a table with one column per series.
+
+    This mirrors how the paper's line plots are read: one row per x-axis
+    value, one column per method.
+    """
+    x_values = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row = [x] + [series[name].get(x, "") for name in series]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _render(value) -> str:
+    """Human-friendly rendering of one table value."""
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)

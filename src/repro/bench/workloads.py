@@ -1,0 +1,91 @@
+"""Query-workload generation for the benchmark experiments.
+
+The paper evaluates every setting over 50 UTK queries whose regions are
+axis-parallel hyper-cubes of side length ``sigma`` (a percentage of the axis
+length), placed at random in the preference domain.  This module reproduces
+that workload generator and records both the paper's parameter grid (Table 1)
+and the scaled-down defaults used by the pure-Python harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.region import Region, hyperrectangle
+from repro.exceptions import InvalidQueryError
+
+#: Parameter grid of the paper's Table 1 (defaults in the middle of each list).
+PAPER_PARAMETERS = {
+    "cardinality": [100_000, 200_000, 400_000, 800_000, 1_600_000],
+    "cardinality_default": 400_000,
+    "dimensionality": [2, 3, 4, 5, 6, 7],
+    "dimensionality_default": 4,
+    "k": [1, 5, 10, 20, 50, 100],
+    "k_default": 10,
+    "sigma": [0.001, 0.005, 0.01, 0.05, 0.10],
+    "sigma_default": 0.01,
+    "queries_per_setting": 50,
+}
+
+#: Scaled-down defaults for the pure-Python harness (same shape, smaller n).
+DEFAULT_PARAMETERS = {
+    "cardinality": [1_000, 2_000, 4_000, 8_000, 16_000],
+    "cardinality_default": 4_000,
+    "dimensionality": [2, 3, 4, 5],
+    "dimensionality_default": 4,
+    "k": [1, 2, 5, 10, 20],
+    "k_default": 5,
+    "sigma": [0.001, 0.005, 0.01, 0.05, 0.10],
+    "sigma_default": 0.01,
+    "queries_per_setting": 3,
+}
+
+
+def random_region(data_dimensionality: int, sigma: float,
+                  rng: np.random.Generator | None = None) -> Region:
+    """A random axis-parallel hyper-cube region of side length ``sigma``.
+
+    ``sigma`` is expressed as a fraction of the preference-domain axis length
+    (the paper's percentage ``sigma``).  The cube is placed uniformly at
+    random such that it stays inside the valid simplex
+    ``{u >= 0, sum(u) <= 1}``.
+    """
+    if not 0.0 < sigma < 1.0:
+        raise InvalidQueryError("sigma must be in (0, 1)")
+    dim = data_dimensionality - 1
+    if dim < 1:
+        raise InvalidQueryError("data dimensionality must be at least 2")
+    rng = np.random.default_rng() if rng is None else rng
+    side = sigma
+    for _ in range(1_000):
+        lower = rng.uniform(0.0, 1.0 - side, size=dim)
+        upper = lower + side
+        if upper.sum() <= 1.0 - 1e-9:
+            return hyperrectangle(lower, upper)
+    # Fall back to a corner placement near the origin, always valid since
+    # side * dim < 1 is enforced by the retry bound in practice.
+    lower = np.full(dim, 1e-3)
+    upper = lower + min(side, (1.0 - 2e-3) / dim)
+    return hyperrectangle(lower, upper)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One UTK query of a workload: its region, ``k`` and identifying seed."""
+
+    region: Region
+    k: int
+    seed: int
+
+
+def query_workload(data_dimensionality: int, k: int, sigma: float,
+                   count: int, seed: int = 0) -> list[QuerySpec]:
+    """A reproducible workload of ``count`` random UTK queries."""
+    rng = np.random.default_rng(seed)
+    specs = []
+    for position in range(count):
+        region = random_region(data_dimensionality, sigma, rng)
+        specs.append(QuerySpec(region=region, k=k, seed=seed * 1_000 + position))
+    return specs

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the two UTK query versions and the benchmark
+experiments without writing any code:
+
+* ``query`` — run UTK1/UTK2 on a synthetic or simulated-real dataset for a
+  hyper-rectangular preference region;
+* ``experiment`` — run one of the per-figure experiment generators and print
+  the rows the paper's figure plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.bench import experiments as _experiments
+from repro.bench.reporting import format_table
+from repro.core.api import utk1, utk2
+from repro.core.region import hyperrectangle
+from repro.datasets.real import real_dataset
+from repro.datasets.synthetic import DISTRIBUTIONS, synthetic_dataset
+
+#: Experiment names accepted by ``python -m repro experiment``.
+EXPERIMENTS = {
+    "table1": _experiments.experiment_table1,
+    "fig10": _experiments.experiment_fig10,
+    "fig11": _experiments.experiment_fig11,
+    "fig12": _experiments.experiment_fig12,
+    "fig13": _experiments.experiment_fig13,
+    "fig14": _experiments.experiment_fig14,
+    "fig15": _experiments.experiment_fig15,
+    "fig16": _experiments.experiment_fig16,
+    "ablation-rsa": _experiments.experiment_ablation_rsa,
+    "ablation-jaa": _experiments.experiment_ablation_jaa,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uncertain top-k (UTK) queries — reproduction of Mouratidis & Tang, PVLDB 2018",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a UTK query on a generated dataset")
+    query.add_argument("--dataset", default="IND",
+                       help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)")
+    query.add_argument("--cardinality", type=int, default=2000,
+                       help="number of records to generate (default 2000)")
+    query.add_argument("--dimensionality", type=int, default=3,
+                       help="attributes for synthetic datasets (default 3)")
+    query.add_argument("--k", type=int, default=3, help="top-k parameter (default 3)")
+    query.add_argument("--lower", type=float, nargs="+", required=True,
+                       help="lower corner of the preference region (d-1 values)")
+    query.add_argument("--upper", type=float, nargs="+", required=True,
+                       help="upper corner of the preference region (d-1 values)")
+    query.add_argument("--version", choices=["utk1", "utk2", "both"], default="both",
+                       help="which UTK problem version to answer")
+    query.add_argument("--seed", type=int, default=0, help="dataset seed")
+    query.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    experiment = subparsers.add_parser("experiment",
+                                       help="regenerate one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="experiment identifier (e.g. fig12)")
+    experiment.add_argument("--scale", type=json.loads, default=None,
+                            help="JSON dict overriding the quick-scale parameters")
+    return parser
+
+
+def _load_dataset(name: str, cardinality: int, dimensionality: int, seed: int):
+    key = name.upper()
+    if key in DISTRIBUTIONS:
+        return synthetic_dataset(key, cardinality, dimensionality, seed)
+    return real_dataset(key, cardinality, seed)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+    region = hyperrectangle(args.lower, args.upper)
+    payload: dict = {"dataset": args.dataset.upper(), "n": data.size,
+                     "d": data.dimensionality, "k": args.k}
+    if args.version in ("utk1", "both"):
+        result = utk1(data, region, args.k)
+        payload["utk1"] = {
+            "records": result.indices,
+            "witnesses": {str(i): np.round(result.witness_of(i), 6).tolist()
+                          for i in result.indices},
+        }
+    if args.version in ("utk2", "both"):
+        partitioning = utk2(data, region, args.k)
+        payload["utk2"] = {
+            "partitions": len(partitioning),
+            "distinct_top_k_sets": [sorted(s) for s in partitioning.distinct_top_k_sets],
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{payload['dataset']}: n={payload['n']}, d={payload['d']}, k={payload['k']}")
+    if "utk1" in payload:
+        print(f"UTK1 ({len(payload['utk1']['records'])} records): "
+              f"{payload['utk1']['records']}")
+    if "utk2" in payload:
+        print(f"UTK2: {payload['utk2']['partitions']} partitions, "
+              f"{len(payload['utk2']['distinct_top_k_sets'])} distinct top-k sets")
+        for top in payload["utk2"]["distinct_top_k_sets"]:
+            print(f"  {top}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    rows = EXPERIMENTS[args.name](args.scale)
+    if not rows:
+        print("no rows produced")
+        return 1
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows],
+                       title=f"experiment {args.name}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` (returns a process exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _run_query(args)
+    return _run_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core of the UTK reproduction: problem model, RSA and JAA algorithms.
+
+The most convenient entry points are :func:`repro.core.api.utk1` and
+:func:`repro.core.api.utk2`, re-exported at the package root.
+"""
+
+from repro.core.records import Dataset
+from repro.core.preference import (
+    expand_weights,
+    preference_dimension,
+    reduce_weights,
+    score_gradients,
+    scores,
+)
+from repro.core.region import Region, hyperrectangle, simplex_region
+from repro.core.halfspace import HalfSpace, halfspace_between
+from repro.core.dominance import dominates, r_dominates, RDominance
+from repro.core.scoring import ScoringFunction, LinearScoring, MonotoneScoring
+from repro.core.rskyband import RSkyband, compute_r_skyband
+from repro.core.cell import Cell
+from repro.core.arrangement import Arrangement
+from repro.core.result import UTK1Result, UTK2Result, UTKPartition
+from repro.core.rsa import RSA
+from repro.core.jaa import JAA
+from repro.core.api import utk1, utk2
+
+__all__ = [
+    "Dataset",
+    "expand_weights",
+    "preference_dimension",
+    "reduce_weights",
+    "score_gradients",
+    "scores",
+    "Region",
+    "hyperrectangle",
+    "simplex_region",
+    "HalfSpace",
+    "halfspace_between",
+    "dominates",
+    "r_dominates",
+    "RDominance",
+    "ScoringFunction",
+    "LinearScoring",
+    "MonotoneScoring",
+    "RSkyband",
+    "compute_r_skyband",
+    "Cell",
+    "Arrangement",
+    "UTK1Result",
+    "UTK2Result",
+    "UTKPartition",
+    "RSA",
+    "JAA",
+    "utk1",
+    "utk2",
+]

@@ -1,0 +1,78 @@
+"""Convenience API for UTK queries.
+
+``utk1`` and ``utk2`` are the recommended entry points: they accept either a
+raw matrix or a :class:`~repro.core.records.Dataset`, an optional scoring
+function, and the query region, and they run the paper's RSA / JAA
+algorithms.  ``utk_query`` answers both problem versions while computing the
+shared filtering step only once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.jaa import JAA
+from repro.core.records import Dataset
+from repro.core.region import Region
+from repro.core.result import UTK1Result, UTK2Result
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.core.scoring import LinearScoring, ScoringFunction
+from repro.index.rtree import RTree
+
+
+def _as_matrix(data) -> np.ndarray:
+    """Accept either a Dataset or an array-like and return the value matrix."""
+    if isinstance(data, Dataset):
+        return data.values
+    return np.asarray(data, dtype=float)
+
+
+def utk1(data, region: Region, k: int, *,
+         scoring: ScoringFunction | None = None,
+         tree: RTree | None = None,
+         use_drill: bool = True) -> UTK1Result:
+    """Answer a UTK1 query: which records may enter the top-k within ``region``.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.core.records.Dataset` or an ``(n, d)`` matrix.
+    region:
+        Convex preference region (dimension ``d - 1``).
+    k:
+        Top-k parameter.
+    scoring:
+        Optional scoring function from :mod:`repro.core.scoring`; defaults to
+        the linear weighted sum.
+    tree:
+        Optional pre-built R-tree over the (transformed) data.
+    use_drill:
+        Enable the drill optimization (Section 4.3).
+    """
+    scoring = scoring or LinearScoring()
+    values = scoring.transform(_as_matrix(data))
+    algorithm = RSA(values, region, k, tree=tree, use_drill=use_drill)
+    return algorithm.run()
+
+
+def utk2(data, region: Region, k: int, *,
+         scoring: ScoringFunction | None = None,
+         tree: RTree | None = None) -> UTK2Result:
+    """Answer a UTK2 query: the exact top-k set for every weight vector in ``region``."""
+    scoring = scoring or LinearScoring()
+    values = scoring.transform(_as_matrix(data))
+    algorithm = JAA(values, region, k, tree=tree)
+    return algorithm.run()
+
+
+def utk_query(data, region: Region, k: int, *,
+              scoring: ScoringFunction | None = None,
+              tree: RTree | None = None) -> tuple[UTK1Result, UTK2Result]:
+    """Answer both UTK versions, sharing the r-skyband filtering step."""
+    scoring = scoring or LinearScoring()
+    values = scoring.transform(_as_matrix(data))
+    skyband = compute_r_skyband(values, region, k, tree=tree)
+    first = RSA(values, region, k, tree=tree, skyband=skyband).run()
+    second = JAA(values, region, k, tree=tree, skyband=skyband).run()
+    return first, second

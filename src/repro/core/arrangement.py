@@ -1,0 +1,138 @@
+"""Incremental half-space arrangements bounded by a cell.
+
+The refinement steps of RSA and JAA repeatedly build *local* arrangements:
+starting from a region (or a partition of a previous arrangement), they
+insert the half-spaces of selected competitors one by one, keeping track of
+which half-spaces cover each resulting partition.  The arrangement here
+follows the implicit binary-tree representation the paper adopts: every
+insertion may split existing leaves in two, and each leaf remembers the
+*labels* (competitor identities) of the half-spaces covering it.
+
+Arrangements are intentionally small and disposable — one per ``Verify`` /
+``Partition`` call — exactly as prescribed in Section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell import Cell
+from repro.core.halfspace import HalfSpace
+
+
+@dataclass
+class ArrangementLeaf:
+    """A leaf partition of the arrangement.
+
+    Attributes
+    ----------
+    cell:
+        Geometry of the partition.
+    covering:
+        Labels of the inserted half-spaces that fully cover the partition.
+    frozen:
+        Leaves can be frozen (e.g. once their count reaches ``k`` in the
+        baseline's reverse top-k); frozen leaves are no longer split.
+    """
+
+    cell: Cell
+    covering: set[int] = field(default_factory=set)
+    frozen: bool = False
+
+    @property
+    def count(self) -> int:
+        """Number of half-spaces covering the partition."""
+        return len(self.covering)
+
+
+class Arrangement:
+    """An incremental arrangement of half-spaces inside a root cell."""
+
+    def __init__(self, root: Cell):
+        self.root = root
+        self.leaves: list[ArrangementLeaf] = [ArrangementLeaf(cell=root)]
+        self.inserted: list[HalfSpace] = []
+        self.split_operations = 0
+
+    @property
+    def inserted_labels(self) -> set[int]:
+        """Labels of every half-space inserted so far."""
+        return {h.label for h in self.inserted}
+
+    def insert(self, halfspace: HalfSpace, *, freeze_at: int | None = None) -> None:
+        """Insert a half-space, splitting leaves that straddle it.
+
+        Parameters
+        ----------
+        halfspace:
+            The half-space to insert; its ``label`` is recorded on covered
+            leaves.
+        freeze_at:
+            When given, leaves whose covering count reaches this value are
+            frozen: they stop being split by future insertions (they can only
+            accumulate covering labels if fully covered).  This implements
+            the count-based pruning of the baseline's reverse top-k building
+            block.
+        """
+        self.inserted.append(halfspace)
+        new_leaves: list[ArrangementLeaf] = []
+        for leaf in self.leaves:
+            if leaf.frozen:
+                new_leaves.append(leaf)
+                continue
+            side = leaf.cell.classify(halfspace)
+            if side == "inside":
+                leaf.covering.add(halfspace.label)
+            elif side == "split":
+                self.split_operations += 1
+                inside_cell = leaf.cell.restricted(halfspace, True)
+                outside_cell = leaf.cell.restricted(halfspace, False)
+                inside_leaf = ArrangementLeaf(cell=inside_cell,
+                                              covering=set(leaf.covering) | {halfspace.label})
+                outside_leaf = ArrangementLeaf(cell=outside_cell,
+                                               covering=set(leaf.covering))
+                if freeze_at is not None and inside_leaf.count >= freeze_at:
+                    inside_leaf.frozen = True
+                new_leaves.append(inside_leaf)
+                new_leaves.append(outside_leaf)
+                continue
+            # "outside": nothing to record.
+            if freeze_at is not None and leaf.count >= freeze_at:
+                leaf.frozen = True
+            new_leaves.append(leaf)
+        self.leaves = new_leaves
+
+    def insert_many(self, halfspaces, *, freeze_at: int | None = None) -> None:
+        """Insert a sequence of half-spaces in order."""
+        for halfspace in halfspaces:
+            self.insert(halfspace, freeze_at=freeze_at)
+
+    # ------------------------------------------------------------------ views
+    def partitions(self) -> list[ArrangementLeaf]:
+        """All current leaves."""
+        return list(self.leaves)
+
+    def partitions_below(self, threshold: int) -> list[ArrangementLeaf]:
+        """Leaves covered by fewer than ``threshold`` half-spaces."""
+        return [leaf for leaf in self.leaves if leaf.count < threshold]
+
+    def min_count(self) -> int:
+        """Smallest covering count over all leaves (0 for an empty arrangement)."""
+        if not self.leaves:
+            return 0
+        return min(leaf.count for leaf in self.leaves)
+
+    def locate(self, point) -> ArrangementLeaf | None:
+        """The leaf containing ``point`` (None when outside the root cell)."""
+        point = np.asarray(point, dtype=float).reshape(-1)
+        best = None
+        for leaf in self.leaves:
+            if leaf.cell.contains(point, tol=1e-9):
+                best = leaf
+                break
+        return best
+
+    def __len__(self) -> int:
+        return len(self.leaves)

@@ -1,0 +1,158 @@
+"""Arrangement cells (partitions of the query region).
+
+Following the arrangement-indexing discussion of the paper (Section 4.5), a
+cell is represented *implicitly* by the half-spaces that define it rather
+than by its explicit geometry: a cell is the base region plus a list of
+signed half-space constraints.  Interior points, full-dimensionality tests
+and half-space classification are answered with small linear programs
+(analytic in one-dimensional preference domains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.halfspace import HalfSpace
+from repro.core.region import Region
+from repro.geometry.linear_programming import chebyshev_center, maximize, minimize
+
+#: A cell whose inscribed-ball radius does not exceed this is treated as
+#: lower-dimensional (not a genuine partition).
+CELL_INTERIOR_TOL = 1e-7
+
+#: Tolerance for deciding that a half-space fully covers / misses a cell.
+CELL_SIDE_TOL = 1e-9
+
+
+class Cell:
+    """A convex cell: the base region intersected with signed half-spaces.
+
+    Parameters
+    ----------
+    region:
+        The base :class:`~repro.core.region.Region` the cell lives in.
+    extra_a, extra_b:
+        Additional constraint rows ``a @ u <= b`` accumulated by half-space
+        insertions (both the covering and the complement side are expressed
+        in this canonical "<=" form).
+    history:
+        Tuple of ``(halfspace, inside)`` pairs describing how the cell was
+        carved out of the base region; useful for reporting and debugging.
+    """
+
+    __slots__ = ("region", "_extra_a", "_extra_b", "history",
+                 "_chebyshev", "_radius")
+
+    def __init__(self, region: Region, extra_a: np.ndarray | None = None,
+                 extra_b: np.ndarray | None = None,
+                 history: tuple = ()):  # type: ignore[assignment]
+        self.region = region
+        dim = region.dimension
+        if extra_a is None:
+            extra_a = np.zeros((0, dim), dtype=float)
+            extra_b = np.zeros(0, dtype=float)
+        self._extra_a = extra_a
+        self._extra_b = extra_b
+        self.history = history
+        self._chebyshev = None
+        self._radius = None
+
+    # --------------------------------------------------------------- geometry
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the preference domain."""
+        return self.region.dimension
+
+    @property
+    def constraints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full H-representation of the cell (region + accumulated rows)."""
+        base_a, base_b = self.region.constraints
+        if self._extra_a.shape[0] == 0:
+            return base_a, base_b
+        return np.vstack([base_a, self._extra_a]), np.concatenate([base_b, self._extra_b])
+
+    def _ensure_chebyshev(self) -> None:
+        if self._radius is None:
+            a, b = self.constraints
+            centre, radius = chebyshev_center(a, b, dim=self.dimension)
+            self._chebyshev = centre
+            self._radius = radius
+
+    @property
+    def inradius(self) -> float:
+        """Radius of the largest ball inscribed in the cell (negative if empty)."""
+        self._ensure_chebyshev()
+        return float(self._radius)
+
+    @property
+    def interior_point(self) -> np.ndarray | None:
+        """A point strictly inside the cell, or ``None`` when the cell is empty."""
+        self._ensure_chebyshev()
+        if self._chebyshev is None or self._radius <= 0.0:
+            return None
+        return self._chebyshev
+
+    def is_full_dimensional(self, tol: float = CELL_INTERIOR_TOL) -> bool:
+        """Whether the cell has a non-empty interior."""
+        self._ensure_chebyshev()
+        return self._radius is not None and self._radius > tol
+
+    def contains(self, point, tol: float = 1e-9) -> bool:
+        """Whether ``point`` satisfies all the cell's constraints."""
+        a, b = self.constraints
+        point = np.asarray(point, dtype=float).reshape(-1)
+        return bool(np.all(a @ point <= b + tol))
+
+    # --------------------------------------------------------------- children
+    def restricted(self, halfspace: HalfSpace, inside: bool) -> "Cell":
+        """The sub-cell on the requested side of ``halfspace``."""
+        if inside:
+            row, rhs = halfspace.as_upper_constraint()
+        else:
+            row, rhs = halfspace.as_lower_constraint()
+        extra_a = np.vstack([self._extra_a, row.reshape(1, -1)])
+        extra_b = np.concatenate([self._extra_b, [rhs]])
+        return Cell(self.region, extra_a, extra_b,
+                    history=self.history + ((halfspace, inside),))
+
+    def classify(self, halfspace: HalfSpace,
+                 tol: float = CELL_SIDE_TOL) -> str:
+        """Position of the cell relative to ``halfspace``.
+
+        Returns ``"inside"`` when the whole cell satisfies
+        ``normal @ u >= offset``, ``"outside"`` when no interior point does,
+        and ``"split"`` when the half-space properly crosses the cell.
+        """
+        a, b = self.constraints
+        low = minimize(halfspace.normal, a, b)
+        if not low.is_optimal:
+            # Empty cell: report "outside" so callers simply drop it.
+            return "outside"
+        if low.value >= halfspace.offset - tol:
+            return "inside"
+        high = maximize(halfspace.normal, a, b)
+        if high.value <= halfspace.offset + tol:
+            return "outside"
+        # The hyperplane crosses the cell's affine hull; only a genuine split
+        # when both sides keep a full-dimensional piece.
+        inside_part = self.restricted(halfspace, True)
+        outside_part = self.restricted(halfspace, False)
+        inside_full = inside_part.is_full_dimensional()
+        outside_full = outside_part.is_full_dimensional()
+        if inside_full and outside_full:
+            return "split"
+        if inside_full:
+            return "inside"
+        return "outside"
+
+    def linear_range(self, coef) -> tuple[float, float]:
+        """Minimum and maximum of ``coef @ u`` over the cell."""
+        a, b = self.constraints
+        low = minimize(coef, a, b)
+        high = maximize(coef, a, b)
+        if not (low.is_optimal and high.is_optimal):
+            return np.nan, np.nan
+        return float(low.value), float(high.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell(dim={self.dimension}, extra={self._extra_a.shape[0]})"

@@ -1,0 +1,133 @@
+"""Traditional dominance and r-dominance (Definition 1 of the paper).
+
+*Traditional* dominance compares records attribute by attribute and is what
+skylines and k-skybands build on.  *r-dominance* is specific to a preference
+region ``R``: record ``p`` r-dominates ``p'`` when ``S(p) >= S(p')`` for every
+weight vector in ``R`` (strictly for at least one).  Because the score
+difference is linear in the weights, the test reduces to evaluating the
+difference at the vertices of ``R`` (or to two LPs for regions without a
+vertex representation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.preference import score_gradients
+from repro.core.region import Region
+
+#: Tie tolerance used by dominance tests on floating-point data.
+DOMINANCE_TOL = 1e-9
+
+
+def dominates(p, q, tol: float = DOMINANCE_TOL) -> bool:
+    """Traditional dominance: ``p`` is no worse anywhere and better somewhere."""
+    p = np.asarray(p, dtype=float).reshape(-1)
+    q = np.asarray(q, dtype=float).reshape(-1)
+    return bool(np.all(p >= q - tol) and np.any(p > q + tol))
+
+
+def dominance_counts(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:
+    """For every record, the number of records that traditionally dominate it.
+
+    Quadratic brute force intended for oracles and small candidate sets; the
+    index-based path lives in :mod:`repro.skyline.bbs`.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=int)
+    for i in range(n):
+        geq = np.all(values >= values[i] - tol, axis=1)
+        gt = np.any(values > values[i] + tol, axis=1)
+        dominators = geq & gt
+        dominators[i] = False
+        counts[i] = int(dominators.sum())
+    return counts
+
+
+def r_dominates(p, q, region: Region, tol: float = DOMINANCE_TOL) -> bool:
+    """Whether ``p`` r-dominates ``q`` with respect to ``region``.
+
+    ``p`` r-dominates ``q`` when its score is at least that of ``q`` for every
+    weight vector in the region, and strictly larger for at least one.
+    """
+    pair = np.vstack([np.asarray(p, dtype=float), np.asarray(q, dtype=float)])
+    gradients, offsets = score_gradients(pair)
+    diff_grad = gradients[0] - gradients[1]
+    diff_off = offsets[0] - offsets[1]
+    lo = diff_off + region.linear_min(diff_grad)
+    hi = diff_off + region.linear_max(diff_grad)
+    return lo >= -tol and hi > tol
+
+
+class RDominance:
+    """Vectorized r-dominance tests against a fixed region.
+
+    The helper caches the region's vertices (or a fallback LP handle) and the
+    score decomposition of the records it is asked about, so the BBS-style
+    r-skyband computation and the r-dominance graph construction can run as
+    dense numpy operations.
+    """
+
+    def __init__(self, region: Region, tol: float = DOMINANCE_TOL):
+        self.region = region
+        self.tol = tol
+        self._vertices = region.vertices
+
+    # ------------------------------------------------------------- primitives
+    def _vertex_scores(self, values: np.ndarray) -> np.ndarray:
+        """Scores of ``values`` at every region vertex, shape ``(v, n)``."""
+        gradients, offsets = score_gradients(np.asarray(values, dtype=float))
+        return offsets[None, :] + self._vertices @ gradients.T
+
+    def dominates(self, p, q) -> bool:
+        """Single-pair r-dominance test."""
+        if self._vertices is None:
+            return r_dominates(p, q, self.region, self.tol)
+        scores = self._vertex_scores(np.vstack([p, q]))
+        diff = scores[:, 0] - scores[:, 1]
+        return bool(np.all(diff >= -self.tol) and np.any(diff > self.tol))
+
+    def dominators_of(self, point, pool: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``pool`` marking records that r-dominate ``point``.
+
+        ``point`` may be a data record or the top corner of an index node's
+        MBB (the BBS convention for node pruning).
+        """
+        pool = np.asarray(pool, dtype=float)
+        if pool.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        if self._vertices is None:
+            return np.array([r_dominates(row, point, self.region, self.tol)
+                             for row in pool], dtype=bool)
+        stacked = np.vstack([np.asarray(point, dtype=float).reshape(1, -1), pool])
+        scores = self._vertex_scores(stacked)
+        diff = scores[:, 1:] - scores[:, 0:1]
+        return np.all(diff >= -self.tol, axis=0) & np.any(diff > self.tol, axis=0)
+
+    def dominance_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Full pairwise matrix ``M[i, j] = True`` iff record ``i`` r-dominates ``j``.
+
+        Quadratic in the number of records; intended for the (small) r-skyband
+        candidate set when building the r-dominance graph.
+        """
+        values = np.asarray(values, dtype=float)
+        n = values.shape[0]
+        if n == 0:
+            return np.zeros((0, 0), dtype=bool)
+        if self._vertices is None:
+            matrix = np.zeros((n, n), dtype=bool)
+            for i in range(n):
+                for j in range(n):
+                    if i != j and r_dominates(values[i], values[j], self.region, self.tol):
+                        matrix[i, j] = True
+            return matrix
+        scores = self._vertex_scores(values)                    # (v, n)
+        diff = scores[:, :, None] - scores[:, None, :]          # (v, i, j)
+        matrix = np.all(diff >= -self.tol, axis=0) & np.any(diff > self.tol, axis=0)
+        np.fill_diagonal(matrix, False)
+        return matrix
+
+    def dominance_counts(self, values: np.ndarray) -> np.ndarray:
+        """Number of records (within ``values``) r-dominating each record."""
+        return self.dominance_matrix(values).sum(axis=0)

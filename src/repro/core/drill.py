@@ -1,0 +1,74 @@
+"""The drill optimization (Section 4.3) and related point probes.
+
+A *drill* executes a plain top-k query at a carefully chosen weight vector
+inside a cell: if the candidate under verification appears in the top-k set
+there, it is immediately confirmed without building any arrangement.  The
+drill vector is chosen by linear programming so that the candidate's score is
+maximized over the cell, making the probe as favourable as possible.
+
+The same machinery provides the *anchor selection* probes of JAA (the k-th
+scoring candidate at a representative vector of a cell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cell import Cell
+from repro.core.preference import score_gradients, scores
+from repro.geometry.linear_programming import maximize
+
+#: Tolerance used when comparing candidate scores at a drill vector.
+SCORE_TOL = 1e-9
+
+
+def drill_vector(cell: Cell, record) -> np.ndarray | None:
+    """Weight vector inside ``cell`` maximizing the score of ``record``.
+
+    Falls back to the cell's interior point when the LP fails; returns
+    ``None`` for empty cells.
+    """
+    gradients, _ = score_gradients(np.asarray(record, dtype=float).reshape(1, -1))
+    a, b = cell.constraints
+    result = maximize(gradients[0], a, b)
+    if result.is_optimal:
+        return result.x
+    return cell.interior_point
+
+
+def rank_of(values: np.ndarray, weights, target_position: int,
+            tol: float = SCORE_TOL) -> int:
+    """1-based rank of ``values[target_position]`` at ``weights``.
+
+    Ties (within ``tol``) count *against* the target, which makes every
+    caller's decision conservative: a record is only declared inside the
+    top-k when it beats its competitors by a clear margin.
+    """
+    all_scores = scores(values, weights)
+    target = all_scores[target_position]
+    better = np.sum(all_scores >= target - tol) - 1  # exclude the target itself
+    return int(better) + 1
+
+
+def is_in_top_k(values: np.ndarray, weights, target_position: int, k: int,
+                tol: float = SCORE_TOL) -> bool:
+    """Whether ``values[target_position]`` ranks within the top ``k`` at ``weights``."""
+    return rank_of(values, weights, target_position, tol) <= k
+
+
+def kth_ranked(values: np.ndarray, weights, k: int) -> int:
+    """Position (row index into ``values``) of the k-th highest score at ``weights``.
+
+    Ties are broken by row index so the choice is deterministic.
+    """
+    all_scores = scores(values, weights)
+    order = np.lexsort((np.arange(all_scores.shape[0]), -all_scores))
+    k = min(k, order.shape[0])
+    return int(order[k - 1])
+
+
+def top_k_positions(values: np.ndarray, weights, k: int) -> list[int]:
+    """Row indices of the ``k`` highest scores at ``weights`` (ties by row index)."""
+    all_scores = scores(values, weights)
+    order = np.lexsort((np.arange(all_scores.shape[0]), -all_scores))
+    return [int(i) for i in order[:min(k, order.shape[0])]]

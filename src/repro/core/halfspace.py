@@ -1,0 +1,109 @@
+"""Half-spaces in the preference domain.
+
+The central geometric object of the paper: for two records ``p`` and ``q``,
+the inequality ``S(q) >= S(p)`` corresponds to a half-space of the preference
+domain.  The UTK refinement steps partition the query region with such
+half-spaces and count how many cover each partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.preference import score_gradients
+
+
+@dataclass(frozen=True)
+class HalfSpace:
+    """The half-space ``{u : normal @ u >= offset}``.
+
+    ``label`` carries the identity of the competitor that induced the
+    half-space, which the arrangement index needs in order to report *which*
+    records outrank a candidate in each partition (Section 4.5).
+    """
+
+    normal: np.ndarray
+    offset: float
+    label: int = -1
+    _normal_tuple: tuple = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self):
+        normal = np.asarray(self.normal, dtype=float).reshape(-1)
+        normal.setflags(write=False)
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "offset", float(self.offset))
+        object.__setattr__(self, "_normal_tuple", tuple(normal.tolist()))
+
+    def __hash__(self) -> int:
+        return hash((self._normal_tuple, self.offset, self.label))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HalfSpace):
+            return NotImplemented
+        return (self._normal_tuple == other._normal_tuple
+                and self.offset == other.offset
+                and self.label == other.label)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the preference domain."""
+        return self.normal.shape[0]
+
+    def value(self, point) -> float:
+        """Signed slack ``normal @ point - offset`` (non-negative inside)."""
+        return float(self.normal @ np.asarray(point, dtype=float).reshape(-1) - self.offset)
+
+    def contains(self, point, tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside the half-space (within ``tol``)."""
+        return self.value(point) >= -tol
+
+    def as_upper_constraint(self) -> tuple[np.ndarray, float]:
+        """The half-space as an ``a @ u <= b`` row (i.e. its *inside*)."""
+        return -self.normal, -self.offset
+
+    def as_lower_constraint(self) -> tuple[np.ndarray, float]:
+        """The complement half-space ``normal @ u <= offset`` as an ``a @ u <= b`` row."""
+        return self.normal.copy(), self.offset
+
+    def complement_contains(self, point, tol: float = 0.0) -> bool:
+        """Whether ``point`` lies in the complement (strictly outside within ``tol``)."""
+        return self.value(point) <= tol
+
+
+def halfspace_between(winner, loser, label: int = -1) -> HalfSpace:
+    """Half-space of the preference domain where ``S(winner) >= S(loser)``.
+
+    Parameters
+    ----------
+    winner, loser:
+        ``d``-dimensional records.
+    label:
+        Identifier stored on the half-space (conventionally the dataset index
+        of ``winner``).
+    """
+    pair = np.vstack([np.asarray(winner, dtype=float), np.asarray(loser, dtype=float)])
+    gradients, offsets = score_gradients(pair)
+    normal = gradients[0] - gradients[1]
+    offset = offsets[1] - offsets[0]
+    return HalfSpace(normal=normal, offset=offset, label=label)
+
+
+def halfspaces_against(candidate, competitors: np.ndarray, labels) -> list[HalfSpace]:
+    """Half-spaces ``S(competitor) >= S(candidate)`` for a batch of competitors.
+
+    Vectorized variant of :func:`halfspace_between` used by the refinement
+    steps, which build one half-space per competitor of the candidate/anchor.
+    """
+    competitors = np.asarray(competitors, dtype=float)
+    candidate = np.asarray(candidate, dtype=float).reshape(1, -1)
+    stacked = np.vstack([candidate, competitors])
+    gradients, offsets = score_gradients(stacked)
+    cand_grad, cand_off = gradients[0], offsets[0]
+    result = []
+    for row in range(competitors.shape[0]):
+        normal = gradients[row + 1] - cand_grad
+        offset = cand_off - offsets[row + 1]
+        result.append(HalfSpace(normal=normal, offset=offset, label=int(labels[row])))
+    return result

@@ -1,0 +1,256 @@
+"""JAA — the Joint Arrangement Algorithm for UTK2 (Section 5 of the paper).
+
+JAA shares RSA's filtering step (r-skyband + r-dominance graph) but its
+refinement builds one *common global arrangement*: a partitioning of the
+query region in which every partition ends up associated with its exact
+top-k set.
+
+The recursion works on an *anchor* record per partition.  A verification-like
+process partitions the cell with the half-spaces of the anchor's strongest
+competitors and classifies each resulting piece:
+
+* **equal-to** — exactly ``k`` records provably score above-or-at the anchor's
+  level; the piece is finalized with that top-k set;
+* **less-than** — the anchor is in the top-k with room to spare; the known
+  prefix is extended and a new (lower-ranked) anchor continues the recursion;
+* **greater-than** — at least ``k`` records beat the anchor; the anchor and
+  its descendants are excluded and a new anchor is chosen;
+* otherwise the same anchor recurses with the already-inserted competitors
+  accumulated.
+
+Bookkeeping sets carried through the recursion:
+
+``prefix``
+    The exact top-``|prefix|`` set everywhere in the current cell.
+``pending``
+    Records proven to score above the current anchor throughout the cell
+    (anchor ancestors plus covering competitors accumulated so far).
+``excluded``
+    Records proven to be outside the top-k everywhere in the cell
+    (discarded anchors and their descendants).
+``skip``
+    Competitors already handled for the *current* anchor (reset whenever the
+    anchor changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.arrangement import Arrangement
+from repro.core.cell import Cell
+from repro.core.halfspace import halfspace_between
+from repro.core.preference import scores as _scores_at
+from repro.core.region import Region
+from repro.core.result import UTK2Result, UTKPartition
+from repro.core.rskyband import RSkyband, compute_r_skyband
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+
+
+@dataclass
+class JAAStatistics:
+    """Counters describing the work performed by one JAA run."""
+
+    candidates: int = 0
+    partition_calls: int = 0
+    arrangements_built: int = 0
+    halfspaces_inserted: int = 0
+    finalized_partitions: int = 0
+    anchor_changes: int = 0
+    filtering_stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the result container and the harness."""
+        return {
+            "candidates": self.candidates,
+            "partition_calls": self.partition_calls,
+            "arrangements_built": self.arrangements_built,
+            "halfspaces_inserted": self.halfspaces_inserted,
+            "finalized_partitions": self.finalized_partitions,
+            "anchor_changes": self.anchor_changes,
+            **{f"filter_{key}": value for key, value in self.filtering_stats.items()},
+        }
+
+
+class JAA:
+    """Joint Arrangement Algorithm for the UTK2 problem.
+
+    Parameters mirror :class:`repro.core.rsa.RSA`; ``skyband`` allows reusing
+    a pre-computed r-skyband (e.g. when answering both UTK versions for the
+    same query).
+    """
+
+    def __init__(self, values, region: Region, k: int, *,
+                 tree: RTree | None = None,
+                 skyband: RSkyband | None = None,
+                 use_lemma1: bool = True):
+        self.values = np.asarray(values, dtype=float)
+        if self.values.ndim != 2:
+            raise InvalidQueryError("values must be an (n, d) matrix")
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        if region.dimension != self.values.shape[1] - 1:
+            raise InvalidQueryError(
+                f"region dimension {region.dimension} does not match "
+                f"{self.values.shape[1]}-dimensional data"
+            )
+        self.region = region
+        self.k = int(k)
+        self.tree = tree
+        self.use_lemma1 = use_lemma1
+        self._skyband = skyband
+        self.stats = JAAStatistics()
+
+    # ------------------------------------------------------------------ public
+    def run(self) -> UTK2Result:
+        """Execute the query and return the UTK2 partitioning."""
+        skyband = self._skyband
+        if skyband is None:
+            skyband = compute_r_skyband(self.values, self.region, self.k,
+                                        tree=self.tree)
+        self._sky = skyband
+        self.stats.candidates = skyband.size
+        self.stats.filtering_stats = {
+            "bbs_nodes_visited": skyband.stats.nodes_visited,
+            "bbs_records_visited": skyband.stats.records_visited,
+            "skyband_size": skyband.size,
+        }
+        members = skyband.members()
+        self._partitions: list[UTKPartition] = []
+        root_cell = Cell(self.region)
+        if not members:
+            return UTK2Result(partitions=[], region=self.region, k=self.k,
+                              stats=self.stats.as_dict())
+        if len(members) <= self.k:
+            partition = UTKPartition(cell=root_cell, top_k=frozenset(members))
+            return UTK2Result(partitions=[partition], region=self.region,
+                              k=self.k, stats=self.stats.as_dict())
+
+        self._members = members
+        self._rows = {index: skyband.row_of(index) for index in members}
+        self._ancestors = skyband.ancestors
+        self._descendants = skyband.descendants
+
+        anchor = self._choose_anchor(root_cell, excluded=frozenset())
+        pending = frozenset(self._ancestors[anchor])
+        self._partition(anchor, root_cell, prefix=frozenset(), pending=pending,
+                        excluded=frozenset(), skip=frozenset())
+        self.stats.finalized_partitions = len(self._partitions)
+        return UTK2Result(partitions=list(self._partitions), region=self.region,
+                          k=self.k, stats=self.stats.as_dict())
+
+    # --------------------------------------------------------------- internals
+    def _choose_anchor(self, cell: Cell, excluded: frozenset[int],
+                       forbidden: frozenset[int] = frozenset()) -> int:
+        """The k-th scoring non-excluded candidate at a representative vector.
+
+        The representative vector is the cell's interior point (the region's
+        pivot for the initial call), per the anchor-choosing strategy of
+        Section 5.1: the chosen anchor is guaranteed to belong to the top-k
+        set for at least one vector of the cell, and to be its lowest-scoring
+        member there.  ``forbidden`` records (the known top prefix) are never
+        returned; in the generic case the k-th ranked record is already
+        outside the prefix, and the guard only matters under exact score
+        ties.
+        """
+        probe = cell.interior_point
+        eligible = [index for index in self._members if index not in excluded]
+        rows = np.vstack([self._rows[index] for index in eligible])
+        ordered = np.lexsort((np.arange(rows.shape[0]),
+                              -_scores_at(rows, probe)))
+        for position in ordered[self.k - 1:]:
+            candidate = eligible[int(position)]
+            if candidate not in forbidden:
+                return candidate
+        # Fall back to the best-ranked non-forbidden candidate; only reachable
+        # on pathologically tied inputs.
+        for position in ordered:
+            candidate = eligible[int(position)]
+            if candidate not in forbidden:
+                return candidate
+        raise InvalidQueryError("no eligible anchor candidate remains")
+
+    def _partition(self, anchor: int, cell: Cell, prefix: frozenset[int],
+                   pending: frozenset[int], excluded: frozenset[int],
+                   skip: frozenset[int]) -> None:
+        """Verification-like recursion on ``anchor`` inside ``cell`` (Algorithm 4)."""
+        self.stats.partition_calls += 1
+        known_above = len(prefix) + len(pending)
+
+        competitors = [index for index in self._members
+                       if index not in prefix and index not in pending
+                       and index not in excluded and index not in skip
+                       and index != anchor
+                       and index not in self._descendants[anchor]]
+
+        arrangement = Arrangement(cell)
+        self.stats.arrangements_built += 1
+        chosen: list[int] = []
+        if competitors:
+            competitor_set = set(competitors)
+            counts = {c: len(self._ancestors[c] & competitor_set) for c in competitors}
+            minimum = min(counts.values())
+            chosen = [c for c in competitors if counts[c] == minimum]
+            for comp in chosen:
+                halfspace = halfspace_between(self._rows[comp], self._rows[anchor],
+                                              label=comp)
+                arrangement.insert(halfspace)
+                self.stats.halfspaces_inserted += 1
+        remaining = [c for c in competitors if c not in set(chosen)]
+        chosen_set = set(chosen)
+
+        for leaf in arrangement.partitions():
+            covering = frozenset(leaf.covering)
+            above_count = known_above + len(covering)
+            if above_count >= self.k:
+                self._handle_greater_than(anchor, leaf.cell, prefix, excluded)
+                continue
+            if self.use_lemma1:
+                disregarded = {
+                    c for c in remaining
+                    if self._ancestors[c] & (chosen_set - covering)
+                }
+            else:
+                disregarded = set()
+            confirmed = len(disregarded) == len(remaining)
+            if confirmed:
+                if above_count + 1 == self.k:
+                    top_k = prefix | pending | {anchor} | covering
+                    self._finalize(leaf.cell, top_k)
+                else:
+                    self._handle_less_than(anchor, leaf.cell, prefix, pending,
+                                           covering, excluded)
+            else:
+                new_pending = pending | covering
+                new_skip = skip | chosen_set | disregarded
+                self._partition(anchor, leaf.cell, prefix, new_pending,
+                                excluded, frozenset(new_skip))
+
+    def _handle_less_than(self, anchor: int, cell: Cell, prefix: frozenset[int],
+                          pending: frozenset[int], covering: frozenset[int],
+                          excluded: frozenset[int]) -> None:
+        """A confirmed partition where the anchor ranks strictly above k."""
+        new_prefix = prefix | pending | {anchor} | covering
+        new_anchor = self._choose_anchor(cell, excluded, forbidden=new_prefix)
+        self.stats.anchor_changes += 1
+        new_pending = frozenset(self._ancestors[new_anchor]) - new_prefix - excluded
+        self._partition(new_anchor, cell, new_prefix, new_pending, excluded,
+                        frozenset())
+
+    def _handle_greater_than(self, anchor: int, cell: Cell, prefix: frozenset[int],
+                             excluded: frozenset[int]) -> None:
+        """A partition where the anchor provably falls outside the top-k."""
+        new_excluded = excluded | {anchor} | (frozenset(self._descendants[anchor])
+                                              - prefix)
+        new_anchor = self._choose_anchor(cell, new_excluded, forbidden=prefix)
+        self.stats.anchor_changes += 1
+        new_pending = frozenset(self._ancestors[new_anchor]) - prefix - new_excluded
+        self._partition(new_anchor, cell, prefix, new_pending, new_excluded,
+                        frozenset())
+
+    def _finalize(self, cell: Cell, top_k: frozenset[int]) -> None:
+        """Record a finalized equal-to partition of the common global arrangement."""
+        self._partitions.append(UTKPartition(cell=cell, top_k=frozenset(top_k)))

@@ -1,0 +1,117 @@
+"""Preference-domain algebra.
+
+A top-k query scores record ``x`` with ``S(x) = sum_i w_i * x_i`` where the
+weights are positive and sum to one.  Because ranking only depends on the
+direction of ``w``, the last weight can be eliminated:
+``w_d = 1 - sum_{i<d} w_i``.  The remaining ``d - 1`` coordinates form the
+*preference domain* in which all UTK geometry lives.
+
+With reduced weights ``u`` the score becomes an affine function of ``u``::
+
+    S(x; u) = x[d-1] + (x[:d-1] - x[d-1]) . u
+
+This module provides the conversions between full and reduced weight vectors
+and vectorized score evaluation, which every other core module builds upon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+
+
+def preference_dimension(data_dimension: int) -> int:
+    """Dimensionality of the preference domain for ``data_dimension``-d data."""
+    if data_dimension < 2:
+        raise InvalidQueryError("data dimensionality must be at least 2")
+    return data_dimension - 1
+
+
+def reduce_weights(weights) -> np.ndarray:
+    """Map a full ``d``-dimensional weight vector to the preference domain.
+
+    The vector is normalized to sum to one first, so callers may pass any
+    positive vector describing the intended direction.
+    """
+    w = np.asarray(weights, dtype=float).reshape(-1)
+    if w.shape[0] < 2:
+        raise InvalidQueryError("weight vector must have at least two components")
+    if np.any(w < 0.0):
+        raise InvalidQueryError("weights must be non-negative")
+    total = float(w.sum())
+    if total <= 0.0:
+        raise InvalidQueryError("weight vector must have a positive sum")
+    return w[:-1] / total
+
+
+def expand_weights(reduced) -> np.ndarray:
+    """Map a reduced preference-domain vector back to a full weight vector."""
+    u = np.asarray(reduced, dtype=float).reshape(-1)
+    last = 1.0 - float(u.sum())
+    if last < -1e-9 or np.any(u < -1e-9):
+        raise InvalidQueryError(
+            "reduced weights do not describe a valid point of the simplex"
+        )
+    return np.concatenate([u, [max(last, 0.0)]])
+
+
+def score_gradients(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Affine representation of every record's score over reduced weights.
+
+    Returns ``(gradients, offsets)`` with shapes ``(n, d-1)`` and ``(n,)`` such
+    that ``S(values[i]; u) = offsets[i] + gradients[i] @ u``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] < 2:
+        raise InvalidQueryError("values must be an (n, d) matrix with d >= 2")
+    last = values[:, -1]
+    gradients = values[:, :-1] - last[:, None]
+    return gradients, last.copy()
+
+
+def scores(values: np.ndarray, reduced_weights) -> np.ndarray:
+    """Scores of every record at one or many reduced weight vectors.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` record matrix.
+    reduced_weights:
+        Either a single ``(d-1,)`` vector or an ``(m, d-1)`` batch.
+
+    Returns
+    -------
+    ``(n,)`` array for a single weight vector, ``(m, n)`` for a batch.
+    """
+    gradients, offsets = score_gradients(values)
+    u = np.asarray(reduced_weights, dtype=float)
+    if u.ndim == 1:
+        return offsets + gradients @ u
+    return offsets[None, :] + u @ gradients.T
+
+
+def scores_full(values: np.ndarray, weights) -> np.ndarray:
+    """Scores using a full (un-reduced) weight vector; provided for clarity."""
+    w = np.asarray(weights, dtype=float).reshape(-1)
+    values = np.asarray(values, dtype=float)
+    if values.shape[1] != w.shape[0]:
+        raise InvalidQueryError(
+            f"weight vector has {w.shape[0]} components for {values.shape[1]}-d data"
+        )
+    return values @ w
+
+
+def top_k_at(values: np.ndarray, reduced_weights, k: int) -> np.ndarray:
+    """Indices of the ``k`` highest-scoring records at ``reduced_weights``.
+
+    Ties are broken by record index, which keeps the function deterministic.
+    """
+    if k <= 0:
+        raise InvalidQueryError("k must be positive")
+    s = scores(values, reduced_weights)
+    if s.ndim != 1:
+        raise InvalidQueryError("top_k_at expects a single weight vector")
+    k = min(k, s.shape[0])
+    order = np.lexsort((np.arange(s.shape[0]), -s))
+    return order[:k]

@@ -1,0 +1,125 @@
+"""Dataset container.
+
+A :class:`Dataset` wraps a ``(n, d)`` numpy array of records together with
+optional human-readable labels.  Every attribute is assumed to be
+"higher is better"; helpers are provided to flip or rescale attributes that
+arrive in the opposite orientation (e.g. price).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidDatasetError
+
+
+class Dataset:
+    """An immutable collection of ``d``-dimensional records.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` array-like of numeric attribute values (higher preferred).
+    labels:
+        Optional sequence of ``n`` record labels (names/identifiers).
+    """
+
+    def __init__(self, values, labels: Sequence[str] | None = None):
+        array = np.array(values, dtype=float)
+        if array.ndim != 2:
+            raise InvalidDatasetError(
+                f"dataset must be 2-dimensional, got shape {array.shape}"
+            )
+        n, d = array.shape
+        if n == 0:
+            raise InvalidDatasetError("dataset must contain at least one record")
+        if d < 2:
+            raise InvalidDatasetError("dataset must have at least two attributes")
+        if not np.all(np.isfinite(array)):
+            raise InvalidDatasetError("dataset contains NaN or infinite values")
+        array.setflags(write=False)
+        self._values = array
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != n:
+                raise InvalidDatasetError(
+                    f"got {len(labels)} labels for {n} records"
+                )
+        self._labels = labels
+
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only ``(n, d)`` attribute matrix."""
+        return self._values
+
+    @property
+    def labels(self) -> list[str] | None:
+        """Record labels, or ``None`` when no labels were supplied."""
+        return None if self._labels is None else list(self._labels)
+
+    @property
+    def size(self) -> int:
+        """Number of records ``n``."""
+        return self._values.shape[0]
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes ``d``."""
+        return self._values.shape[1]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._values[index]
+
+    def label_of(self, index: int) -> str:
+        """Label of record ``index`` (falls back to ``"p<index>"``)."""
+        if self._labels is None:
+            return f"p{index}"
+        return self._labels[index]
+
+    def subset(self, indices) -> "Dataset":
+        """A new dataset containing only ``indices`` (labels preserved)."""
+        indices = np.asarray(indices, dtype=int)
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[i] for i in indices]
+        return Dataset(self._values[indices], labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(n={self.size}, d={self.dimensionality})"
+
+    @staticmethod
+    def from_columns(columns: dict[str, Sequence[float]],
+                     labels: Sequence[str] | None = None) -> "Dataset":
+        """Build a dataset from named attribute columns (dict of sequences)."""
+        if not columns:
+            raise InvalidDatasetError("no columns supplied")
+        matrix = np.column_stack([np.asarray(col, dtype=float)
+                                  for col in columns.values()])
+        return Dataset(matrix, labels)
+
+
+def normalize_higher_is_better(values, invert_columns: Sequence[int] = ()) -> np.ndarray:
+    """Rescale every attribute to [0, 1], flipping ``invert_columns``.
+
+    Columns listed in ``invert_columns`` are treated as "lower is better"
+    (e.g. price) and are mirrored so the returned matrix is uniformly
+    "higher is better".  Constant columns map to 0.5.
+    """
+    array = np.array(values, dtype=float)
+    if array.ndim != 2:
+        raise InvalidDatasetError("expected a 2-dimensional matrix")
+    lo = array.min(axis=0)
+    hi = array.max(axis=0)
+    span = hi - lo
+    span[span == 0.0] = 1.0
+    scaled = (array - lo) / span
+    constant = (hi - lo) == 0.0
+    scaled[:, constant] = 0.5
+    for col in invert_columns:
+        scaled[:, col] = 1.0 - scaled[:, col]
+    return scaled

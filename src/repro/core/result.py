@@ -1,0 +1,131 @@
+"""Result containers for the two UTK problem versions.
+
+UTK1 returns the minimal set of records that may enter the top-k somewhere in
+the query region, together with a *witness* weight vector per record (a point
+of the region where the record is provably in the top-k).  UTK2 returns a
+partitioning of the region where every partition carries its exact top-k set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell import Cell
+from repro.core.region import Region
+
+
+@dataclass
+class UTK1Result:
+    """Output of the UTK1 problem (Section 4).
+
+    Attributes
+    ----------
+    indices:
+        Sorted dataset indices of the records that may appear in a top-k set.
+    witnesses:
+        For every reported record, a weight vector in the region for which
+        the record belongs to the top-k set.
+    region, k:
+        The query that produced this result.
+    stats:
+        Free-form counters describing the work performed (candidates,
+        verifications, drill hits, ...).
+    """
+
+    indices: list[int]
+    witnesses: dict[int, np.ndarray]
+    region: Region
+    k: int
+    stats: dict = field(default_factory=dict)
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in set(self.indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __iter__(self):
+        return iter(self.indices)
+
+    def witness_of(self, index: int) -> np.ndarray | None:
+        """Witness weight vector for a reported record (``None`` if unknown)."""
+        return self.witnesses.get(int(index))
+
+    def labels(self, dataset) -> list[str]:
+        """Labels of the reported records for a :class:`~repro.core.records.Dataset`."""
+        return [dataset.label_of(i) for i in self.indices]
+
+
+@dataclass
+class UTKPartition:
+    """One partition of the UTK2 output: a cell and its exact top-k set."""
+
+    cell: Cell
+    top_k: frozenset[int]
+
+    @property
+    def interior_point(self) -> np.ndarray | None:
+        """A representative weight vector strictly inside the partition."""
+        return self.cell.interior_point
+
+    def contains(self, weights, tol: float = 1e-9) -> bool:
+        """Whether the partition contains the weight vector."""
+        return self.cell.contains(weights, tol)
+
+
+@dataclass
+class UTK2Result:
+    """Output of the UTK2 problem (Section 5): a partitioning of the region.
+
+    Every weight vector of the region belongs to (at least) one partition;
+    vectors on partition boundaries may match several, in which case
+    :meth:`top_k_at` returns the first match.
+    """
+
+    partitions: list[UTKPartition]
+    region: Region
+    k: int
+    stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    @property
+    def distinct_top_k_sets(self) -> set[frozenset[int]]:
+        """The distinct top-k sets appearing across all partitions."""
+        return {partition.top_k for partition in self.partitions}
+
+    @property
+    def result_records(self) -> list[int]:
+        """Union of all top-k sets (equals the UTK1 answer), sorted."""
+        union: set[int] = set()
+        for partition in self.partitions:
+            union.update(partition.top_k)
+        return sorted(union)
+
+    def top_k_at(self, weights, tol: float = 1e-9) -> frozenset[int] | None:
+        """The exact top-k set for a specific weight vector of the region."""
+        weights = np.asarray(weights, dtype=float).reshape(-1)
+        best = None
+        for partition in self.partitions:
+            if partition.contains(weights, tol):
+                best = partition.top_k
+                break
+        return best
+
+    def to_utk1(self) -> UTK1Result:
+        """Collapse the UTK2 output into the corresponding UTK1 result."""
+        witnesses = {}
+        for partition in self.partitions:
+            point = partition.interior_point
+            if point is None:
+                continue
+            for index in partition.top_k:
+                witnesses.setdefault(int(index), point)
+        return UTK1Result(indices=self.result_records, witnesses=witnesses,
+                          region=self.region, k=self.k, stats=dict(self.stats))

@@ -1,0 +1,260 @@
+"""RSA — the r-Skyband Algorithm for UTK1 (Section 4 of the paper).
+
+RSA processes a UTK1 query in two steps:
+
+1. **Filtering** — compute the r-skyband (records r-dominated by fewer than
+   ``k`` others) with the adapted BBS traversal, and build the r-dominance
+   graph ``G`` over it.
+2. **Refinement** — verify candidates one by one, in decreasing order of
+   their r-dominance count.  Verification of a candidate ``p`` builds small,
+   recursive, local half-space arrangements of its strongest competitors
+   inside the query region, confirms promising partitions with Lemma 1, and
+   is short-circuited by the *drill* optimization.  Confirming a candidate
+   also confirms all its ancestors in ``G``; disqualified candidates are
+   removed from ``G`` so later verifications ignore them.
+
+The implementation additionally records a *witness* weight vector for every
+reported record, which the test-suite uses as an exactness certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.arrangement import Arrangement
+from repro.core.cell import Cell
+from repro.core.drill import drill_vector, is_in_top_k
+from repro.core.halfspace import HalfSpace, halfspace_between
+from repro.core.region import Region
+from repro.core.result import UTK1Result
+from repro.core.rskyband import RSkyband, compute_r_skyband
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+
+
+@dataclass
+class RSAStatistics:
+    """Counters describing the work performed by one RSA run."""
+
+    candidates: int = 0
+    verify_calls: int = 0
+    drill_hits: int = 0
+    arrangements_built: int = 0
+    halfspaces_inserted: int = 0
+    lemma1_confirmations: int = 0
+    verified_by_ancestry: int = 0
+    disqualified: int = 0
+    filtering_stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the result container and the harness."""
+        return {
+            "candidates": self.candidates,
+            "verify_calls": self.verify_calls,
+            "drill_hits": self.drill_hits,
+            "arrangements_built": self.arrangements_built,
+            "halfspaces_inserted": self.halfspaces_inserted,
+            "lemma1_confirmations": self.lemma1_confirmations,
+            "verified_by_ancestry": self.verified_by_ancestry,
+            "disqualified": self.disqualified,
+            **{f"filter_{key}": value for key, value in self.filtering_stats.items()},
+        }
+
+
+class RSA:
+    """r-Skyband Algorithm for the UTK1 problem.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` dataset matrix (higher attribute values preferred).
+    region:
+        Query region ``R`` in the preference domain (dimension ``d - 1``).
+    k:
+        Top-k parameter.
+    tree:
+        Optional pre-built R-tree over ``values`` (reused across queries).
+    use_drill:
+        Enable the drill optimization (Section 4.3).  Disabling it is only
+        useful for ablation studies.
+    use_lemma1:
+        Enable Lemma-1 pruning of remaining competitors.  Disabling it forces
+        the verification to recurse until no competitors remain.
+    candidate_order:
+        ``"count_desc"`` (paper default), ``"count_asc"`` or ``"index"`` —
+        the order in which candidates are verified; an ablation knob.
+    skyband:
+        Optionally, a pre-computed r-skyband (skips the filtering step).
+    """
+
+    def __init__(self, values, region: Region, k: int, *,
+                 tree: RTree | None = None,
+                 use_drill: bool = True,
+                 use_lemma1: bool = True,
+                 candidate_order: str = "count_desc",
+                 skyband: RSkyband | None = None):
+        self.values = np.asarray(values, dtype=float)
+        if self.values.ndim != 2:
+            raise InvalidQueryError("values must be an (n, d) matrix")
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        if region.dimension != self.values.shape[1] - 1:
+            raise InvalidQueryError(
+                f"region dimension {region.dimension} does not match "
+                f"{self.values.shape[1]}-dimensional data"
+            )
+        self.region = region
+        self.k = int(k)
+        self.tree = tree
+        self.use_drill = use_drill
+        self.use_lemma1 = use_lemma1
+        if candidate_order not in ("count_desc", "count_asc", "index"):
+            raise InvalidQueryError(f"unknown candidate order: {candidate_order!r}")
+        self.candidate_order = candidate_order
+        self._skyband = skyband
+        self.stats = RSAStatistics()
+
+    # ------------------------------------------------------------------ public
+    def run(self) -> UTK1Result:
+        """Execute the query and return the UTK1 result."""
+        skyband = self._skyband
+        if skyband is None:
+            skyband = compute_r_skyband(self.values, self.region, self.k,
+                                        tree=self.tree)
+        self._sky = skyband
+        self.stats.candidates = skyband.size
+        self.stats.filtering_stats = {
+            "bbs_nodes_visited": skyband.stats.nodes_visited,
+            "bbs_records_visited": skyband.stats.records_visited,
+            "skyband_size": skyband.size,
+        }
+        members = skyband.members()
+        if not members:
+            return UTK1Result(indices=[], witnesses={}, region=self.region,
+                              k=self.k, stats=self.stats.as_dict())
+        if len(members) <= self.k:
+            # Every candidate is in the top-k set for every weight vector.
+            pivot = self.region.pivot
+            witnesses = {index: pivot for index in members}
+            return UTK1Result(indices=sorted(members), witnesses=witnesses,
+                              region=self.region, k=self.k,
+                              stats=self.stats.as_dict())
+
+        self._rows = {index: skyband.row_of(index) for index in members}
+        self._ancestors = skyband.ancestors
+        self._descendants = skyband.descendants
+        self._alive: set[int] = set(members)
+        self._verified: dict[int, np.ndarray] = {}
+
+        for candidate in self._candidate_sequence(members):
+            if candidate in self._verified or candidate not in self._alive:
+                continue
+            ancestors = self._ancestors[candidate]
+            quota = self.k - len(ancestors)
+            skip = set(ancestors) | {candidate} | set(self._descendants[candidate])
+            ok, witness = self._verify(candidate, Cell(self.region), quota, skip)
+            if ok:
+                self._confirm(candidate, witness)
+            else:
+                self._alive.discard(candidate)
+                self.stats.disqualified += 1
+
+        indices = sorted(self._verified)
+        witnesses = {index: self._verified[index] for index in indices}
+        return UTK1Result(indices=indices, witnesses=witnesses, region=self.region,
+                          k=self.k, stats=self.stats.as_dict())
+
+    # --------------------------------------------------------------- internals
+    def _candidate_sequence(self, members: list[int]) -> list[int]:
+        """Verification order of the candidates (paper: descending r-dom count)."""
+        if self.candidate_order == "index":
+            return sorted(members)
+        reverse = self.candidate_order == "count_desc"
+        return sorted(members, key=lambda idx: (len(self._ancestors[idx]), idx),
+                      reverse=reverse)
+
+    def _confirm(self, candidate: int, witness: np.ndarray) -> None:
+        """Mark a candidate (and all its ancestors) as part of the UTK1 result."""
+        self._verified[candidate] = witness
+        for ancestor in self._ancestors[candidate]:
+            if ancestor not in self._verified:
+                self._verified[ancestor] = witness
+                self.stats.verified_by_ancestry += 1
+
+    def _competitor_pool(self, skip: set[int]) -> list[int]:
+        """Candidates that can still outrank the one under verification."""
+        pool = (self._alive | set(self._verified)) - skip
+        return sorted(pool)
+
+    def _restricted_counts(self, competitors: list[int]) -> dict[int, int]:
+        """r-dominance counts restricted to the competitor set itself."""
+        competitor_set = set(competitors)
+        return {c: len(self._ancestors[c] & competitor_set) for c in competitors}
+
+    def _verify(self, candidate: int, cell: Cell, quota: int,
+                skip: set[int]) -> tuple[bool, np.ndarray | None]:
+        """Recursive verification of ``candidate`` inside ``cell`` (Algorithm 2)."""
+        self.stats.verify_calls += 1
+        if quota <= 0:
+            return False, None
+
+        pool_indices = sorted((self._alive | set(self._verified)) - {candidate})
+        pool_rows = np.vstack([self._rows[i] for i in pool_indices] +
+                              [self._rows[candidate]])
+        candidate_position = pool_rows.shape[0] - 1
+
+        # Drill: probe the cell at the vector maximizing the candidate's score.
+        if self.use_drill:
+            probe = drill_vector(cell, self._rows[candidate])
+            if probe is not None and is_in_top_k(pool_rows, probe,
+                                                 candidate_position, self.k):
+                self.stats.drill_hits += 1
+                return True, probe
+
+        competitors = self._competitor_pool(skip)
+        if not competitors:
+            point = cell.interior_point
+            return point is not None, point
+
+        # Insert half-spaces of the strongest competitors (smallest restricted
+        # r-dominance count) into a fresh local arrangement.
+        counts = self._restricted_counts(competitors)
+        minimum = min(counts.values())
+        chosen = [c for c in competitors if counts[c] == minimum]
+        remaining = [c for c in competitors if counts[c] != minimum]
+
+        arrangement = Arrangement(cell)
+        self.stats.arrangements_built += 1
+        for comp in chosen:
+            halfspace = halfspace_between(self._rows[comp], self._rows[candidate],
+                                          label=comp)
+            arrangement.insert(halfspace)
+            self.stats.halfspaces_inserted += 1
+
+        promising = [leaf for leaf in arrangement.partitions() if leaf.count < quota]
+        promising.sort(key=lambda leaf: leaf.count)
+        chosen_set = set(chosen)
+        for leaf in promising:
+            if self.use_lemma1:
+                disregarded = {
+                    c for c in remaining
+                    if self._ancestors[c] & (chosen_set - leaf.covering)
+                }
+            else:
+                disregarded = set()
+            if len(disregarded) == len(remaining):
+                # Lemma 1: no remaining competitor can raise this partition's
+                # count, so the candidate's rank here is final.
+                self.stats.lemma1_confirmations += 1
+                point = leaf.cell.interior_point
+                if point is not None:
+                    return True, point
+                continue
+            new_skip = skip | chosen_set | disregarded
+            ok, witness = self._verify(candidate, leaf.cell, quota - leaf.count,
+                                       new_skip)
+            if ok:
+                return True, witness
+        return False, None

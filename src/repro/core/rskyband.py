@@ -1,0 +1,145 @@
+"""r-skyband computation and the r-dominance graph (Section 4.1).
+
+The r-skyband contains exactly the records that are r-dominated by fewer than
+``k`` others; it is a subset of the traditional k-skyband and a superset of
+the UTK1 answer, which makes it the filtering step of both RSA and JAA.
+
+Alongside the member set we record every pairwise r-dominance relationship in
+the *r-dominance graph* ``G`` (a DAG); RSA and JAA use ancestor/descendant
+sets and r-dominance counts throughout their refinement steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dominance import DOMINANCE_TOL, RDominance
+from repro.core.preference import scores
+from repro.core.region import Region
+from repro.index.rtree import RTree
+from repro.skyline.bbs import BBSStatistics, bbs_candidates
+
+#: Datasets at most this large skip the R-tree and use the vectorized
+#: brute-force path (faster than building the index).
+_BRUTE_FORCE_LIMIT = 512
+
+
+@dataclass
+class RSkyband:
+    """The r-skyband of a dataset together with its r-dominance graph.
+
+    Attributes
+    ----------
+    indices:
+        Dataset indices of the r-skyband members, sorted ascending.
+    values:
+        Attribute rows of the members (aligned with ``indices``).
+    ancestors:
+        ``ancestors[i]`` is the frozenset of dataset indices r-dominating
+        member ``i`` (its full ancestor set in ``G``).
+    descendants:
+        Inverse mapping of ``ancestors``.
+    region:
+        The query region the skyband was computed for.
+    stats:
+        BBS traversal statistics (empty for the brute-force path).
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    ancestors: dict[int, frozenset[int]]
+    descendants: dict[int, frozenset[int]]
+    region: Region
+    stats: BBSStatistics = field(default_factory=BBSStatistics)
+
+    @property
+    def size(self) -> int:
+        """Number of r-skyband members."""
+        return int(self.indices.shape[0])
+
+    def count_of(self, index: int) -> int:
+        """r-dominance count of member ``index`` (number of its ancestors)."""
+        return len(self.ancestors[index])
+
+    def row_of(self, index: int) -> np.ndarray:
+        """Attribute row of member ``index``."""
+        return self.values[self._position[index]]
+
+    def __post_init__(self):
+        self._position = {int(idx): pos for pos, idx in enumerate(self.indices)}
+
+    def members(self) -> list[int]:
+        """Member indices as a plain list."""
+        return [int(i) for i in self.indices]
+
+    def subset_values(self, indices) -> np.ndarray:
+        """Attribute rows for a list of member indices."""
+        rows = [self._position[int(i)] for i in indices]
+        return self.values[rows]
+
+
+def compute_r_skyband(values: np.ndarray, region: Region, k: int, *,
+                      tree: RTree | None = None,
+                      tol: float = DOMINANCE_TOL) -> RSkyband:
+    """Compute the r-skyband of ``values`` for ``region`` and parameter ``k``.
+
+    Small datasets use a fully vectorized quadratic pass; larger datasets (or
+    callers that supply an R-tree) run the adapted BBS traversal of the paper
+    — max-heap keyed by the score at the region's pivot, r-dominance tests
+    against the growing member set — and finalize the candidate superset with
+    an exact quadratic pass.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    tester = RDominance(region, tol)
+    stats = BBSStatistics()
+
+    if tree is None and n <= _BRUTE_FORCE_LIMIT:
+        candidate_idx = np.arange(n, dtype=int)
+        candidate_rows = values
+    else:
+        if tree is None:
+            tree = RTree(values)
+        pivot = region.pivot
+
+        def key(point: np.ndarray) -> float:
+            return float(scores(point.reshape(1, -1), pivot)[0])
+
+        def dominators_of(point: np.ndarray, members: np.ndarray) -> np.ndarray:
+            return tester.dominators_of(point, members)
+
+        idx_list, row_list, stats = bbs_candidates(tree, k, key=key,
+                                                   dominators_of=dominators_of)
+        if not idx_list:
+            empty = np.zeros(0, dtype=int)
+            return RSkyband(indices=empty, values=values[:0], ancestors={},
+                            descendants={}, region=region, stats=stats)
+        candidate_idx = np.asarray(idx_list, dtype=int)
+        candidate_rows = np.vstack(row_list)
+
+    matrix = tester.dominance_matrix(candidate_rows)
+    counts = matrix.sum(axis=0)
+    keep = counts < k
+    member_positions = np.flatnonzero(keep)
+    order = np.argsort(candidate_idx[member_positions])
+    member_positions = member_positions[order]
+    member_idx = candidate_idx[member_positions]
+    member_rows = candidate_rows[member_positions]
+
+    # Restrict the dominance matrix to the final members; every true ancestor
+    # of a member is itself a member, so this restriction loses nothing.
+    sub = matrix[np.ix_(member_positions, member_positions)]
+    ancestors: dict[int, frozenset[int]] = {}
+    descendants: dict[int, frozenset[int]] = {}
+    for local, dataset_index in enumerate(member_idx):
+        anc = frozenset(int(member_idx[i]) for i in np.flatnonzero(sub[:, local]))
+        ancestors[int(dataset_index)] = anc
+    for local, dataset_index in enumerate(member_idx):
+        desc = frozenset(int(member_idx[i]) for i in np.flatnonzero(sub[local, :]))
+        descendants[int(dataset_index)] = desc
+
+    stats.candidate_count = int(member_idx.shape[0])
+    return RSkyband(indices=member_idx, values=member_rows, ancestors=ancestors,
+                    descendants=descendants, region=region, stats=stats)

@@ -1,0 +1,105 @@
+"""Scoring functions.
+
+The paper's default scoring function is the weighted sum of attributes.
+Section 6 observes that everything extends to any function that is (i)
+monotone in the data attributes and (ii) linear in the weights, e.g.
+``sum_i w_i * x_i**p`` or ``sum_i w_i * f_i(x_i)`` for monotone ``f_i``.
+
+The library supports this by transforming the data once with the monotone
+per-attribute functions and then running the unchanged linear machinery on
+the transformed attributes.  :class:`MonotoneScoring` packages that pattern.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+
+
+class ScoringFunction:
+    """Base class: maps raw attribute values to the linear-scoring space."""
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Return the attribute matrix on which linear scoring should run."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return type(self).__name__
+
+
+class LinearScoring(ScoringFunction):
+    """The standard weighted sum ``S(p) = sum_i w_i * x_i`` (identity transform)."""
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float)
+
+    def describe(self) -> str:
+        return "linear (weighted sum)"
+
+
+class PowerScoring(ScoringFunction):
+    """``S(p) = sum_i w_i * x_i ** exponent`` for a positive exponent.
+
+    With ``exponent = p`` this covers the weighted-``L_p``-norm family the
+    paper mentions (ranking by the norm or by its ``p``-th power is the same).
+    Attributes must be non-negative.
+    """
+
+    def __init__(self, exponent: float):
+        if exponent <= 0.0:
+            raise InvalidQueryError("exponent must be positive for monotonicity")
+        self.exponent = float(exponent)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if np.any(values < 0.0):
+            raise InvalidQueryError("PowerScoring requires non-negative attributes")
+        return values ** self.exponent
+
+    def describe(self) -> str:
+        return f"power (exponent={self.exponent})"
+
+
+class MonotoneScoring(ScoringFunction):
+    """``S(p) = sum_i w_i * f_i(x_i)`` for user-supplied monotone ``f_i``.
+
+    Parameters
+    ----------
+    transforms:
+        One callable per attribute.  Each must be non-decreasing; the
+        constructor spot-checks monotonicity on a coarse grid and refuses
+        obviously decreasing functions.
+    check_range:
+        ``(low, high)`` range used for the monotonicity spot check.
+    """
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]],
+                 check_range: tuple[float, float] = (0.0, 1.0)):
+        if not transforms:
+            raise InvalidQueryError("at least one transform is required")
+        self.transforms = list(transforms)
+        grid = np.linspace(check_range[0], check_range[1], 16)
+        for position, func in enumerate(self.transforms):
+            sampled = np.asarray([float(func(np.asarray(value))) for value in grid])
+            if np.any(np.diff(sampled) < -1e-12):
+                raise InvalidQueryError(
+                    f"transform {position} is not monotone non-decreasing"
+                )
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.shape[1] != len(self.transforms):
+            raise InvalidQueryError(
+                f"{len(self.transforms)} transforms supplied for "
+                f"{values.shape[1]} attributes"
+            )
+        columns = [np.asarray(func(values[:, i]), dtype=float).reshape(-1)
+                   for i, func in enumerate(self.transforms)]
+        return np.column_stack(columns)
+
+    def describe(self) -> str:
+        return f"monotone per-attribute transform ({len(self.transforms)} attributes)"

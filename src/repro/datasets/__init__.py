@@ -1,0 +1,27 @@
+"""Workload datasets.
+
+Synthetic preference-query benchmarks (Independent / Correlated /
+Anticorrelated) and simulated substitutes for the paper's real datasets
+(HOTEL, HOUSE, NBA).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.synthetic import (
+    independent,
+    correlated,
+    anticorrelated,
+    synthetic_dataset,
+)
+from repro.datasets.real import hotel_dataset, house_dataset, nba_league_dataset
+from repro.datasets.nba import nba_star_dataset, NBA_STAR_COLUMNS
+
+__all__ = [
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "synthetic_dataset",
+    "hotel_dataset",
+    "house_dataset",
+    "nba_league_dataset",
+    "nba_star_dataset",
+    "NBA_STAR_COLUMNS",
+]

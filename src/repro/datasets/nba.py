@@ -1,0 +1,83 @@
+"""Curated NBA 2016-17 star statistics for the paper's case studies (Figure 9).
+
+The paper's qualitative case studies run UTK on per-game statistics of the
+2016-17 NBA season and highlight, for ``k = 3`` and small preference regions,
+players such as Russell Westbrook, Anthony Davis, Hassan Whiteside, Andre
+Drummond, James Harden, LeBron James and DeMarcus Cousins.
+
+The table below lists approximate (publicly known) per-game figures for the
+season's notable players.  Exact decimals are not material to the case study
+— what matters is the relative ordering of Rebounds / Points / Assists among
+the league's leaders, which these values preserve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import Dataset
+
+#: Column order of :data:`NBA_STARS`.
+NBA_STAR_COLUMNS = ("rebounds", "points", "assists", "steals", "blocks")
+
+#: Approximate 2016-17 per-game statistics (rebounds, points, assists,
+#: steals, blocks) for notable players.
+NBA_STARS: dict[str, tuple[float, float, float, float, float]] = {
+    "Russell Westbrook": (10.7, 31.6, 10.4, 1.6, 0.4),
+    "James Harden": (8.1, 29.1, 11.2, 1.5, 0.5),
+    "Anthony Davis": (11.8, 28.0, 2.1, 1.3, 2.2),
+    "DeMarcus Cousins": (11.0, 27.0, 4.6, 1.4, 1.3),
+    "Hassan Whiteside": (14.1, 17.0, 0.7, 0.7, 2.1),
+    "Andre Drummond": (13.8, 13.6, 1.1, 1.5, 1.1),
+    "LeBron James": (8.6, 26.4, 8.7, 1.2, 0.6),
+    "Kevin Durant": (8.3, 25.1, 4.8, 1.1, 1.6),
+    "Kawhi Leonard": (5.8, 25.5, 3.5, 1.8, 0.7),
+    "Giannis Antetokounmpo": (8.8, 22.9, 5.4, 1.6, 1.9),
+    "Karl-Anthony Towns": (12.3, 25.1, 2.7, 0.7, 1.3),
+    "Rudy Gobert": (12.8, 14.0, 1.2, 0.6, 2.6),
+    "DeAndre Jordan": (13.8, 12.7, 1.2, 0.6, 1.7),
+    "Isaiah Thomas": (2.7, 28.9, 5.9, 0.9, 0.2),
+    "Stephen Curry": (4.5, 25.3, 6.6, 1.8, 0.2),
+    "John Wall": (4.2, 23.1, 10.7, 2.0, 0.6),
+    "Damian Lillard": (4.9, 27.0, 5.9, 0.9, 0.3),
+    "Jimmy Butler": (6.2, 23.9, 5.5, 1.9, 0.4),
+    "Kevin Love": (11.1, 19.0, 1.9, 0.9, 0.4),
+    "Blake Griffin": (8.1, 21.6, 4.9, 0.9, 0.4),
+    "Nikola Jokic": (9.8, 16.7, 4.9, 0.8, 0.8),
+    "Paul George": (6.6, 23.7, 3.3, 1.6, 0.4),
+    "Kyrie Irving": (3.2, 25.2, 5.8, 1.2, 0.3),
+    "Klay Thompson": (3.7, 22.3, 2.1, 0.8, 0.5),
+    "DeMar DeRozan": (5.2, 27.3, 3.9, 1.1, 0.2),
+    "Marc Gasol": (6.3, 19.5, 4.6, 0.9, 1.3),
+    "Dwight Howard": (12.7, 13.5, 1.4, 0.9, 1.2),
+    "Gordon Hayward": (5.4, 21.9, 3.5, 1.0, 0.3),
+    "Kemba Walker": (3.9, 23.2, 5.5, 1.1, 0.3),
+    "Kyle Lowry": (4.8, 22.4, 7.0, 1.5, 0.3),
+    "Draymond Green": (7.9, 10.2, 7.0, 2.0, 1.4),
+    "Chris Paul": (5.0, 18.1, 9.2, 2.0, 0.1),
+    "Mike Conley": (3.5, 20.5, 6.3, 1.3, 0.3),
+    "Brook Lopez": (5.4, 20.5, 2.3, 0.5, 1.7),
+    "Carmelo Anthony": (5.9, 22.4, 2.9, 0.8, 0.5),
+    "Bradley Beal": (3.1, 23.1, 3.5, 1.1, 0.3),
+    "Andre Iguodala": (4.0, 7.6, 3.4, 1.0, 0.5),
+    "Al Horford": (6.8, 14.0, 5.0, 0.8, 1.3),
+    "Paul Millsap": (7.7, 18.1, 3.7, 1.3, 0.9),
+    "Otto Porter": (6.4, 13.4, 1.5, 1.5, 0.5),
+}
+
+
+def nba_star_dataset(columns=("rebounds", "points")) -> Dataset:
+    """Dataset of the curated 2016-17 stars restricted to ``columns``.
+
+    Parameters
+    ----------
+    columns:
+        Statistic names (subset of :data:`NBA_STAR_COLUMNS`) in the desired
+        attribute order.  The Figure 9(a) case study uses
+        ``("rebounds", "points")``; Figure 9(b) adds ``"assists"``.
+    """
+    positions = [NBA_STAR_COLUMNS.index(column) for column in columns]
+    labels = list(NBA_STARS)
+    values = np.array([[NBA_STARS[name][pos] for pos in positions]
+                       for name in labels], dtype=float)
+    return Dataset(values, labels)

@@ -1,0 +1,83 @@
+"""Synthetic benchmark generators: Independent, Correlated, Anticorrelated.
+
+These are the standard preference-query workloads of Börzsönyi et al. (the
+skyline paper), which the UTK paper uses for its scalability experiments.
+Attribute values lie in ``[0, 1]``.
+
+* **IND** — attributes drawn independently and uniformly.
+* **COR** — attributes positively correlated: records that are good in one
+  dimension tend to be good in all (skylines/skybands are tiny).
+* **ANTI** — attributes anticorrelated: records that are good in one
+  dimension tend to be poor in the others (skylines/skybands are large).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import Dataset
+from repro.exceptions import InvalidDatasetError
+
+#: Registry of distribution names accepted by :func:`synthetic_dataset`.
+DISTRIBUTIONS = ("IND", "COR", "ANTI")
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def independent(cardinality: int, dimensionality: int, seed=0) -> np.ndarray:
+    """Uniform, independent attributes in ``[0, 1]``."""
+    if cardinality <= 0 or dimensionality < 2:
+        raise InvalidDatasetError("need a positive cardinality and d >= 2")
+    return _rng(seed).random((cardinality, dimensionality))
+
+
+def correlated(cardinality: int, dimensionality: int, seed=0,
+               spread: float = 0.12) -> np.ndarray:
+    """Positively correlated attributes.
+
+    Every record is a common base value (its overall quality) plus small
+    per-attribute perturbations, mirroring the classic generator: records
+    good in one dimension are good in all.
+    """
+    if cardinality <= 0 or dimensionality < 2:
+        raise InvalidDatasetError("need a positive cardinality and d >= 2")
+    rng = _rng(seed)
+    base = rng.normal(loc=0.5, scale=0.18, size=(cardinality, 1))
+    noise = rng.normal(scale=spread, size=(cardinality, dimensionality))
+    return np.clip(base + noise, 0.0, 1.0)
+
+
+def anticorrelated(cardinality: int, dimensionality: int, seed=0,
+                   spread: float = 0.25) -> np.ndarray:
+    """Anticorrelated attributes.
+
+    Records lie close to the hyperplane ``sum(x) = d / 2`` with large
+    variance across attributes: excelling in one dimension comes at the
+    expense of the others, which maximizes skyline/skyband sizes.
+    """
+    if cardinality <= 0 or dimensionality < 2:
+        raise InvalidDatasetError("need a positive cardinality and d >= 2")
+    rng = _rng(seed)
+    base = rng.normal(loc=0.5, scale=0.05, size=(cardinality, 1))
+    offsets = rng.normal(scale=spread, size=(cardinality, dimensionality))
+    offsets -= offsets.mean(axis=1, keepdims=True)  # trade-off across attributes
+    return np.clip(base + offsets, 0.0, 1.0)
+
+
+def synthetic_dataset(distribution: str, cardinality: int, dimensionality: int,
+                      seed=0) -> Dataset:
+    """Build a :class:`~repro.core.records.Dataset` for a named distribution."""
+    name = distribution.upper()
+    if name == "IND":
+        values = independent(cardinality, dimensionality, seed)
+    elif name == "COR":
+        values = correlated(cardinality, dimensionality, seed)
+    elif name == "ANTI":
+        values = anticorrelated(cardinality, dimensionality, seed)
+    else:
+        raise InvalidDatasetError(
+            f"unknown distribution {distribution!r}; expected one of {DISTRIBUTIONS}"
+        )
+    return Dataset(values)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the UTK reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidDatasetError(ReproError):
+    """Raised when a dataset does not satisfy the library's requirements.
+
+    Datasets must be two-dimensional numeric arrays with at least one record,
+    at least two attributes, and no NaN/inf values.
+    """
+
+
+class InvalidRegionError(ReproError):
+    """Raised when a preference region is malformed.
+
+    Typical causes: empty interior, dimensionality mismatch with the dataset,
+    or a region that is not contained in the valid preference simplex.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """Raised when query parameters (``k``, weight vectors, ...) are invalid."""
+
+
+class LinearProgramError(ReproError):
+    """Raised when a linear program fails for reasons other than infeasibility."""
+
+
+class GeometryError(ReproError):
+    """Raised for unrecoverable computational-geometry failures."""

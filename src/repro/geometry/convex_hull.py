@@ -1,0 +1,144 @@
+"""Convex-hull utilities for score-based ranking.
+
+For top-k processing with non-negative weights only the part of the convex
+hull facing the *top corner* of the data domain matters: a record can rank
+first for some weight vector exactly when it lies on a hull facet whose
+outward normal has non-negative components (the "upper hull").  This module
+offers two interchangeable ways of identifying such records:
+
+* a robust per-record linear-programming membership test (default), and
+* a qhull-based test via :class:`scipy.spatial.ConvexHull` for callers that
+  prefer the classical computational-geometry route.
+
+The onion-layer computation in :mod:`repro.geometry.onion` builds on these
+primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.linear_programming import maximize
+
+#: Margin below which a record is not considered a strict upper-hull vertex.
+UPPER_HULL_TOL = 1e-9
+
+
+def _score_difference_rows(points: np.ndarray, idx: int) -> tuple[np.ndarray, np.ndarray]:
+    """Linear forms of ``S(points[idx]) - S(q)`` over the reduced weight space.
+
+    Returns ``(coeffs, consts)`` such that for reduced weights ``u`` the score
+    difference against competitor ``j`` equals ``coeffs[j] @ u + consts[j]``.
+    """
+    p = points[idx]
+    others = np.delete(points, idx, axis=0)
+    diff = p - others                              # (m, d)
+    consts = diff[:, -1]
+    coeffs = diff[:, :-1] - diff[:, -1:][..., 0].reshape(-1, 1)
+    return coeffs, consts
+
+
+def is_upper_hull_member(points: np.ndarray, idx: int,
+                         tol: float = UPPER_HULL_TOL) -> bool:
+    """Whether record ``idx`` can rank first for some non-negative weight vector.
+
+    The test maximizes the minimum score margin of the record over all
+    competitors, with weights constrained to the probability simplex.  A
+    strictly positive optimum means the record is a vertex of the upper hull.
+    """
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    if n == 1:
+        return True
+    coeffs, consts = _score_difference_rows(points, idx)
+    dim = d - 1
+    # Variables: reduced weights u (dim of them) followed by the margin delta.
+    # Constraints: -coeffs @ u + delta <= consts   (margin below every difference)
+    #              -u_i <= 0, sum(u) <= 1          (simplex)
+    n_comp = coeffs.shape[0]
+    a_margin = np.hstack([-coeffs, np.ones((n_comp, 1))])
+    b_margin = consts
+    a_simplex = np.vstack([
+        np.hstack([-np.eye(dim), np.zeros((dim, 1))]),
+        np.hstack([np.ones((1, dim)), np.zeros((1, 1))]),
+    ])
+    b_simplex = np.concatenate([np.zeros(dim), [1.0]])
+    # Keep delta bounded so the LP cannot be unbounded on degenerate input.
+    a_cap = np.zeros((1, dim + 1))
+    a_cap[0, -1] = 1.0
+    scale = float(np.abs(points).max()) + 1.0
+    a_ub = np.vstack([a_margin, a_simplex, a_cap])
+    b_ub = np.concatenate([b_margin, b_simplex, [scale]])
+    objective = np.zeros(dim + 1)
+    objective[-1] = 1.0
+    result = maximize(objective, a_ub, b_ub)
+    if not result.is_optimal:
+        raise GeometryError("upper-hull membership LP did not solve")
+    return result.value > tol
+
+
+def upper_hull_members(points: np.ndarray, *, method: str = "lp",
+                       tol: float = UPPER_HULL_TOL) -> np.ndarray:
+    """Indices of records on the upper convex hull (possible top-1 records).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of records.
+    method:
+        ``"lp"`` (default) for the per-record LP test or ``"qhull"`` for the
+        facet-normal filter over :class:`scipy.spatial.ConvexHull`.  The qhull
+        route silently falls back to the LP route on degenerate input.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    if method == "qhull":
+        indices = _upper_hull_via_qhull(points, tol)
+        if indices is not None:
+            return indices
+    members = [i for i in range(n) if is_upper_hull_member(points, i, tol=tol)]
+    return np.asarray(members, dtype=int)
+
+
+def _upper_hull_via_qhull(points: np.ndarray, tol: float) -> np.ndarray | None:
+    """qhull-based upper-hull members, or ``None`` when qhull cannot be used."""
+    from scipy.spatial import ConvexHull, QhullError
+
+    n, d = points.shape
+    if n <= d + 1:
+        return None
+    try:
+        hull = ConvexHull(points)
+    except (QhullError, ValueError):
+        return None
+    members: set[int] = set()
+    normals = hull.equations[:, :-1]
+    for facet, normal in zip(hull.simplices, normals):
+        if np.all(normal >= -tol):
+            members.update(int(v) for v in facet)
+    if not members:
+        return np.zeros(0, dtype=int)
+    return np.asarray(sorted(members), dtype=int)
+
+
+def hull_vertices(points: np.ndarray) -> np.ndarray:
+    """Indices of all convex-hull vertices of ``points``.
+
+    Falls back to returning every index when qhull cannot process the input
+    (too few points or degenerate configurations), which is always a safe
+    superset for filtering purposes.
+    """
+    from scipy.spatial import ConvexHull, QhullError
+
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    if n <= d + 1:
+        return np.arange(n, dtype=int)
+    try:
+        hull = ConvexHull(points)
+    except (QhullError, ValueError):
+        return np.arange(n, dtype=int)
+    return np.asarray(sorted(set(int(v) for v in hull.vertices)), dtype=int)

@@ -1,0 +1,84 @@
+"""Exact one-dimensional interval arithmetic.
+
+When the data dimensionality is ``d = 2`` the preference domain collapses to
+a segment of the real line and every arrangement cell is an interval.  This
+module provides an exact, LP-free representation used by the fast paths and
+by the d=2 correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` on the real line.
+
+    The interval is considered *empty* when ``lo > hi`` and *degenerate*
+    (lower-dimensional) when ``hi - lo`` does not exceed the tolerance used
+    by the caller.
+    """
+
+    lo: float
+    hi: float
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the interval contains no point."""
+        return self.lo > self.hi
+
+    @property
+    def width(self) -> float:
+        """Length of the interval (negative when empty)."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the interval."""
+        return (self.lo + self.hi) / 2.0
+
+    def contains(self, x: float, tol: float = 0.0) -> bool:
+        """Whether ``x`` lies inside the interval (within ``tol``)."""
+        return (self.lo - tol) <= x <= (self.hi + tol)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection with another interval."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def clip_halfline(self, coeff: float, rhs: float) -> "Interval":
+        """Intersect with the half-line ``coeff * x <= rhs``.
+
+        A zero coefficient leaves the interval unchanged when the constraint
+        is satisfiable (``rhs >= 0``) and empties it otherwise.
+        """
+        if coeff > 0.0:
+            return Interval(self.lo, min(self.hi, rhs / coeff))
+        if coeff < 0.0:
+            return Interval(max(self.lo, rhs / coeff), self.hi)
+        if rhs >= 0.0:
+            return Interval(self.lo, self.hi)
+        return Interval(1.0, 0.0)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Evenly spaced points strictly inside the interval."""
+        if self.is_empty or count <= 0:
+            return np.zeros(0, dtype=float)
+        return np.linspace(self.lo, self.hi, count + 2)[1:-1]
+
+    @staticmethod
+    def from_constraints(coeffs, rhs) -> "Interval":
+        """Build the interval ``{x : coeffs[i] * x <= rhs[i] for all i}``.
+
+        Starts from the whole real line, so callers should include their own
+        bounding constraints.
+        """
+        interval = Interval(-np.inf, np.inf)
+        for coeff, bound in zip(np.asarray(coeffs, float).reshape(-1),
+                                np.asarray(rhs, float).reshape(-1)):
+            interval = interval.clip_halfline(float(coeff), float(bound))
+            if interval.is_empty:
+                break
+        return interval

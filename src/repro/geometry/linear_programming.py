@@ -1,0 +1,220 @@
+"""Linear-programming toolkit over H-polytopes.
+
+Every polytope in the library is described in *H-representation*: a matrix
+``A`` and vector ``b`` such that the feasible set is ``{x : A @ x <= b}``.
+This module wraps :func:`scipy.optimize.linprog` (HiGHS) and adds:
+
+* an analytic fast path for one-dimensional problems, which dominate the
+  workload whenever the data dimensionality is ``d = 2`` (the preference
+  domain is then a segment);
+* Chebyshev-centre computation, used both as a robust interior point and as a
+  full-dimensionality test for arrangement cells;
+* convenience wrappers for maximizing / minimizing linear objectives.
+
+All functions treat the polytope as closed; "interior" tests use a tolerance
+``tol`` interpreted as the radius of a ball that must fit inside the polytope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import LinearProgramError
+
+#: Default radius below which a cell is considered lower-dimensional (empty
+#: interior).  Chosen conservatively for attribute values in [0, 1] x 10.
+DEFAULT_INTERIOR_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of a linear program.
+
+    Attributes
+    ----------
+    status:
+        ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    x:
+        Optimal point (``None`` unless ``status == "optimal"``).
+    value:
+        Optimal objective value (``None`` unless ``status == "optimal"``).
+    """
+
+    status: str
+    x: np.ndarray | None = None
+    value: float | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        """Whether the program solved to optimality."""
+        return self.status == "optimal"
+
+
+def _as_matrix(a_ub, b_ub, dim: int):
+    """Normalize constraint input into float arrays of consistent shape."""
+    if a_ub is None or len(a_ub) == 0:
+        return np.zeros((0, dim), dtype=float), np.zeros(0, dtype=float)
+    a = np.asarray(a_ub, dtype=float)
+    b = np.asarray(b_ub, dtype=float).reshape(-1)
+    if a.ndim != 2 or a.shape[0] != b.shape[0]:
+        raise LinearProgramError(
+            f"inconsistent constraint shapes: A is {a.shape}, b is {b.shape}"
+        )
+    if a.shape[1] != dim:
+        raise LinearProgramError(
+            f"constraint matrix has {a.shape[1]} columns, expected {dim}"
+        )
+    return a, b
+
+
+def _solve_1d(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> LPResult:
+    """Analytically solve a one-variable LP ``min c*x  s.t.  a*x <= b``."""
+    lo, hi = -np.inf, np.inf
+    for coeff, rhs in zip(a[:, 0], b):
+        if coeff > 0.0:
+            hi = min(hi, rhs / coeff)
+        elif coeff < 0.0:
+            lo = max(lo, rhs / coeff)
+        elif rhs < 0.0:
+            return LPResult(status="infeasible")
+    if lo > hi:
+        return LPResult(status="infeasible")
+    slope = float(c[0])
+    if slope > 0.0:
+        best = lo
+    elif slope < 0.0:
+        best = hi
+    else:
+        best = lo if np.isfinite(lo) else (hi if np.isfinite(hi) else 0.0)
+    if not np.isfinite(best):
+        return LPResult(status="unbounded")
+    x = np.array([best], dtype=float)
+    return LPResult(status="optimal", x=x, value=float(slope * best))
+
+
+def minimize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
+    """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub``.
+
+    Parameters
+    ----------
+    c:
+        Objective coefficients.
+    a_ub, b_ub:
+        Inequality constraints ``a_ub @ x <= b_ub``.  May be ``None``/empty.
+    bounds:
+        Optional scipy-style variable bounds.  Defaults to unbounded
+        variables, which is what the preference-space machinery expects
+        (region constraints already bound every variable).
+    """
+    c = np.asarray(c, dtype=float).reshape(-1)
+    dim = c.shape[0]
+    a, b = _as_matrix(a_ub, b_ub, dim)
+    if dim == 1 and bounds is None:
+        return _solve_1d(c, a, b)
+    if bounds is None:
+        bounds = [(None, None)] * dim
+    try:
+        res = linprog(c, A_ub=a if a.size else None, b_ub=b if b.size else None,
+                      bounds=bounds, method="highs")
+    except ValueError as exc:  # malformed input surfaced by scipy
+        raise LinearProgramError(str(exc)) from exc
+    if res.status == 0:
+        return LPResult(status="optimal", x=np.asarray(res.x, dtype=float),
+                        value=float(res.fun))
+    if res.status == 2:
+        return LPResult(status="infeasible")
+    if res.status == 3:
+        return LPResult(status="unbounded")
+    raise LinearProgramError(f"linear program failed: {res.message}")
+
+
+def maximize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
+    """Maximize ``c @ x`` subject to ``a_ub @ x <= b_ub``."""
+    c = np.asarray(c, dtype=float).reshape(-1)
+    res = minimize(-c, a_ub, b_ub, bounds=bounds)
+    if res.is_optimal:
+        return LPResult(status="optimal", x=res.x, value=-res.value)
+    return res
+
+
+def chebyshev_center(a_ub, b_ub, dim: int | None = None) -> tuple[np.ndarray | None, float]:
+    """Compute the Chebyshev centre of ``{x : A x <= b}``.
+
+    Returns ``(centre, radius)`` where ``radius`` is the largest ball radius
+    that fits in the polytope.  ``centre`` is ``None`` when the polytope is
+    empty.  An unbounded polytope returns a finite point with ``radius``
+    ``inf`` is never produced in this library because every cell is contained
+    in a bounded preference region; if it happens we cap the radius at a large
+    constant and return a feasible point.
+    """
+    if dim is None:
+        a_probe = np.asarray(a_ub, dtype=float)
+        if a_probe.ndim != 2 or a_probe.shape[0] == 0:
+            raise LinearProgramError("chebyshev_center needs a non-empty constraint matrix "
+                                     "or an explicit dimension")
+        dim = a_probe.shape[1]
+    a, b = _as_matrix(a_ub, b_ub, dim)
+    if a.shape[0] == 0:
+        return np.zeros(dim, dtype=float), np.inf
+    norms = np.linalg.norm(a, axis=1)
+    if dim == 1:
+        # Analytic: feasible interval [lo, hi]; centre is the midpoint.
+        lo, hi = -np.inf, np.inf
+        for coeff, rhs in zip(a[:, 0], b):
+            if coeff > 0.0:
+                hi = min(hi, rhs / coeff)
+            elif coeff < 0.0:
+                lo = max(lo, rhs / coeff)
+            elif rhs < 0.0:
+                return None, -np.inf
+        if lo > hi:
+            return None, -np.inf
+        if not np.isfinite(lo) or not np.isfinite(hi):
+            point = np.array([lo if np.isfinite(lo) else (hi if np.isfinite(hi) else 0.0)])
+            return point, np.inf
+        return np.array([(lo + hi) / 2.0]), (hi - lo) / 2.0
+    # max r  s.t.  a_i . x + ||a_i|| r <= b_i
+    c = np.zeros(dim + 1)
+    c[-1] = -1.0
+    a_aug = np.hstack([a, norms.reshape(-1, 1)])
+    bounds = [(None, None)] * dim + [(None, None)]
+    try:
+        res = linprog(c, A_ub=a_aug, b_ub=b, bounds=bounds, method="highs")
+    except ValueError as exc:
+        raise LinearProgramError(str(exc)) from exc
+    if res.status == 2:
+        return None, -np.inf
+    if res.status == 3:
+        # Unbounded radius: fall back to any feasible point.
+        point = feasible_point(a, b, dim=dim)
+        return point, np.inf
+    if res.status != 0:
+        raise LinearProgramError(f"chebyshev_center failed: {res.message}")
+    x = np.asarray(res.x[:dim], dtype=float)
+    radius = float(res.x[-1])
+    if radius < 0.0:
+        # A negative inscribed radius means the polytope itself is empty.
+        return None, radius
+    return x, radius
+
+
+def has_interior(a_ub, b_ub, dim: int | None = None,
+                 tol: float = DEFAULT_INTERIOR_TOL) -> bool:
+    """Whether ``{x : A x <= b}`` is full-dimensional (contains a ball of radius > tol)."""
+    _, radius = chebyshev_center(a_ub, b_ub, dim=dim)
+    return radius > tol
+
+
+def feasible_point(a_ub, b_ub, dim: int | None = None) -> np.ndarray | None:
+    """Return a point satisfying ``A x <= b`` or ``None`` if infeasible.
+
+    The point returned is the Chebyshev centre whenever the polytope is
+    bounded, which keeps it safely away from cell boundaries.
+    """
+    centre, radius = chebyshev_center(a_ub, b_ub, dim=dim)
+    if centre is None or radius < 0.0:
+        return None
+    return centre

@@ -1,0 +1,61 @@
+"""Onion layers (iterated upper convex hulls).
+
+The onion technique of Chang et al. pre-computes convex-hull layers: layer 1
+is the upper hull of the dataset, layer ``i`` is the upper hull once the first
+``i - 1`` layers are removed.  The first ``k`` layers form a superset of every
+possible top-k result (for non-negative weights), and the paper's ON baseline
+uses them as its filtering step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.convex_hull import upper_hull_members
+
+
+def onion_layers(points: np.ndarray, num_layers: int, *,
+                 method: str = "lp") -> list[np.ndarray]:
+    """Compute the first ``num_layers`` onion layers of ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of records (higher attribute values preferred).
+    num_layers:
+        Number of layers to peel (the ``k`` of the top-k query).
+    method:
+        Hull-membership method forwarded to
+        :func:`repro.geometry.convex_hull.upper_hull_members`.
+
+    Returns
+    -------
+    list of int arrays
+        ``layers[i]`` holds the original indices of the records in layer
+        ``i + 1``.  Fewer than ``num_layers`` layers are returned when the
+        dataset is exhausted first.
+    """
+    points = np.asarray(points, dtype=float)
+    if num_layers <= 0:
+        return []
+    remaining = np.arange(points.shape[0], dtype=int)
+    layers: list[np.ndarray] = []
+    for _ in range(num_layers):
+        if remaining.size == 0:
+            break
+        local = upper_hull_members(points[remaining], method=method)
+        layer = remaining[local]
+        layers.append(np.sort(layer))
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[local] = False
+        remaining = remaining[keep]
+    return layers
+
+
+def onion_member_indices(points: np.ndarray, num_layers: int, *,
+                         method: str = "lp") -> np.ndarray:
+    """Union of the first ``num_layers`` onion layers, as sorted original indices."""
+    layers = onion_layers(points, num_layers, method=method)
+    if not layers:
+        return np.zeros(0, dtype=int)
+    return np.unique(np.concatenate(layers))

@@ -1,0 +1,14 @@
+"""Spatial-index substrate: minimum bounding boxes and an R-tree.
+
+The UTK paper assumes the dataset is organized by a spatial index such as an
+R-tree and drives both its filtering step (BBS-style branch and bound) and
+plain top-k queries through it.  This subpackage implements the index from
+scratch: :class:`repro.index.mbb.MBB` value objects and
+:class:`repro.index.rtree.RTree` with STR bulk loading and incremental
+insertion.
+"""
+
+from repro.index.mbb import MBB
+from repro.index.rtree import RTree, RTreeNode
+
+__all__ = ["MBB", "RTree", "RTreeNode"]

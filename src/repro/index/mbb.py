@@ -1,0 +1,79 @@
+"""Minimum bounding boxes (MBBs).
+
+The R-tree stores an MBB per node; BBS-style algorithms represent a node by
+the *top corner* of its MBB (the per-axis maximum), which upper-bounds the
+score of every record underneath the node for any non-negative weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MBB:
+    """Axis-aligned minimum bounding box ``[lower, upper]``."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self):
+        self.lower = np.asarray(self.lower, dtype=float).reshape(-1)
+        self.upper = np.asarray(self.upper, dtype=float).reshape(-1)
+
+    @staticmethod
+    def of_point(point) -> "MBB":
+        """Degenerate box covering a single point."""
+        point = np.asarray(point, dtype=float).reshape(-1)
+        return MBB(point.copy(), point.copy())
+
+    @staticmethod
+    def of_points(points) -> "MBB":
+        """Tight box covering a set of points."""
+        points = np.asarray(points, dtype=float)
+        return MBB(points.min(axis=0), points.max(axis=0))
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the box."""
+        return self.lower.shape[0]
+
+    @property
+    def top_corner(self) -> np.ndarray:
+        """Per-axis maximum (the point BBS uses to represent the node)."""
+        return self.upper
+
+    @property
+    def margin(self) -> float:
+        """Sum of side lengths (used by split heuristics)."""
+        return float(np.sum(self.upper - self.lower))
+
+    @property
+    def volume(self) -> float:
+        """Hyper-volume of the box."""
+        return float(np.prod(self.upper - self.lower))
+
+    def union(self, other: "MBB") -> "MBB":
+        """Smallest box containing both boxes."""
+        return MBB(np.minimum(self.lower, other.lower),
+                   np.maximum(self.upper, other.upper))
+
+    def enlargement(self, other: "MBB") -> float:
+        """Volume increase needed to also cover ``other``."""
+        return self.union(other).volume - self.volume
+
+    def contains_point(self, point, tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside the box (within ``tol``)."""
+        point = np.asarray(point, dtype=float).reshape(-1)
+        return bool(np.all(point >= self.lower - tol) and np.all(point <= self.upper + tol))
+
+    def intersects(self, other: "MBB", tol: float = 0.0) -> bool:
+        """Whether the two boxes overlap (within ``tol``)."""
+        return bool(np.all(self.lower <= other.upper + tol)
+                    and np.all(other.lower <= self.upper + tol))
+
+    def copy(self) -> "MBB":
+        """Deep copy of the box."""
+        return MBB(self.lower.copy(), self.upper.copy())

@@ -1,0 +1,302 @@
+"""A from-scratch in-memory R-tree.
+
+The tree supports two construction modes:
+
+* **STR bulk loading** (default) — the standard sort-tile-recursive packing,
+  which produces well-shaped nodes for static datasets such as the benchmark
+  workloads in the paper;
+* **incremental insertion** with the classical least-enlargement descent and
+  quadratic split, so dynamic workloads are also covered.
+
+Traversal-oriented consumers (BBS, branch-and-bound top-k) only need the
+public node API: :attr:`RTreeNode.is_leaf`, :attr:`RTreeNode.children`,
+:attr:`RTreeNode.entries` and :attr:`RTreeNode.mbb`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidDatasetError
+from repro.index.mbb import MBB
+
+
+class RTreeNode:
+    """A node of the R-tree.
+
+    Leaf nodes hold ``entries`` as ``(record_index, point)`` pairs; internal
+    nodes hold child nodes.  Every node maintains its MBB.
+    """
+
+    __slots__ = ("is_leaf", "children", "entries", "mbb", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.children: list[RTreeNode] = []
+        self.entries: list[tuple[int, np.ndarray]] = []
+        self.mbb: MBB | None = None
+        self.parent: RTreeNode | None = None
+
+    def recompute_mbb(self) -> None:
+        """Recompute this node's MBB from its children/entries."""
+        if self.is_leaf:
+            points = [point for _, point in self.entries]
+            self.mbb = MBB.of_points(points) if points else None
+        else:
+            boxes = [child.mbb for child in self.children if child.mbb is not None]
+            if not boxes:
+                self.mbb = None
+                return
+            box = boxes[0].copy()
+            for other in boxes[1:]:
+                box = box.union(other)
+            self.mbb = box
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        count = len(self.entries) if self.is_leaf else len(self.children)
+        return f"RTreeNode({kind}, fanout={count})"
+
+
+class RTree:
+    """R-tree over a point dataset.
+
+    Parameters
+    ----------
+    points:
+        Optional ``(n, d)`` matrix to bulk load immediately (STR packing).
+    max_entries:
+        Node capacity; ``min_entries`` defaults to ``ceil(max_entries * 0.4)``.
+    """
+
+    def __init__(self, points=None, *, max_entries: int = 16,
+                 min_entries: int | None = None):
+        if max_entries < 4:
+            raise InvalidDatasetError("max_entries must be at least 4")
+        self.max_entries = max_entries
+        self.min_entries = min_entries or max(2, math.ceil(max_entries * 0.4))
+        self.dimension: int | None = None
+        self.size = 0
+        self.root = RTreeNode(is_leaf=True)
+        if points is not None:
+            self.bulk_load(points)
+
+    # ------------------------------------------------------------ bulk loading
+    def bulk_load(self, points) -> None:
+        """Replace the tree contents with an STR-packed tree over ``points``."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise InvalidDatasetError("bulk_load expects an (n, d) matrix")
+        n, d = points.shape
+        self.dimension = d
+        self.size = n
+        if n == 0:
+            self.root = RTreeNode(is_leaf=True)
+            return
+        leaves = self._build_leaves(points)
+        self.root = self._pack_upwards(leaves)
+
+    def _build_leaves(self, points: np.ndarray) -> list[RTreeNode]:
+        """Sort-tile-recursive packing of the points into leaf nodes."""
+        n, d = points.shape
+        order = np.arange(n)
+        groups = self._str_partition(points, order, axis=0)
+        leaves = []
+        for group in groups:
+            node = RTreeNode(is_leaf=True)
+            node.entries = [(int(i), points[i]) for i in group]
+            node.recompute_mbb()
+            leaves.append(node)
+        return leaves
+
+    def _str_partition(self, points: np.ndarray, indices: np.ndarray,
+                       axis: int) -> list[np.ndarray]:
+        """Recursively tile ``indices`` into groups of at most ``max_entries``."""
+        capacity = self.max_entries
+        count = indices.shape[0]
+        if count <= capacity:
+            return [indices]
+        d = points.shape[1]
+        leaf_count = math.ceil(count / capacity)
+        slabs = math.ceil(leaf_count ** (1.0 / (d - axis))) if axis < d - 1 else leaf_count
+        ordered = indices[np.argsort(points[indices, axis], kind="stable")]
+        slab_size = math.ceil(count / slabs)
+        groups: list[np.ndarray] = []
+        for start in range(0, count, slab_size):
+            chunk = ordered[start:start + slab_size]
+            if axis + 1 < d:
+                groups.extend(self._str_partition(points, chunk, axis + 1))
+            else:
+                for inner in range(0, chunk.shape[0], capacity):
+                    groups.append(chunk[inner:inner + capacity])
+        return groups
+
+    def _pack_upwards(self, nodes: list[RTreeNode]) -> RTreeNode:
+        """Pack a level of nodes into parent levels until a single root remains."""
+        while len(nodes) > 1:
+            parents: list[RTreeNode] = []
+            # Order nodes by the first coordinate of their MBB centre so that
+            # siblings are spatially close.
+            centres = np.array([(node.mbb.lower + node.mbb.upper) / 2.0 for node in nodes])
+            order = np.lexsort(tuple(centres[:, axis] for axis in
+                                     reversed(range(centres.shape[1]))))
+            ordered = [nodes[i] for i in order]
+            for start in range(0, len(ordered), self.max_entries):
+                parent = RTreeNode(is_leaf=False)
+                parent.children = ordered[start:start + self.max_entries]
+                for child in parent.children:
+                    child.parent = parent
+                parent.recompute_mbb()
+                parents.append(parent)
+            nodes = parents
+        root = nodes[0]
+        root.parent = None
+        return root
+
+    # ------------------------------------------------------------- insertion
+    def insert(self, index: int, point) -> None:
+        """Insert a single record (least-enlargement descent, quadratic split)."""
+        point = np.asarray(point, dtype=float).reshape(-1)
+        if self.dimension is None:
+            self.dimension = point.shape[0]
+        elif point.shape[0] != self.dimension:
+            raise InvalidDatasetError("point dimensionality does not match the tree")
+        self.size += 1
+        leaf = self._choose_leaf(self.root, point)
+        leaf.entries.append((int(index), point))
+        leaf.recompute_mbb()
+        self._handle_overflow(leaf)
+        self._adjust_upwards(leaf.parent)
+
+    def _choose_leaf(self, node: RTreeNode, point: np.ndarray) -> RTreeNode:
+        while not node.is_leaf:
+            target = MBB.of_point(point)
+            best, best_cost, best_volume = None, None, None
+            for child in node.children:
+                cost = child.mbb.enlargement(target)
+                volume = child.mbb.volume
+                if best is None or cost < best_cost or (cost == best_cost
+                                                        and volume < best_volume):
+                    best, best_cost, best_volume = child, cost, volume
+            node = best
+        return node
+
+    def _handle_overflow(self, node: RTreeNode) -> None:
+        limit = self.max_entries
+        count = len(node.entries) if node.is_leaf else len(node.children)
+        if count <= limit:
+            return
+        sibling = self._split(node)
+        parent = node.parent
+        if parent is None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbb()
+            self.root = new_root
+            return
+        parent.children.append(sibling)
+        sibling.parent = parent
+        parent.recompute_mbb()
+        self._handle_overflow(parent)
+
+    def _split(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split; ``node`` keeps one group, the returned sibling the other."""
+        if node.is_leaf:
+            items = node.entries
+            boxes = [MBB.of_point(point) for _, point in items]
+        else:
+            items = node.children
+            boxes = [child.mbb for child in items]
+        seed_a, seed_b = self._pick_seeds(boxes)
+        group_a, group_b = [seed_a], [seed_b]
+        box_a, box_b = boxes[seed_a].copy(), boxes[seed_b].copy()
+        remaining = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
+        for position in remaining:
+            if len(group_a) + (len(remaining)) < self.min_entries:
+                group_a.append(position)
+                box_a = box_a.union(boxes[position])
+                continue
+            cost_a = box_a.enlargement(boxes[position])
+            cost_b = box_b.enlargement(boxes[position])
+            if cost_a <= cost_b and len(group_a) < len(items) - self.min_entries:
+                group_a.append(position)
+                box_a = box_a.union(boxes[position])
+            else:
+                group_b.append(position)
+                box_b = box_b.union(boxes[position])
+        sibling = RTreeNode(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            all_entries = node.entries
+            node.entries = [all_entries[i] for i in group_a]
+            sibling.entries = [all_entries[i] for i in group_b]
+        else:
+            all_children = node.children
+            node.children = [all_children[i] for i in group_a]
+            sibling.children = [all_children[i] for i in group_b]
+            for child in sibling.children:
+                child.parent = sibling
+        node.recompute_mbb()
+        sibling.recompute_mbb()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(boxes: list[MBB]) -> tuple[int, int]:
+        worst_pair, worst_waste = (0, 1), -np.inf
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = boxes[i].union(boxes[j]).volume - boxes[i].volume - boxes[j].volume
+                if waste > worst_waste:
+                    worst_waste, worst_pair = waste, (i, j)
+        return worst_pair
+
+    def _adjust_upwards(self, node: RTreeNode | None) -> None:
+        while node is not None:
+            node.recompute_mbb()
+            node = node.parent
+
+    # ---------------------------------------------------------------- queries
+    def range_search(self, lower, upper) -> list[int]:
+        """Indices of all records inside the axis-aligned box ``[lower, upper]``."""
+        box = MBB(np.asarray(lower, dtype=float), np.asarray(upper, dtype=float))
+        result: list[int] = []
+        if self.root.mbb is None:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbb is None or not node.mbb.intersects(box):
+                continue
+            if node.is_leaf:
+                for index, point in node.entries:
+                    if box.contains_point(point):
+                        result.append(index)
+            else:
+                stack.extend(node.children)
+        return sorted(result)
+
+    def all_indices(self) -> list[int]:
+        """Indices of all records stored in the tree."""
+        result: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.extend(index for index, _ in node.entries)
+            else:
+                stack.extend(node.children)
+        return sorted(result)
+
+    def height(self) -> int:
+        """Number of levels in the tree (a single leaf root has height 1)."""
+        level, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            level += 1
+        return level
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,27 @@
+"""Query operators: plain top-k, the kSPR building block, and the UTK baselines.
+
+These modules implement the traditional operators UTK is compared against in
+the paper — regular/incremental top-k queries, the constrained monochromatic
+reverse top-k (kSPR) building block, and the SK / ON baselines of Section 3.3.
+"""
+
+from repro.queries.topk import (
+    top_k,
+    top_k_indices,
+    top_k_rtree,
+    incremental_top_k_until,
+)
+from repro.queries.kspr import constrained_reverse_topk, KSPRResult
+from repro.queries.baselines import BaselineUTK, baseline_utk1, baseline_utk2
+
+__all__ = [
+    "top_k",
+    "top_k_indices",
+    "top_k_rtree",
+    "incremental_top_k_until",
+    "constrained_reverse_topk",
+    "KSPRResult",
+    "BaselineUTK",
+    "baseline_utk1",
+    "baseline_utk2",
+]

@@ -1,0 +1,123 @@
+"""Baseline UTK algorithms (Section 3.3 of the paper).
+
+The baselines combine a traditional filtering operator with the kSPR
+building block:
+
+* **SK** — filter with the traditional k-skyband;
+* **ON** — filter with the first ``k`` onion layers (a subset of the
+  k-skyband, computed off it).
+
+Each retained candidate is then verified with a constrained monochromatic
+reverse top-k query.  For UTK1 the kSPR call may terminate early; for UTK2 it
+runs to completion so all qualifying sub-regions are produced (an output that
+is semantically equivalent to, though shaped differently from, JAA's common
+global arrangement).
+
+These baselines exist for the paper's comparative experiments (Figures 10 and
+11) and as an independent correctness cross-check for RSA / JAA.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.region import Region
+from repro.core.result import UTK1Result
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+from repro.queries.kspr import KSPRResult, constrained_reverse_topk
+from repro.skyline.skyband import k_skyband, onion_candidates
+
+_VARIANTS = ("skyband", "onion")
+
+
+@dataclass
+class BaselineUTK:
+    """Detailed output of a baseline UTK run.
+
+    ``per_candidate`` maps every *filtered* candidate to its kSPR outcome;
+    ``result_indices`` are the candidates that qualified (the UTK1 answer).
+    """
+
+    variant: str
+    k: int
+    region: Region
+    candidates: list[int]
+    per_candidate: dict[int, KSPRResult] = field(default_factory=dict)
+    elapsed_filter: float = 0.0
+    elapsed_refine: float = 0.0
+
+    @property
+    def result_indices(self) -> list[int]:
+        """Sorted indices of the qualifying records (the UTK1 answer)."""
+        return sorted(index for index, outcome in self.per_candidate.items()
+                      if outcome.qualifies)
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidates retained by the filtering step."""
+        return len(self.candidates)
+
+    def to_utk1(self) -> UTK1Result:
+        """View the baseline outcome as a :class:`~repro.core.result.UTK1Result`."""
+        witnesses = {}
+        for index in self.result_indices:
+            witness = self.per_candidate[index].witness()
+            if witness is not None:
+                witnesses[index] = witness
+        stats = {
+            "variant": self.variant,
+            "candidates": self.candidate_count,
+            "elapsed_filter": self.elapsed_filter,
+            "elapsed_refine": self.elapsed_refine,
+        }
+        return UTK1Result(indices=self.result_indices, witnesses=witnesses,
+                          region=self.region, k=self.k, stats=stats)
+
+
+def _filter_candidates(values: np.ndarray, k: int, variant: str,
+                       tree: RTree | None) -> list[int]:
+    """Run the SK / ON filtering step and return candidate indices."""
+    if variant == "skyband":
+        return [int(i) for i in k_skyband(values, k, tree=tree)]
+    return [int(i) for i in onion_candidates(values, k, tree=tree)]
+
+
+def _run_baseline(values, region: Region, k: int, variant: str,
+                  tree: RTree | None, early_terminate: bool) -> BaselineUTK:
+    if variant not in _VARIANTS:
+        raise InvalidQueryError(f"unknown baseline variant: {variant!r}")
+    values = np.asarray(values, dtype=float)
+    started = time.perf_counter()
+    candidates = _filter_candidates(values, k, variant, tree)
+    filtered_at = time.perf_counter()
+    outcome = BaselineUTK(variant=variant, k=k, region=region, candidates=candidates)
+    for candidate in candidates:
+        outcome.per_candidate[candidate] = constrained_reverse_topk(
+            values, candidate, region, k, competitors=candidates,
+            early_terminate=early_terminate)
+    outcome.elapsed_filter = filtered_at - started
+    outcome.elapsed_refine = time.perf_counter() - filtered_at
+    return outcome
+
+
+def baseline_utk1(values, region: Region, k: int, *, variant: str = "skyband",
+                  tree: RTree | None = None) -> BaselineUTK:
+    """UTK1 baseline: k-skyband / onion filter followed by per-candidate kSPR.
+
+    The kSPR calls stop as soon as the candidate's membership is decided.
+    """
+    return _run_baseline(values, region, k, variant, tree, early_terminate=True)
+
+
+def baseline_utk2(values, region: Region, k: int, *, variant: str = "skyband",
+                  tree: RTree | None = None) -> BaselineUTK:
+    """UTK2 baseline: as UTK1 but every kSPR call runs to completion.
+
+    The per-candidate qualifying cells collectively describe, for every
+    candidate, where in the region it belongs to the top-k set.
+    """
+    return _run_baseline(values, region, k, variant, tree, early_terminate=False)

@@ -1,0 +1,25 @@
+"""Skyline / k-skyband substrate.
+
+Provides vectorized brute-force dominance counting (used as an oracle and for
+small candidate pools) and the BBS branch-and-bound traversal over the R-tree
+used by the paper for both the traditional k-skyband and the r-skyband
+filtering step.
+"""
+
+from repro.skyline.dominance import (
+    dominance_matrix,
+    k_skyband_bruteforce,
+    skyline_bruteforce,
+)
+from repro.skyline.bbs import bbs_candidates, BBSStatistics
+from repro.skyline.skyband import k_skyband, onion_candidates
+
+__all__ = [
+    "dominance_matrix",
+    "k_skyband_bruteforce",
+    "skyline_bruteforce",
+    "bbs_candidates",
+    "BBSStatistics",
+    "k_skyband",
+    "onion_candidates",
+]

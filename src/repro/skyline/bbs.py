@@ -1,0 +1,120 @@
+"""BBS branch-and-bound skyband traversal.
+
+BBS (Papadias et al.) visits R-tree nodes and records in decreasing order of
+a monotone key and maintains a growing skyband set: an element is pruned as
+soon as ``k`` current members dominate it.  The paper's r-skyband computation
+(Section 4.1) is the same traversal with two twists — r-dominance replaces
+traditional dominance, and the sorting key is the score at the *pivot* vector
+of the query region.
+
+The traversal here is generic over both choices: callers supply a ``key``
+function (monotone scoring of a point) and a ``dominators_of`` callback that
+returns, for a probe point, the mask of current members dominating it.
+
+Because exact score ties can let a dominator pop *after* its dominee, the
+traversal returns a (slightly) conservative superset; callers finalize it
+with an exact quadratic pass (:mod:`repro.skyline.skyband`,
+:mod:`repro.core.rskyband`).  This keeps the index-based path fast and the
+final answer exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.rtree import RTree
+
+
+@dataclass
+class BBSStatistics:
+    """Instrumentation of a BBS traversal (useful for benchmarks and tests)."""
+
+    nodes_visited: int = 0
+    records_visited: int = 0
+    records_pruned: int = 0
+    nodes_pruned: int = 0
+    heap_pushes: int = 0
+    candidate_count: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def bbs_candidates(tree: RTree, k: int, *,
+                   key: Callable[[np.ndarray], float],
+                   dominators_of: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                   ) -> tuple[list[int], list[np.ndarray], BBSStatistics]:
+    """Run the BBS traversal and return the candidate superset.
+
+    Parameters
+    ----------
+    tree:
+        R-tree over the dataset.
+    k:
+        Skyband parameter: elements dominated by ``k`` or more current
+        members are pruned.
+    key:
+        Monotone scoring of a point; nodes are keyed by their MBB top corner.
+    dominators_of:
+        ``(probe_point, member_matrix) -> bool mask`` of members dominating
+        the probe.
+
+    Returns
+    -------
+    (indices, points, stats)
+        Candidate record indices (in pop order), their attribute vectors and
+        traversal statistics.
+    """
+    stats = BBSStatistics()
+    members_idx: list[int] = []
+    members_rows: list[np.ndarray] = []
+    member_matrix = np.zeros((0, tree.dimension or 0), dtype=float)
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, int, object]] = []
+
+    def push(kind: int, priority: float, payload) -> None:
+        heapq.heappush(heap, (-priority, next(counter), kind, payload))
+        stats.heap_pushes += 1
+
+    root = tree.root
+    if root.mbb is None:
+        return [], [], stats
+    push(0, key(root.mbb.top_corner), root)
+
+    while heap:
+        _, _, kind, payload = heapq.heappop(heap)
+        if kind == 0:  # index node
+            node = payload
+            stats.nodes_visited += 1
+            corner = node.mbb.top_corner
+            if member_matrix.shape[0] >= k:
+                dominated_by = int(dominators_of(corner, member_matrix).sum())
+                if dominated_by >= k:
+                    stats.nodes_pruned += 1
+                    continue
+            if node.is_leaf:
+                for index, point in node.entries:
+                    push(1, key(point), (index, point))
+            else:
+                for child in node.children:
+                    if child.mbb is not None:
+                        push(0, key(child.mbb.top_corner), child)
+        else:  # data record
+            index, point = payload
+            stats.records_visited += 1
+            if member_matrix.shape[0] >= k:
+                dominated_by = int(dominators_of(point, member_matrix).sum())
+                if dominated_by >= k:
+                    stats.records_pruned += 1
+                    continue
+            members_idx.append(int(index))
+            members_rows.append(np.asarray(point, dtype=float))
+            member_matrix = np.vstack([member_matrix, point]) if member_matrix.size \
+                else np.asarray(point, dtype=float).reshape(1, -1)
+
+    stats.candidate_count = len(members_idx)
+    return members_idx, members_rows, stats

@@ -1,0 +1,48 @@
+"""Vectorized traditional-dominance utilities.
+
+These quadratic routines serve three purposes: they are the correctness
+oracle for the index-based BBS computation, they finalize candidate sets
+produced by BBS (see :mod:`repro.skyline.skyband`), and they are perfectly
+adequate on the small candidate pools that reach the refinement steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import DOMINANCE_TOL
+
+
+def dominance_matrix(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:
+    """Pairwise matrix ``M[i, j] = True`` iff record ``i`` dominates record ``j``."""
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    if n == 0:
+        return np.zeros((0, 0), dtype=bool)
+    # geq[i, j] — record i is at least as good as j on every attribute.
+    geq = np.all(values[:, None, :] >= values[None, :, :] - tol, axis=2)
+    gt = np.any(values[:, None, :] > values[None, :, :] + tol, axis=2)
+    matrix = geq & gt
+    np.fill_diagonal(matrix, False)
+    return matrix
+
+
+def skyline_bruteforce(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:
+    """Indices of the skyline (records dominated by no other record)."""
+    matrix = dominance_matrix(values, tol)
+    counts = matrix.sum(axis=0)
+    return np.flatnonzero(counts == 0)
+
+
+def k_skyband_bruteforce(values: np.ndarray, k: int,
+                         tol: float = DOMINANCE_TOL) -> np.ndarray:
+    """Indices of the k-skyband (records dominated by fewer than ``k`` others)."""
+    matrix = dominance_matrix(values, tol)
+    counts = matrix.sum(axis=0)
+    return np.flatnonzero(counts < k)
+
+
+def dominator_sets(values: np.ndarray, tol: float = DOMINANCE_TOL) -> list[set[int]]:
+    """For every record, the set of indices of records dominating it."""
+    matrix = dominance_matrix(values, tol)
+    return [set(np.flatnonzero(matrix[:, j]).tolist()) for j in range(matrix.shape[1])]

@@ -1,0 +1,76 @@
+"""Tests for the public convenience API (repro.core.api / package root)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Dataset, PowerScoring, hyperrectangle, utk1, utk2, utk_query
+from repro.core.preference import scores
+
+
+@pytest.fixture
+def data(rng):
+    return Dataset(rng.random((120, 3)) * 10)
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.1, 0.1], [0.4, 0.3])
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestUTK1API:
+    def test_accepts_dataset_and_matrix(self, data, region):
+        via_dataset = utk1(data, region, 3)
+        via_matrix = utk1(data.values, region, 3)
+        assert via_dataset.indices == via_matrix.indices
+
+    def test_records_k_and_region(self, data, region):
+        result = utk1(data, region, 3)
+        assert result.k == 3
+        assert result.region is region
+
+    def test_scoring_function_applied(self, data, region):
+        linear = utk1(data, region, 3)
+        quadratic = utk1(data, region, 3, scoring=PowerScoring(2.0))
+        # The transformed problem is a genuine UTK problem on squared values.
+        manual = utk1(data.values ** 2, region, 3)
+        assert quadratic.indices == manual.indices
+        assert isinstance(linear.indices, list)
+
+    def test_drill_flag_propagates(self, data, region):
+        with_drill = utk1(data, region, 2, use_drill=True)
+        without_drill = utk1(data, region, 2, use_drill=False)
+        assert with_drill.indices == without_drill.indices
+
+
+class TestUTK2API:
+    def test_partitioning_covers_region(self, data, region, rng):
+        result = utk2(data, region, 2)
+        for weights in region.sample(100, rng):
+            expected = np.argsort(-scores(data.values, weights))[:2]
+            assert result.top_k_at(weights) == frozenset(int(i) for i in expected)
+
+    def test_scoring_function_applied(self, data, region):
+        transformed = utk2(data, region, 2, scoring=PowerScoring(2.0))
+        manual = utk2(data.values ** 2, region, 2)
+        assert transformed.distinct_top_k_sets == manual.distinct_top_k_sets
+
+
+class TestCombinedQuery:
+    def test_utk_query_consistency(self, data, region):
+        first, second = utk_query(data, region, 3)
+        assert set(second.result_records) == set(first.indices)
+
+    def test_utk_query_matches_individual_calls(self, data, region):
+        first, second = utk_query(data, region, 2)
+        assert first.indices == utk1(data, region, 2).indices
+        assert second.distinct_top_k_sets == utk2(data, region, 2).distinct_top_k_sets

@@ -1,0 +1,119 @@
+"""Unit tests for incremental half-space arrangements."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrangement import Arrangement
+from repro.core.cell import Cell
+from repro.core.halfspace import HalfSpace
+from repro.core.region import hyperrectangle
+
+
+@pytest.fixture
+def root():
+    return Cell(hyperrectangle([0.1, 0.1], [0.4, 0.4]))
+
+
+@pytest.fixture
+def segment_root():
+    return Cell(hyperrectangle([0.2], [0.8]))
+
+
+class TestInsertion:
+    def test_single_split(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.25, label=1))
+        assert len(arrangement) == 2
+        counts = sorted(leaf.count for leaf in arrangement.partitions())
+        assert counts == [0, 1]
+
+    def test_covering_halfspace_does_not_split(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.05, label=1))
+        assert len(arrangement) == 1
+        assert arrangement.partitions()[0].covering == {1}
+
+    def test_missing_halfspace_does_not_split(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.9, label=1))
+        assert len(arrangement) == 1
+        assert arrangement.partitions()[0].count == 0
+
+    def test_two_crossing_halfspaces_make_four_cells(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.25, label=1))
+        arrangement.insert(HalfSpace(np.array([0.0, 1.0]), 0.25, label=2))
+        assert len(arrangement) == 4
+        counts = sorted(leaf.count for leaf in arrangement.partitions())
+        assert counts == [0, 1, 1, 2]
+
+    def test_1d_arrangement_intervals(self, segment_root):
+        arrangement = Arrangement(segment_root)
+        for position, boundary in enumerate((0.3, 0.5, 0.7)):
+            arrangement.insert(HalfSpace(np.array([1.0]), boundary, label=position))
+        assert len(arrangement) == 4
+        counts = sorted(leaf.count for leaf in arrangement.partitions())
+        assert counts == [0, 1, 2, 3]
+
+    def test_insert_many(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert_many([
+            HalfSpace(np.array([1.0, 0.0]), 0.25, label=1),
+            HalfSpace(np.array([0.0, 1.0]), 0.3, label=2),
+        ])
+        assert arrangement.inserted_labels == {1, 2}
+
+
+class TestCounting:
+    def test_counts_match_point_membership(self, root):
+        rng = np.random.default_rng(0)
+        arrangement = Arrangement(root)
+        halfspaces = []
+        for label in range(5):
+            normal = rng.normal(size=2)
+            offset = float(normal @ np.array([0.25, 0.25]))  # passes through centre
+            h = HalfSpace(normal, offset, label=label)
+            halfspaces.append(h)
+            arrangement.insert(h)
+        for leaf in arrangement.partitions():
+            point = leaf.cell.interior_point
+            assert point is not None
+            expected = {h.label for h in halfspaces if h.contains(point)}
+            assert leaf.covering == expected
+
+    def test_partitions_below(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.25, label=1))
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.3, label=2))
+        assert len(arrangement.partitions_below(1)) == 1
+        assert len(arrangement.partitions_below(2)) == 2
+        assert arrangement.min_count() == 0
+
+    def test_locate(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.25, label=7))
+        leaf = arrangement.locate([0.35, 0.2])
+        assert leaf is not None and leaf.covering == {7}
+        leaf = arrangement.locate([0.15, 0.2])
+        assert leaf is not None and leaf.covering == set()
+        assert arrangement.locate([0.9, 0.9]) is None
+
+
+class TestFreezing:
+    def test_frozen_leaves_not_split(self, segment_root):
+        arrangement = Arrangement(segment_root)
+        # Two half-spaces covering the right part push it to the freeze limit.
+        arrangement.insert(HalfSpace(np.array([1.0]), 0.4, label=0), freeze_at=2)
+        arrangement.insert(HalfSpace(np.array([1.0]), 0.45, label=1), freeze_at=2)
+        frozen = [leaf for leaf in arrangement.partitions() if leaf.frozen]
+        assert frozen, "a leaf reaching the threshold must freeze"
+        before = len(arrangement)
+        # This half-space would split the frozen region but must not.
+        arrangement.insert(HalfSpace(np.array([1.0]), 0.6, label=2), freeze_at=2)
+        after_leaves = arrangement.partitions()
+        assert len(after_leaves) == before
+
+    def test_split_counter(self, root):
+        arrangement = Arrangement(root)
+        arrangement.insert(HalfSpace(np.array([1.0, 0.0]), 0.25, label=1))
+        assert arrangement.split_operations == 1

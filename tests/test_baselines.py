@@ -1,0 +1,81 @@
+"""Tests for the SK / ON baseline UTK algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.jaa import JAA
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.exceptions import InvalidQueryError
+from repro.queries.baselines import baseline_utk1, baseline_utk2
+
+from .conftest import brute_force_top_k
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.1, 0.1], [0.4, 0.3])
+
+
+@pytest.fixture
+def values(rng):
+    return rng.random((70, 3)) * 10
+
+
+class TestUTK1Baselines:
+    @pytest.mark.parametrize("variant", ["skyband", "onion"])
+    def test_matches_rsa(self, values, region, variant):
+        k = 2
+        rsa = RSA(values, region, k).run()
+        baseline = baseline_utk1(values, region, k, variant=variant)
+        assert baseline.result_indices == rsa.indices
+
+    def test_candidate_sets_nested(self, values, region):
+        sk = baseline_utk1(values, region, 2, variant="skyband")
+        on = baseline_utk1(values, region, 2, variant="onion")
+        assert set(on.candidates).issubset(set(sk.candidates))
+        assert sk.result_indices == on.result_indices
+
+    def test_to_utk1_result(self, values, region):
+        baseline = baseline_utk1(values, region, 2)
+        result = baseline.to_utk1()
+        assert result.indices == baseline.result_indices
+        assert result.stats["variant"] == "skyband"
+        for index in result.indices:
+            witness = result.witness_of(index)
+            if witness is not None:
+                assert index in brute_force_top_k(values, witness, 2)
+
+    def test_timing_fields_populated(self, values, region):
+        baseline = baseline_utk1(values, region, 2)
+        assert baseline.elapsed_filter >= 0.0
+        assert baseline.elapsed_refine > 0.0
+
+    def test_rejects_unknown_variant(self, values, region):
+        with pytest.raises(InvalidQueryError):
+            baseline_utk1(values, region, 2, variant="magic")
+
+
+class TestUTK2Baselines:
+    def test_union_matches_jaa(self, values, region):
+        k = 2
+        jaa = JAA(values, region, k).run()
+        baseline = baseline_utk2(values, region, k)
+        assert set(baseline.result_indices) == set(jaa.result_records)
+
+    def test_qualifying_cells_collectively_cover_memberships(self, values, region):
+        """Every record's qualifying cells must agree with brute force probes."""
+        k = 2
+        baseline = baseline_utk2(values, region, k)
+        for candidate, outcome in baseline.per_candidate.items():
+            for leaf in outcome.cells[:3]:
+                probe = leaf.cell.interior_point
+                assert candidate in brute_force_top_k(values, probe, k)
+
+    def test_utk2_slower_or_equal_work_than_utk1(self, values, region):
+        """UTK2 baselines never insert fewer half-spaces than the UTK1 run."""
+        one = baseline_utk1(values, region, 2)
+        two = baseline_utk2(values, region, 2)
+        inserted_one = sum(o.halfspaces_inserted for o in one.per_candidate.values())
+        inserted_two = sum(o.halfspaces_inserted for o in two.per_candidate.values())
+        assert inserted_two >= inserted_one

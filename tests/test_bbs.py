@@ -1,0 +1,67 @@
+"""Tests for the generic BBS branch-and-bound traversal."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+from repro.skyline.bbs import bbs_candidates
+from repro.skyline.dominance import k_skyband_bruteforce
+
+
+def traditional_dominators(point, members):
+    geq = np.all(members >= point - 1e-9, axis=1)
+    gt = np.any(members > point + 1e-9, axis=1)
+    return geq & gt
+
+
+class TestTraversal:
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 4)])
+    def test_candidates_superset_of_skyband(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((600, 3))
+        tree = RTree(values)
+        indices, rows, stats = bbs_candidates(
+            tree, k, key=lambda p: float(np.sum(p)),
+            dominators_of=traditional_dominators)
+        skyband = set(k_skyband_bruteforce(values, k).tolist())
+        assert skyband.issubset(set(indices))
+        assert stats.candidate_count == len(indices)
+        assert len(rows) == len(indices)
+
+    def test_prunes_most_of_the_data(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((2000, 2))
+        tree = RTree(values)
+        indices, _, stats = bbs_candidates(
+            tree, 2, key=lambda p: float(np.sum(p)),
+            dominators_of=traditional_dominators)
+        assert len(indices) < 200
+        assert stats.records_pruned + stats.nodes_pruned > 0
+
+    def test_empty_tree(self):
+        tree = RTree(np.zeros((0, 3)))
+        indices, rows, stats = bbs_candidates(
+            tree, 1, key=lambda p: float(np.sum(p)),
+            dominators_of=traditional_dominators)
+        assert indices == [] and rows == []
+        assert stats.candidate_count == 0
+
+    def test_pop_order_is_monotone_in_key(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((300, 2))
+        tree = RTree(values)
+        indices, _, _ = bbs_candidates(
+            tree, 3, key=lambda p: float(np.sum(p)),
+            dominators_of=traditional_dominators)
+        keys = [float(np.sum(values[i])) for i in indices]
+        assert all(a >= b - 1e-9 for a, b in zip(keys, keys[1:]))
+
+    def test_statistics_counts_consistent(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((500, 3))
+        tree = RTree(values)
+        _, _, stats = bbs_candidates(
+            tree, 2, key=lambda p: float(np.sum(p)),
+            dominators_of=traditional_dominators)
+        assert stats.records_visited <= 500
+        assert stats.heap_pushes >= stats.records_visited

@@ -1,0 +1,117 @@
+"""Tests for the benchmark harness: workloads, measurements, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import measure_query, run_workload
+from repro.bench.reporting import format_series, format_table
+from repro.bench.workloads import (
+    DEFAULT_PARAMETERS,
+    PAPER_PARAMETERS,
+    QuerySpec,
+    query_workload,
+    random_region,
+)
+from repro.exceptions import InvalidQueryError
+
+
+class TestWorkloads:
+    def test_random_region_is_cube_of_requested_size(self):
+        rng = np.random.default_rng(0)
+        for d in (2, 3, 4, 5):
+            region = random_region(d, 0.05, rng)
+            assert region.dimension == d - 1
+            widths = [region.linear_max(row) - region.linear_min(row)
+                      for row in np.eye(d - 1)]
+            assert np.allclose(widths, 0.05, atol=1e-9)
+
+    def test_random_region_inside_simplex(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            region = random_region(4, 0.1, rng)
+            assert region.linear_max(np.ones(3)) <= 1.0 + 1e-9
+            assert region.linear_min(np.eye(3)[0]) >= -1e-9
+
+    def test_random_region_rejects_bad_sigma(self):
+        with pytest.raises(InvalidQueryError):
+            random_region(3, 0.0)
+        with pytest.raises(InvalidQueryError):
+            random_region(3, 1.5)
+
+    def test_workload_reproducible(self):
+        first = query_workload(3, 2, 0.05, 4, seed=9)
+        second = query_workload(3, 2, 0.05, 4, seed=9)
+        assert len(first) == 4
+        for a, b in zip(first, second):
+            assert np.allclose(a.region.pivot, b.region.pivot)
+            assert a.k == b.k
+
+    def test_parameter_tables_have_defaults(self):
+        for table in (PAPER_PARAMETERS, DEFAULT_PARAMETERS):
+            assert table["k_default"] in table["k"]
+            assert table["sigma_default"] in table["sigma"]
+
+
+class TestHarness:
+    @pytest.fixture
+    def setting(self, rng):
+        values = rng.random((150, 3))
+        workload = query_workload(3, 2, 0.05, 2, seed=3)
+        return values, workload
+
+    @pytest.mark.parametrize("algorithm", ["RSA", "JAA", "SK1", "ON1"])
+    def test_measure_query_runs(self, setting, algorithm):
+        values, workload = setting
+        measurement = measure_query(algorithm, values, workload[0].region, 2)
+        assert measurement.elapsed_seconds > 0.0
+        assert measurement.output_size >= 1
+        assert measurement.algorithm == algorithm
+
+    def test_memory_tracking(self, setting):
+        values, workload = setting
+        measurement = measure_query("RSA", values, workload[0].region, 2,
+                                    track_memory=True)
+        assert measurement.peak_memory_bytes > 0
+
+    def test_rsa_and_jaa_consistent_outputs(self, setting):
+        values, workload = setting
+        rsa = measure_query("RSA", values, workload[0].region, 2)
+        jaa = measure_query("JAA", values, workload[0].region, 2)
+        assert set(jaa.details["records"]) == set(rsa.details["indices"])
+
+    def test_run_workload_aggregates(self, setting):
+        values, workload = setting
+        aggregate = run_workload("RSA", values, workload)
+        assert aggregate.queries == 2
+        assert aggregate.mean_seconds > 0.0
+        assert len(aggregate.per_query) == 2
+
+    def test_unknown_algorithm_rejected(self, setting):
+        values, workload = setting
+        with pytest.raises(InvalidQueryError):
+            measure_query("XYZ", values, workload[0].region, 2)
+
+    def test_empty_workload_rejected(self, setting):
+        values, _ = setting
+        with pytest.raises(InvalidQueryError):
+            run_workload("RSA", values, [])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_small_floats_use_scientific(self):
+        text = format_table(["x"], [[0.00001234]])
+        assert "e-05" in text
+
+    def test_format_series(self):
+        series = {"RSA": {1: 0.5, 2: 0.7}, "SK": {1: 5.0}}
+        text = format_series(series, "k")
+        assert "RSA" in text and "SK" in text
+        assert text.splitlines()[-1].startswith("2")

@@ -1,0 +1,115 @@
+"""Unit tests for arrangement cells."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import Cell
+from repro.core.halfspace import HalfSpace
+from repro.core.region import hyperrectangle
+
+
+@pytest.fixture
+def square_region():
+    return hyperrectangle([0.1, 0.1], [0.4, 0.4])
+
+
+@pytest.fixture
+def segment_region():
+    return hyperrectangle([0.2], [0.8])
+
+
+class TestBasics:
+    def test_root_cell_matches_region(self, square_region):
+        cell = Cell(square_region)
+        assert cell.dimension == 2
+        assert cell.is_full_dimensional()
+        assert square_region.contains(cell.interior_point)
+
+    def test_contains(self, square_region):
+        cell = Cell(square_region)
+        assert cell.contains([0.2, 0.2])
+        assert not cell.contains([0.5, 0.2])
+
+    def test_linear_range(self, square_region):
+        cell = Cell(square_region)
+        low, high = cell.linear_range([1.0, 0.0])
+        assert low == pytest.approx(0.1, abs=1e-8)
+        assert high == pytest.approx(0.4, abs=1e-8)
+
+
+class TestRestriction:
+    def test_restricted_inside(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([1.0, 0.0]), 0.25)  # u1 >= 0.25
+        inside = cell.restricted(h, True)
+        outside = cell.restricted(h, False)
+        assert inside.contains([0.3, 0.2])
+        assert not inside.contains([0.2, 0.2])
+        assert outside.contains([0.2, 0.2])
+        assert not outside.contains([0.3, 0.2])
+
+    def test_history_tracks_restrictions(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([0.0, 1.0]), 0.2)
+        child = cell.restricted(h, True)
+        assert len(child.history) == 1
+        assert child.history[0] == (h, True)
+
+    def test_empty_restriction_not_full_dimensional(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([1.0, 0.0]), 0.9)  # u1 >= 0.9 misses the region
+        child = cell.restricted(h, True)
+        assert not child.is_full_dimensional()
+        assert child.interior_point is None
+
+
+class TestClassification:
+    def test_fully_inside(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([1.0, 0.0]), 0.05)  # u1 >= 0.05 always holds
+        assert cell.classify(h) == "inside"
+
+    def test_fully_outside(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([1.0, 0.0]), 0.9)
+        assert cell.classify(h) == "outside"
+
+    def test_proper_split(self, square_region):
+        cell = Cell(square_region)
+        h = HalfSpace(np.array([1.0, 0.0]), 0.25)
+        assert cell.classify(h) == "split"
+
+    def test_tangent_hyperplane_is_not_split(self, square_region):
+        cell = Cell(square_region)
+        # Boundary exactly at the region's edge: no full-dimensional piece on
+        # the other side, so this must not count as a split.
+        h = HalfSpace(np.array([1.0, 0.0]), 0.4)
+        assert cell.classify(h) in ("outside", "inside")
+
+    def test_classification_1d(self, segment_region):
+        cell = Cell(segment_region)
+        assert cell.classify(HalfSpace(np.array([1.0]), 0.5)) == "split"
+        assert cell.classify(HalfSpace(np.array([1.0]), 0.1)) == "inside"
+        assert cell.classify(HalfSpace(np.array([1.0]), 0.9)) == "outside"
+        assert cell.classify(HalfSpace(np.array([-1.0]), -0.5)) == "split"
+
+    def test_nested_restrictions_classify_consistently(self, square_region):
+        cell = Cell(square_region)
+        first = HalfSpace(np.array([1.0, 0.0]), 0.25)
+        second = HalfSpace(np.array([0.0, 1.0]), 0.25)
+        quadrant = cell.restricted(first, True).restricted(second, True)
+        assert quadrant.is_full_dimensional()
+        # A half-space cutting only the removed part is now fully outside.
+        h = HalfSpace(np.array([-1.0, 0.0]), -0.2)  # u1 <= 0.2
+        assert quadrant.classify(h) == "outside"
+
+    def test_interior_point_inside_all_constraints(self, square_region):
+        cell = Cell(square_region)
+        h1 = HalfSpace(np.array([1.0, 0.2]), 0.3)
+        h2 = HalfSpace(np.array([-0.5, 1.0]), 0.05)
+        child = cell.restricted(h1, True).restricted(h2, False)
+        if child.is_full_dimensional():
+            point = child.interior_point
+            assert child.contains(point, tol=1e-9)
+            assert h1.contains(point)
+            assert not h2.contains(point, tol=-1e-12)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestQueryCommand:
+    def test_text_output(self, capsys):
+        code = main(["query", "--dataset", "IND", "--cardinality", "200",
+                     "--dimensionality", "3", "--k", "2",
+                     "--lower", "0.1", "0.1", "--upper", "0.3", "0.3"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "UTK1" in captured and "UTK2" in captured
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(["query", "--dataset", "COR", "--cardinality", "150",
+                     "--dimensionality", "3", "--k", "2",
+                     "--lower", "0.1", "0.1", "--upper", "0.3", "0.3",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "COR"
+        assert set(payload["utk2"]) == {"partitions", "distinct_top_k_sets"}
+        assert payload["utk1"]["records"]
+
+    def test_utk1_only(self, capsys):
+        code = main(["query", "--dataset", "IND", "--cardinality", "100",
+                     "--dimensionality", "3", "--k", "1",
+                     "--lower", "0.2", "0.2", "--upper", "0.3", "0.3",
+                     "--version", "utk1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "utk1" in payload and "utk2" not in payload
+
+    def test_real_dataset_by_name(self, capsys):
+        code = main(["query", "--dataset", "HOTEL", "--cardinality", "300",
+                     "--k", "2", "--lower", "0.1", "0.1", "0.1",
+                     "--upper", "0.2", "0.2", "0.2", "--version", "utk1"])
+        assert code == 0
+        assert "UTK1" in capsys.readouterr().out
+
+    def test_invalid_region_errors_out(self):
+        with pytest.raises(Exception):
+            main(["query", "--dataset", "IND", "--cardinality", "50",
+                  "--dimensionality", "3", "--k", "1",
+                  "--lower", "0.9", "0.9", "--upper", "0.95", "0.95"])
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        assert "parameter" in capsys.readouterr().out
+
+    def test_tiny_fig14(self, capsys):
+        scale = json.dumps({"cardinality": 200, "dimensionality": 3, "k": 2,
+                            "sigma_values": [0.02, 0.05], "queries": 1, "seed": 1})
+        code = main(["experiment", "fig14", "--scale", scale])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rsa_seconds" in out
+
+    def test_experiment_registry_complete(self):
+        assert {"table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig16", "ablation-rsa", "ablation-jaa"} == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,130 @@
+"""Tests for the synthetic and simulated-real dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import Dataset
+from repro.datasets.nba import NBA_STAR_COLUMNS, NBA_STARS, nba_star_dataset
+from repro.datasets.real import (
+    DEFAULT_CARDINALITIES,
+    PAPER_SHAPES,
+    hotel_dataset,
+    house_dataset,
+    nba_league_dataset,
+    real_dataset,
+)
+from repro.datasets.synthetic import (
+    anticorrelated,
+    correlated,
+    independent,
+    synthetic_dataset,
+)
+from repro.exceptions import InvalidDatasetError
+from repro.skyline.dominance import skyline_bruteforce
+
+
+class TestSyntheticGenerators:
+    def test_shapes_and_ranges(self):
+        for generator in (independent, correlated, anticorrelated):
+            values = generator(500, 4, seed=0)
+            assert values.shape == (500, 4)
+            assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_reproducible_with_seed(self):
+        assert np.allclose(independent(100, 3, seed=5), independent(100, 3, seed=5))
+        assert not np.allclose(independent(100, 3, seed=5), independent(100, 3, seed=6))
+
+    def test_correlation_structure(self):
+        cor = np.corrcoef(correlated(4000, 3, seed=1), rowvar=False)
+        anti = np.corrcoef(anticorrelated(4000, 3, seed=1), rowvar=False)
+        off_cor = cor[np.triu_indices(3, 1)]
+        off_anti = anti[np.triu_indices(3, 1)]
+        assert off_cor.mean() > 0.3
+        assert off_anti.mean() < -0.1
+
+    def test_skyline_size_ordering(self):
+        """ANTI has the largest skyline, COR the smallest (paper's rationale)."""
+        sizes = {}
+        for name in ("COR", "IND", "ANTI"):
+            data = synthetic_dataset(name, 2000, 3, seed=2)
+            sizes[name] = skyline_bruteforce(data.values).size
+        assert sizes["COR"] < sizes["IND"] < sizes["ANTI"]
+
+    def test_dispatch_by_name(self):
+        data = synthetic_dataset("ind", 50, 3, seed=0)
+        assert isinstance(data, Dataset)
+        with pytest.raises(InvalidDatasetError):
+            synthetic_dataset("WEIRD", 50, 3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidDatasetError):
+            independent(0, 3)
+        with pytest.raises(InvalidDatasetError):
+            correlated(10, 1)
+        with pytest.raises(InvalidDatasetError):
+            anticorrelated(-5, 3)
+
+
+class TestRealSubstitutes:
+    def test_dimensionalities_match_paper(self):
+        assert hotel_dataset(200).dimensionality == PAPER_SHAPES["HOTEL"][1]
+        assert house_dataset(200).dimensionality == PAPER_SHAPES["HOUSE"][1]
+        assert nba_league_dataset(200).dimensionality == PAPER_SHAPES["NBA"][1]
+
+    def test_default_cardinalities(self):
+        assert len(hotel_dataset()) == DEFAULT_CARDINALITIES["HOTEL"]
+
+    def test_values_non_negative_and_bounded(self):
+        for dataset in (hotel_dataset(300), house_dataset(300), nba_league_dataset(300)):
+            assert dataset.values.min() >= 0.0
+            assert dataset.values.max() <= 10.0 + 1e-9
+
+    def test_reproducible(self):
+        assert np.allclose(hotel_dataset(100, seed=3).values,
+                           hotel_dataset(100, seed=3).values)
+
+    def test_hotel_ratings_positively_correlated(self):
+        values = hotel_dataset(4000, seed=0).values
+        corr = np.corrcoef(values[:, :3], rowvar=False)
+        assert corr[np.triu_indices(3, 1)].mean() > 0.2
+
+    def test_nba_league_positively_correlated(self):
+        values = nba_league_dataset(4000, seed=0).values
+        corr = np.corrcoef(values, rowvar=False)
+        assert corr[np.triu_indices(8, 1)].mean() > 0.2
+
+    def test_dispatch(self):
+        assert real_dataset("hotel", 100).dimensionality == 4
+        with pytest.raises(InvalidDatasetError):
+            real_dataset("unknown")
+
+    def test_rejects_bad_cardinality(self):
+        with pytest.raises(InvalidDatasetError):
+            hotel_dataset(0)
+
+
+class TestNBAStars:
+    def test_all_columns_available(self):
+        data = nba_star_dataset(NBA_STAR_COLUMNS)
+        assert data.dimensionality == len(NBA_STAR_COLUMNS)
+        assert data.size == len(NBA_STARS)
+
+    def test_column_selection_order(self):
+        data = nba_star_dataset(("points", "rebounds"))
+        westbrook = data.labels.index("Russell Westbrook")
+        assert data.values[westbrook, 0] == pytest.approx(31.6)
+        assert data.values[westbrook, 1] == pytest.approx(10.7)
+
+    def test_westbrook_leads_scoring(self):
+        data = nba_star_dataset(("points", "rebounds"))
+        top_scorer = data.label_of(int(np.argmax(data.values[:, 0])))
+        assert top_scorer == "Russell Westbrook"
+
+    def test_whiteside_leads_rebounding(self):
+        data = nba_star_dataset(("rebounds", "points"))
+        top_rebounder = data.label_of(int(np.argmax(data.values[:, 0])))
+        assert top_rebounder == "Hassan Whiteside"
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            nba_star_dataset(("rebounds", "threes"))

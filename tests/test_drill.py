@@ -1,0 +1,76 @@
+"""Unit tests for the drill optimization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import Cell
+from repro.core.drill import drill_vector, is_in_top_k, kth_ranked, rank_of, top_k_positions
+from repro.core.preference import scores
+from repro.core.region import hyperrectangle
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.1, 0.1], [0.4, 0.3])
+
+
+class TestDrillVector:
+    def test_inside_cell(self, region):
+        cell = Cell(region)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            record = rng.random(3) * 10
+            probe = drill_vector(cell, record)
+            assert cell.contains(probe, tol=1e-7)
+
+    def test_maximizes_candidate_score(self, region):
+        cell = Cell(region)
+        record = np.array([9.0, 1.0, 2.0])
+        probe = drill_vector(cell, record)
+        rng = np.random.default_rng(1)
+        best = scores(record.reshape(1, -1), probe)[0]
+        for point in region.sample(200, rng):
+            assert best >= scores(record.reshape(1, -1), point)[0] - 1e-9
+
+    def test_empty_cell_returns_none(self, region):
+        from repro.core.halfspace import HalfSpace
+        cell = Cell(region).restricted(HalfSpace(np.array([1.0, 0.0]), 0.9), True)
+        assert drill_vector(cell, np.array([1.0, 1.0, 1.0])) is None
+
+
+class TestRanking:
+    def test_rank_of_matches_sorting(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((30, 3)) * 10
+        weights = np.array([0.2, 0.3])
+        ranked = np.argsort(-scores(values, weights))
+        for position, index in enumerate(ranked, start=1):
+            assert rank_of(values, weights, int(index)) == position
+
+    def test_ties_count_against_the_target(self):
+        values = np.array([[5.0, 5.0], [5.0, 5.0], [1.0, 1.0]])
+        # Both tied records see the other as ranked at least as high.
+        assert rank_of(values, np.array([0.4]), 0) == 2
+        assert rank_of(values, np.array([0.4]), 1) == 2
+
+    def test_is_in_top_k(self):
+        values = np.array([[9.0, 1.0], [1.0, 9.0], [5.0, 5.0]])
+        weights = np.array([0.9])
+        assert is_in_top_k(values, weights, 0, 1)
+        assert not is_in_top_k(values, weights, 1, 2)
+        assert is_in_top_k(values, weights, 2, 2)
+
+    def test_kth_ranked(self):
+        values = np.array([[9.0, 1.0], [1.0, 9.0], [5.0, 5.0]])
+        weights = np.array([0.9])
+        assert kth_ranked(values, weights, 1) == 0
+        assert kth_ranked(values, weights, 2) == 2
+        assert kth_ranked(values, weights, 3) == 1
+
+    def test_kth_ranked_caps_at_dataset_size(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert kth_ranked(values, np.array([0.5]), 10) == 0  # lowest-ranked record
+
+    def test_top_k_positions(self):
+        values = np.array([[9.0, 1.0], [1.0, 9.0], [5.0, 5.0]])
+        assert top_k_positions(values, np.array([0.9]), 2) == [0, 2]

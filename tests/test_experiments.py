@@ -1,0 +1,85 @@
+"""Smoke tests for the per-figure experiment generators (tiny scale)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_ablation_jaa,
+    experiment_ablation_rsa,
+    experiment_fig9_2d,
+    experiment_fig9_3d,
+    experiment_fig10,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_table1,
+)
+
+TINY = {
+    "cardinality": 300,
+    "cardinalities": [200, 400],
+    "baseline_cardinality": 150,
+    "dimensionality": 3,
+    "dimensionalities": [2, 3],
+    "k": 2,
+    "k_values": [1, 2],
+    "baseline_k_values": [1, 2],
+    "sigma": 0.05,
+    "sigma_values": [0.02, 0.08],
+    "queries": 1,
+    "seed": 1,
+}
+
+
+class TestCaseStudies:
+    def test_fig9_2d_matches_paper_shape(self):
+        outcome = experiment_fig9_2d()
+        assert "Russell Westbrook" in outcome["utk1_players"]
+        assert outcome["counts"]["utk"] < outcome["counts"]["onion"]
+        assert outcome["counts"]["onion"] <= outcome["counts"]["skyband"]
+        assert outcome["utk2_partitions"]
+
+    def test_fig9_3d_matches_paper_shape(self):
+        outcome = experiment_fig9_3d()
+        players = set(outcome["utk1_players"])
+        assert {"Russell Westbrook", "James Harden"}.issubset(players)
+        assert outcome["counts"]["utk"] < outcome["counts"]["onion"]
+
+
+class TestParameterTable:
+    def test_table1_rows(self):
+        rows = experiment_table1()
+        assert len(rows) == 5
+        assert {row["parameter"] for row in rows} >= {"k", "sigma"}
+
+
+class TestScalingExperiments:
+    def test_fig10_rows_have_expected_ordering(self):
+        rows = experiment_fig10(TINY)
+        for row in rows:
+            assert row["utk"] <= row["onion"] <= row["k_skyband"]
+            assert row["required_k_for_topk"] >= row["k"]
+
+    def test_fig12_rows(self):
+        rows = experiment_fig12(TINY)
+        assert len(rows) == 2 * 3  # two cardinalities, three distributions
+        assert all(row["rsa_seconds"] > 0 for row in rows)
+
+    def test_fig13_rows(self):
+        rows = experiment_fig13(TINY)
+        assert [row["d"] for row in rows] == TINY["dimensionalities"]
+        assert all(row["rsa_peak_mb"] > 0 for row in rows)
+
+    def test_fig14_result_grows_with_sigma(self):
+        rows = experiment_fig14(TINY)
+        assert rows[0]["utk1_records"] <= rows[-1]["utk1_records"]
+
+
+class TestAblations:
+    def test_rsa_ablation_same_output_size(self):
+        rows = experiment_ablation_rsa(TINY)
+        sizes = {row["utk1_records"] for row in rows}
+        assert len(sizes) == 1  # every configuration reports the same answer
+
+    def test_jaa_ablation_rows(self):
+        rows = experiment_ablation_jaa(TINY)
+        assert {row["configuration"] for row in rows} == {"full", "no_lemma1"}

@@ -1,0 +1,85 @@
+"""Unit tests for preference-space half-spaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.halfspace import HalfSpace, halfspace_between, halfspaces_against
+from repro.core.preference import scores
+
+
+class TestHalfSpace:
+    def test_contains_and_value(self):
+        h = HalfSpace(normal=np.array([1.0, -1.0]), offset=0.1)
+        assert h.contains([0.3, 0.1])
+        assert not h.contains([0.1, 0.3])
+        assert h.value([0.3, 0.1]) == pytest.approx(0.1)
+
+    def test_constraint_forms_are_complementary(self):
+        h = HalfSpace(normal=np.array([2.0, 1.0]), offset=0.5, label=3)
+        inside_row, inside_rhs = h.as_upper_constraint()
+        outside_row, outside_rhs = h.as_lower_constraint()
+        point_inside = np.array([0.4, 0.1])
+        point_outside = np.array([0.1, 0.1])
+        assert inside_row @ point_inside <= inside_rhs + 1e-12
+        assert outside_row @ point_outside <= outside_rhs + 1e-12
+        assert not (inside_row @ point_outside <= inside_rhs - 1e-12)
+
+    def test_hash_and_equality(self):
+        a = HalfSpace(np.array([1.0, 2.0]), 0.3, label=5)
+        b = HalfSpace(np.array([1.0, 2.0]), 0.3, label=5)
+        c = HalfSpace(np.array([1.0, 2.0]), 0.3, label=6)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_dimension(self):
+        assert HalfSpace(np.array([1.0, 0.0, 0.0]), 0.0).dimension == 3
+
+
+class TestHalfspaceBetween:
+    def test_separates_scores(self):
+        rng = np.random.default_rng(0)
+        winner = rng.random(3) * 10
+        loser = rng.random(3) * 10
+        h = halfspace_between(winner, loser, label=1)
+        pair = np.vstack([winner, loser])
+        for _ in range(200):
+            weights = rng.dirichlet(np.ones(3))[:2]
+            s = scores(pair, weights)
+            if s[0] >= s[1]:
+                assert h.contains(weights, tol=1e-9)
+            else:
+                assert not h.contains(weights, tol=-1e-9)
+
+    def test_boundary_is_the_tie_hyperplane(self):
+        winner = np.array([5.0, 1.0, 3.0])
+        loser = np.array([1.0, 5.0, 3.0])
+        h = halfspace_between(winner, loser)
+        # Equal weights on the first two attributes tie the two records.
+        weights = np.array([0.25, 0.25])
+        assert abs(h.value(weights)) < 1e-12
+
+    def test_label_is_recorded(self):
+        h = halfspace_between(np.array([1.0, 2.0]), np.array([2.0, 1.0]), label=42)
+        assert h.label == 42
+
+    def test_antisymmetry(self):
+        a = np.array([3.0, 1.0, 2.0])
+        b = np.array([1.0, 2.0, 4.0])
+        forward = halfspace_between(a, b)
+        backward = halfspace_between(b, a)
+        assert np.allclose(forward.normal, -backward.normal)
+        assert forward.offset == pytest.approx(-backward.offset)
+
+
+class TestHalfspacesAgainst:
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(2)
+        candidate = rng.random(4)
+        competitors = rng.random((5, 4))
+        labels = [10, 11, 12, 13, 14]
+        batch = halfspaces_against(candidate, competitors, labels)
+        for row, single_label, h in zip(competitors, labels, batch):
+            expected = halfspace_between(row, candidate, label=single_label)
+            assert np.allclose(h.normal, expected.normal)
+            assert h.offset == pytest.approx(expected.offset)
+            assert h.label == single_label

@@ -1,0 +1,99 @@
+"""End-to-end integration tests across modules and algorithms.
+
+These tests run complete UTK queries on every dataset family and check the
+mutual consistency of RSA, JAA and the SK/ON baselines, the exactness
+certificates (witnesses), and the generalized-scoring path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, PowerScoring, hyperrectangle, utk1, utk2, utk_query
+from repro.bench.workloads import random_region
+from repro.core.jaa import JAA
+from repro.core.rsa import RSA
+from repro.datasets.real import hotel_dataset, house_dataset, nba_league_dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.index.rtree import RTree
+from repro.queries.baselines import baseline_utk1
+
+from .conftest import brute_force_top_k, sampled_top_k_union
+
+
+class TestCrossAlgorithmConsistency:
+    @pytest.mark.parametrize("distribution", ["IND", "COR", "ANTI"])
+    def test_rsa_jaa_baseline_agree_on_synthetic(self, distribution):
+        data = synthetic_dataset(distribution, 250, 3, seed=13)
+        region = hyperrectangle([0.2, 0.15], [0.4, 0.3])
+        k = 3
+        rsa = RSA(data.values, region, k).run()
+        jaa = JAA(data.values, region, k).run()
+        baseline = baseline_utk1(data.values, region, k)
+        assert set(jaa.result_records) == set(rsa.indices)
+        assert baseline.result_indices == rsa.indices
+
+    @pytest.mark.parametrize("maker", [hotel_dataset, house_dataset, nba_league_dataset])
+    def test_real_substitutes_consistency(self, maker):
+        data = maker(400, seed=5)
+        rng = np.random.default_rng(11)
+        region = random_region(data.dimensionality, 0.05, rng)
+        k = 3
+        rsa = RSA(data.values, region, k).run()
+        jaa = JAA(data.values, region, k).run()
+        assert set(jaa.result_records) == set(rsa.indices)
+        sampled = sampled_top_k_union(data.values, region, k, samples=500, seed=3)
+        assert sampled.issubset(set(rsa.indices))
+
+    def test_rtree_backed_query_matches_flat(self):
+        data = synthetic_dataset("IND", 1200, 3, seed=17)
+        region = hyperrectangle([0.25, 0.2], [0.4, 0.35])
+        tree = RTree(data.values)
+        with_tree = utk1(data, region, 4, tree=tree)
+        without_tree = utk1(data, region, 4)
+        assert with_tree.indices == without_tree.indices
+
+
+class TestRandomizedWorkloads:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_queries_full_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 5))
+        n = int(rng.integers(50, 220))
+        k = int(rng.integers(1, 6))
+        values = rng.random((n, d)) * 10
+        region = random_region(d, float(rng.uniform(0.02, 0.15)), rng)
+        utk1_result = RSA(values, region, k).run()
+        utk2_result = JAA(values, region, k).run()
+        # UTK2 union equals UTK1.
+        assert set(utk2_result.result_records) == set(utk1_result.indices)
+        # UTK2 cells agree with brute force at random probes.
+        for weights in region.sample(120, rng):
+            assert utk2_result.top_k_at(weights) == \
+                frozenset(brute_force_top_k(values, weights, k))
+        # Witnesses certify every UTK1 member.
+        for index in utk1_result.indices:
+            witness = utk1_result.witness_of(index)
+            assert index in brute_force_top_k(values, witness, k)
+
+
+class TestScoringIntegration:
+    def test_power_scoring_changes_geometry_but_stays_consistent(self):
+        data = Dataset(np.random.default_rng(23).random((200, 3)) * 10)
+        region = hyperrectangle([0.15, 0.1], [0.35, 0.3])
+        first, second = utk_query(data, region, 3, scoring=PowerScoring(2.0))
+        assert set(second.result_records) == set(first.indices)
+        transformed = data.values ** 2
+        for index in first.indices:
+            witness = first.witness_of(index)
+            assert index in brute_force_top_k(transformed, witness, 3)
+
+
+class TestScalabilitySmoke:
+    def test_moderate_dataset_runs_quickly(self):
+        data = synthetic_dataset("IND", 5000, 4, seed=29)
+        rng = np.random.default_rng(29)
+        region = random_region(4, 0.03, rng)
+        result = utk1(data, region, 5)
+        assert len(result) >= 5
+        partitioning = utk2(data, region, 5)
+        assert set(partitioning.result_records) == set(result.indices)

@@ -1,0 +1,71 @@
+"""Unit tests for the 1-D interval helpers (repro.geometry.interval)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.interval import Interval
+
+
+class TestBasics:
+    def test_width_and_midpoint(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.width == pytest.approx(2.0)
+        assert interval.midpoint == pytest.approx(2.0)
+        assert not interval.is_empty
+
+    def test_empty_interval(self):
+        interval = Interval(2.0, 1.0)
+        assert interval.is_empty
+        assert interval.width < 0.0
+
+    def test_contains(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.5)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(1.1)
+        assert interval.contains(1.05, tol=0.1)
+
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+
+class TestClipping:
+    def test_clip_positive_coefficient(self):
+        interval = Interval(0.0, 10.0).clip_halfline(2.0, 4.0)  # 2x <= 4
+        assert interval == Interval(0.0, 2.0)
+
+    def test_clip_negative_coefficient(self):
+        interval = Interval(0.0, 10.0).clip_halfline(-1.0, -3.0)  # -x <= -3
+        assert interval == Interval(3.0, 10.0)
+
+    def test_clip_zero_coefficient_feasible(self):
+        interval = Interval(0.0, 1.0).clip_halfline(0.0, 0.5)
+        assert interval == Interval(0.0, 1.0)
+
+    def test_clip_zero_coefficient_infeasible(self):
+        interval = Interval(0.0, 1.0).clip_halfline(0.0, -1.0)
+        assert interval.is_empty
+
+    def test_from_constraints(self):
+        interval = Interval.from_constraints([1.0, -1.0, 1.0], [5.0, 0.0, 3.0])
+        assert interval == Interval(0.0, 3.0)
+
+    def test_from_constraints_empty(self):
+        interval = Interval.from_constraints([1.0, -1.0], [0.0, -1.0])
+        assert interval.is_empty
+
+
+class TestSampling:
+    def test_samples_inside(self):
+        interval = Interval(2.0, 4.0)
+        points = interval.sample(10)
+        assert points.shape == (10,)
+        assert np.all(points > 2.0) and np.all(points < 4.0)
+
+    def test_sample_empty_interval(self):
+        assert Interval(1.0, 0.0).sample(5).size == 0
+
+    def test_sample_zero_count(self):
+        assert Interval(0.0, 1.0).sample(0).size == 0

@@ -1,0 +1,153 @@
+"""Tests for JAA (UTK2): paper example, exact d=2 oracle, consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.jaa import JAA
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.exceptions import InvalidQueryError
+
+from .conftest import brute_force_top_k, exact_utk2_d2
+
+
+class TestPaperExample:
+    def test_figure1_partitioning(self, paper_hotels, paper_region):
+        """Figure 1(b): the top-2 sets across R are exactly four."""
+        result = JAA(paper_hotels.values, paper_region, 2).run()
+        names = {frozenset(paper_hotels.label_of(i) for i in top)
+                 for top in result.distinct_top_k_sets}
+        assert names == {
+            frozenset({"p2", "p4"}),
+            frozenset({"p1", "p4"}),
+            frozenset({"p1", "p2"}),
+            frozenset({"p1", "p6"}),
+        }
+
+    def test_figure1_partitions_cover_region(self, paper_hotels, paper_region):
+        result = JAA(paper_hotels.values, paper_region, 2).run()
+        rng = np.random.default_rng(0)
+        for weights in paper_region.sample(300, rng):
+            top = result.top_k_at(weights)
+            assert top is not None
+            assert top == frozenset(brute_force_top_k(paper_hotels.values, weights, 2))
+
+    def test_union_matches_utk1(self, paper_hotels, paper_region):
+        utk1 = RSA(paper_hotels.values, paper_region, 2).run()
+        utk2 = JAA(paper_hotels.values, paper_region, 2).run()
+        assert set(utk2.result_records) == set(utk1.indices)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_k(self, paper_hotels, paper_region):
+        with pytest.raises(InvalidQueryError):
+            JAA(paper_hotels.values, paper_region, -1)
+
+    def test_rejects_dimension_mismatch(self, paper_hotels):
+        with pytest.raises(InvalidQueryError):
+            JAA(paper_hotels.values, hyperrectangle([0.2], [0.4]), 2)
+
+    def test_rejects_bad_values(self, paper_region):
+        with pytest.raises(InvalidQueryError):
+            JAA(np.array([1.0, 2.0]), paper_region, 1)
+
+
+class TestExactnessD2:
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 3), (3, 5)])
+    def test_matches_exact_interval_oracle(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((100, 2)) * 10
+        lo, hi = 0.25, 0.75
+        region = hyperrectangle([lo], [hi])
+        result = JAA(values, region, k).run()
+        oracle = exact_utk2_d2(values, lo, hi, k)
+        # Same distinct top-k sets ...
+        assert result.distinct_top_k_sets == {segment[2] for segment in oracle}
+        # ... and the correct set at the midpoint of every oracle segment.
+        for a, b, expected in oracle:
+            probe = np.array([(a + b) / 2.0])
+            assert result.top_k_at(probe) == expected
+
+
+class TestHigherDimensions:
+    @pytest.mark.parametrize("seed,d,k", [(0, 3, 2), (1, 3, 4), (2, 4, 3), (3, 5, 2)])
+    def test_partition_sets_match_bruteforce_at_samples(self, seed, d, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((150, d)) * 10
+        lower = np.full(d - 1, 0.1)
+        upper = np.full(d - 1, 0.1 + 0.5 / (d - 1))
+        region = hyperrectangle(lower, upper)
+        result = JAA(values, region, k).run()
+        for weights in region.sample(250, rng):
+            assert result.top_k_at(weights) == \
+                frozenset(brute_force_top_k(values, weights, k))
+
+    def test_every_partition_is_full_dimensional(self):
+        rng = np.random.default_rng(6)
+        values = rng.random((120, 3)) * 10
+        region = hyperrectangle([0.1, 0.1], [0.35, 0.3])
+        result = JAA(values, region, 3).run()
+        for partition in result.partitions:
+            assert partition.cell.is_full_dimensional()
+            assert len(partition.top_k) == 3
+
+    def test_interior_point_top_k_matches_label(self):
+        rng = np.random.default_rng(7)
+        values = rng.random((150, 4)) * 10
+        region = hyperrectangle([0.1, 0.1, 0.1], [0.25, 0.25, 0.25])
+        result = JAA(values, region, 3).run()
+        for partition in result.partitions:
+            probe = partition.interior_point
+            assert partition.top_k == frozenset(brute_force_top_k(values, probe, 3))
+
+
+class TestOptions:
+    def test_shared_skyband(self):
+        rng = np.random.default_rng(8)
+        values = rng.random((150, 3)) * 10
+        region = hyperrectangle([0.15, 0.1], [0.4, 0.25])
+        skyband = compute_r_skyband(values, region, 3)
+        shared = JAA(values, region, 3, skyband=skyband).run()
+        fresh = JAA(values, region, 3).run()
+        assert shared.distinct_top_k_sets == fresh.distinct_top_k_sets
+
+    def test_lemma1_disabled_same_answer(self):
+        rng = np.random.default_rng(9)
+        values = rng.random((100, 3)) * 10
+        region = hyperrectangle([0.15, 0.1], [0.35, 0.25])
+        fast = JAA(values, region, 3, use_lemma1=True).run()
+        slow = JAA(values, region, 3, use_lemma1=False).run()
+        assert fast.distinct_top_k_sets == slow.distinct_top_k_sets
+
+    def test_stats_populated(self):
+        rng = np.random.default_rng(10)
+        values = rng.random((120, 3)) * 10
+        region = hyperrectangle([0.15, 0.1], [0.4, 0.25])
+        result = JAA(values, region, 3).run()
+        assert result.stats["partition_calls"] >= 1
+        assert result.stats["finalized_partitions"] == len(result)
+
+
+class TestEdgeCases:
+    def test_k_at_least_skyband_size(self, paper_region):
+        values = np.random.default_rng(0).random((6, 3))
+        result = JAA(values, paper_region, 10).run()
+        assert len(result) == 1
+        assert result.partitions[0].top_k == frozenset(range(6))
+
+    def test_single_record(self, paper_region):
+        result = JAA(np.array([[1.0, 2.0, 3.0]]), paper_region, 1).run()
+        assert len(result) == 1
+        assert result.partitions[0].top_k == frozenset({0})
+
+    def test_k_one(self):
+        rng = np.random.default_rng(12)
+        values = rng.random((200, 3)) * 10
+        region = hyperrectangle([0.1, 0.1], [0.45, 0.35])
+        result = JAA(values, region, 1).run()
+        for partition in result.partitions:
+            assert len(partition.top_k) == 1
+        for weights in region.sample(100, rng):
+            assert result.top_k_at(weights) == \
+                frozenset(brute_force_top_k(values, weights, 1))

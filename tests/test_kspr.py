@@ -1,0 +1,96 @@
+"""Tests for the constrained monochromatic reverse top-k (kSPR) building block."""
+
+import numpy as np
+import pytest
+
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.exceptions import InvalidQueryError
+from repro.queries.kspr import constrained_reverse_topk
+from repro.skyline.dominance import k_skyband_bruteforce
+
+from .conftest import brute_force_top_k
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.1, 0.1], [0.4, 0.3])
+
+
+class TestQualification:
+    def test_agrees_with_rsa_membership(self, region):
+        rng = np.random.default_rng(0)
+        values = rng.random((80, 3)) * 10
+        k = 3
+        utk = set(RSA(values, region, k).run().indices)
+        candidates = k_skyband_bruteforce(values, k).tolist()
+        for candidate in candidates:
+            outcome = constrained_reverse_topk(values, candidate, region, k,
+                                               competitors=candidates)
+            assert outcome.qualifies == (candidate in utk)
+
+    def test_qualifying_cells_are_genuine(self, region):
+        rng = np.random.default_rng(1)
+        values = rng.random((60, 3)) * 10
+        k = 2
+        candidates = k_skyband_bruteforce(values, k).tolist()
+        for candidate in candidates[:8]:
+            outcome = constrained_reverse_topk(values, candidate, region, k,
+                                               competitors=candidates)
+            for leaf in outcome.cells:
+                probe = leaf.cell.interior_point
+                assert probe is not None
+                assert candidate in brute_force_top_k(values, probe, k)
+
+    def test_witness_in_region(self, region):
+        rng = np.random.default_rng(2)
+        values = rng.random((50, 3)) * 10
+        k = 2
+        candidates = k_skyband_bruteforce(values, k).tolist()
+        qualified = [c for c in candidates
+                     if constrained_reverse_topk(values, c, region, k,
+                                                 competitors=candidates).qualifies]
+        assert qualified
+        outcome = constrained_reverse_topk(values, qualified[0], region, k,
+                                           competitors=candidates)
+        assert region.contains(outcome.witness(), tol=1e-7)
+
+    def test_default_competitors_whole_dataset(self, region):
+        rng = np.random.default_rng(3)
+        values = rng.random((30, 3)) * 10
+        k = 2
+        utk = set(RSA(values, region, k).run().indices)
+        for candidate in range(values.shape[0]):
+            outcome = constrained_reverse_topk(values, candidate, region, k)
+            assert outcome.qualifies == (candidate in utk)
+
+
+class TestEarlyTermination:
+    def test_same_qualification_decision(self, region):
+        rng = np.random.default_rng(4)
+        values = rng.random((60, 3)) * 10
+        k = 2
+        candidates = k_skyband_bruteforce(values, k).tolist()
+        for candidate in candidates:
+            full = constrained_reverse_topk(values, candidate, region, k,
+                                            competitors=candidates)
+            early = constrained_reverse_topk(values, candidate, region, k,
+                                             competitors=candidates,
+                                             early_terminate=True)
+            assert full.qualifies == early.qualifies
+
+    def test_counts_work_performed(self, region):
+        values = np.random.default_rng(5).random((40, 3)) * 10
+        outcome = constrained_reverse_topk(values, 0, region, 2)
+        assert outcome.halfspaces_inserted == values.shape[0] - 1
+        assert outcome.leaves_examined >= 1
+
+
+class TestValidation:
+    def test_rejects_bad_focal(self, region):
+        with pytest.raises(InvalidQueryError):
+            constrained_reverse_topk(np.zeros((5, 3)), 9, region, 1)
+
+    def test_rejects_bad_k(self, region):
+        with pytest.raises(InvalidQueryError):
+            constrained_reverse_topk(np.zeros((5, 3)), 0, region, 0)

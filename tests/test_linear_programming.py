@@ -1,0 +1,140 @@
+"""Unit tests for the LP toolkit (repro.geometry.linear_programming)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LinearProgramError
+from repro.geometry.linear_programming import (
+    chebyshev_center,
+    feasible_point,
+    has_interior,
+    maximize,
+    minimize,
+)
+
+
+class TestMinimizeMaximize:
+    def test_minimize_unconstrained_zero_objective(self):
+        result = minimize([0.0, 0.0])
+        assert result.is_optimal
+
+    def test_minimize_box_2d(self):
+        # min x + y on the unit square -> 0 at the origin.
+        a = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+        b = [1, 0, 1, 0]
+        result = minimize([1.0, 1.0], a, b)
+        assert result.is_optimal
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximize_box_2d(self):
+        a = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+        b = [1, 0, 1, 0]
+        result = maximize([2.0, 3.0], a, b)
+        assert result.value == pytest.approx(5.0, abs=1e-9)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-8)
+
+    def test_infeasible_detected(self):
+        a = [[1.0], [-1.0]]
+        b = [0.0, -1.0]  # x <= 0 and x >= 1
+        result = minimize([1.0], a, b)
+        assert result.status == "infeasible"
+        assert not result.is_optimal
+
+    def test_unbounded_detected_1d(self):
+        result = minimize([1.0], [[1.0]], [5.0])  # x <= 5, minimize x
+        assert result.status == "unbounded"
+
+    def test_unbounded_detected_multidim(self):
+        result = minimize([1.0, 0.0], [[0.0, 1.0]], [1.0])
+        assert result.status == "unbounded"
+
+    def test_one_dimensional_fast_path_matches_general(self):
+        a = [[2.0], [-3.0]]
+        b = [4.0, 6.0]
+        fast = maximize([1.0], a, b)
+        assert fast.value == pytest.approx(2.0)
+        fast_min = minimize([1.0], a, b)
+        assert fast_min.value == pytest.approx(-2.0)
+
+    def test_inconsistent_shapes_raise(self):
+        with pytest.raises(LinearProgramError):
+            minimize([1.0, 1.0], [[1.0, 0.0]], [1.0, 2.0])
+
+    def test_wrong_column_count_raises(self):
+        with pytest.raises(LinearProgramError):
+            minimize([1.0, 1.0], [[1.0, 0.0, 0.0]], [1.0])
+
+
+class TestChebyshev:
+    def test_unit_square_centre(self):
+        a = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+        b = [1, 0, 1, 0]
+        centre, radius = chebyshev_center(a, b)
+        assert np.allclose(centre, [0.5, 0.5], atol=1e-7)
+        assert radius == pytest.approx(0.5, abs=1e-7)
+
+    def test_interval_centre_1d(self):
+        centre, radius = chebyshev_center([[1.0], [-1.0]], [3.0, 1.0])
+        assert centre[0] == pytest.approx(1.0)
+        assert radius == pytest.approx(2.0)
+
+    def test_empty_polytope(self):
+        centre, radius = chebyshev_center([[1.0], [-1.0]], [0.0, -1.0])
+        assert centre is None
+        assert radius < 0.0
+
+    def test_empty_polytope_2d(self):
+        a = [[1, 0], [-1, 0]]
+        b = [0.0, -1.0]
+        centre, radius = chebyshev_center(a, b)
+        assert centre is None
+
+    def test_triangle_has_interior(self):
+        a = [[-1, 0], [0, -1], [1, 1]]
+        b = [0, 0, 1]
+        assert has_interior(a, b)
+
+    def test_degenerate_segment_has_no_interior(self):
+        # x in [0,1], y in [0,0] — a segment in the plane.
+        a = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+        b = [1, 0, 0, 0]
+        assert not has_interior(a, b, tol=1e-9)
+
+    def test_feasible_point_inside(self):
+        a = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+        b = [2, 0, 3, 0]
+        point = feasible_point(a, b)
+        assert point is not None
+        assert np.all(np.asarray(a) @ point <= np.asarray(b) + 1e-9)
+
+    def test_feasible_point_none_when_empty(self):
+        assert feasible_point([[1.0], [-1.0]], [0.0, -1.0]) is None
+
+    def test_requires_dimension_or_constraints(self):
+        with pytest.raises(LinearProgramError):
+            chebyshev_center(np.zeros((0, 0)), np.zeros(0))
+
+
+class TestNumericalRobustness:
+    def test_random_boxes_contain_their_centres(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            dim = int(rng.integers(1, 5))
+            lo = rng.uniform(-1, 0, dim)
+            hi = rng.uniform(0.1, 1.5, dim)
+            a = np.vstack([np.eye(dim), -np.eye(dim)])
+            b = np.concatenate([hi, -lo])
+            centre, radius = chebyshev_center(a, b, dim=dim)
+            assert np.all(a @ centre <= b + 1e-9)
+            assert radius > 0.0
+
+    def test_maximize_direction_hits_boundary(self):
+        rng = np.random.default_rng(1)
+        dim = 3
+        a = np.vstack([np.eye(dim), -np.eye(dim)])
+        b = np.concatenate([np.ones(dim), np.zeros(dim)])
+        for _ in range(10):
+            direction = rng.normal(size=dim)
+            result = maximize(direction, a, b)
+            expected = float(np.sum(np.maximum(direction, 0.0)))
+            assert result.value == pytest.approx(expected, abs=1e-8)

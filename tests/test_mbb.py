@@ -1,0 +1,71 @@
+"""Unit tests for minimum bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbb import MBB
+
+
+class TestConstruction:
+    def test_of_point(self):
+        box = MBB.of_point([1.0, 2.0])
+        assert np.allclose(box.lower, [1.0, 2.0])
+        assert np.allclose(box.upper, [1.0, 2.0])
+        assert box.volume == 0.0
+
+    def test_of_points(self):
+        box = MBB.of_points([[1.0, 5.0], [3.0, 2.0]])
+        assert np.allclose(box.lower, [1.0, 2.0])
+        assert np.allclose(box.upper, [3.0, 5.0])
+
+    def test_top_corner(self):
+        box = MBB.of_points([[0.0, 1.0], [2.0, 0.5]])
+        assert np.allclose(box.top_corner, [2.0, 1.0])
+
+    def test_dimension(self):
+        assert MBB.of_point([0.0, 1.0, 2.0]).dimension == 3
+
+
+class TestGeometry:
+    def test_union(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBB(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        union = a.union(b)
+        assert np.allclose(union.lower, [0.0, -1.0])
+        assert np.allclose(union.upper, [3.0, 1.0])
+
+    def test_volume_and_margin(self):
+        box = MBB(np.array([0.0, 0.0]), np.array([2.0, 3.0]))
+        assert box.volume == pytest.approx(6.0)
+        assert box.margin == pytest.approx(5.0)
+
+    def test_enlargement(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBB(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert a.enlargement(b) == pytest.approx(3.0)
+
+    def test_enlargement_zero_when_contained(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = MBB(np.array([0.5, 0.5]), np.array([1.0, 1.0]))
+        assert a.enlargement(b) == pytest.approx(0.0)
+
+    def test_contains_point(self):
+        box = MBB(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.contains_point([0.5, 0.5])
+        assert box.contains_point([1.0, 1.0])
+        assert not box.contains_point([1.1, 0.5])
+        assert box.contains_point([1.05, 0.5], tol=0.1)
+
+    def test_intersects(self):
+        a = MBB(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBB(np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        c = MBB(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert b.intersects(c)  # they touch at a corner
+
+    def test_copy_is_independent(self):
+        box = MBB(np.array([0.0]), np.array([1.0]))
+        clone = box.copy()
+        clone.lower[0] = -5.0
+        assert box.lower[0] == 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for onion-layer computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.preference import scores
+from repro.geometry.onion import onion_layers, onion_member_indices
+
+
+class TestOnionLayers:
+    def test_layers_are_disjoint(self):
+        rng = np.random.default_rng(3)
+        points = rng.random((50, 2))
+        layers = onion_layers(points, 3)
+        flat = np.concatenate(layers)
+        assert len(set(flat.tolist())) == flat.size
+
+    def test_zero_layers(self):
+        assert onion_layers(np.random.default_rng(0).random((10, 2)), 0) == []
+
+    def test_exhausts_small_dataset(self):
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.4]])
+        layers = onion_layers(points, 10)
+        assert sum(layer.size for layer in layers) == 3
+
+    def test_first_layer_contains_every_top1(self):
+        rng = np.random.default_rng(9)
+        points = rng.random((60, 3))
+        first = set(onion_layers(points, 1)[0].tolist())
+        for _ in range(200):
+            weights = rng.dirichlet(np.ones(3))
+            top = int(np.argmax(scores(points, weights[:2])))
+            assert top in first
+
+    def test_k_layers_contain_every_topk(self):
+        rng = np.random.default_rng(21)
+        points = rng.random((70, 2))
+        k = 3
+        members = set(onion_member_indices(points, k).tolist())
+        for _ in range(200):
+            weights = rng.dirichlet(np.ones(2))
+            ranked = np.argsort(-scores(points, weights[:1]))[:k]
+            assert set(ranked.tolist()).issubset(members)
+
+    def test_layer_order_matches_peeling(self):
+        points = np.array([[4.0, 4.0], [3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        layers = onion_layers(points, 3)
+        assert layers[0].tolist() == [0]
+        assert layers[1].tolist() == [1]
+        assert layers[2].tolist() == [2]
+
+
+class TestOnionMemberIndices:
+    def test_empty_for_zero_layers(self):
+        points = np.random.default_rng(0).random((5, 2))
+        assert onion_member_indices(points, 0).size == 0
+
+    def test_sorted_unique(self):
+        rng = np.random.default_rng(4)
+        points = rng.random((40, 3))
+        members = onion_member_indices(points, 2)
+        assert np.all(np.diff(members) > 0)

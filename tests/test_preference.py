@@ -1,0 +1,107 @@
+"""Unit tests for the preference-domain algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.preference import (
+    expand_weights,
+    preference_dimension,
+    reduce_weights,
+    score_gradients,
+    scores,
+    scores_full,
+    top_k_at,
+)
+from repro.exceptions import InvalidQueryError
+
+
+class TestWeightConversion:
+    def test_preference_dimension(self):
+        assert preference_dimension(2) == 1
+        assert preference_dimension(5) == 4
+
+    def test_preference_dimension_rejects_1d(self):
+        with pytest.raises(InvalidQueryError):
+            preference_dimension(1)
+
+    def test_reduce_normalizes(self):
+        reduced = reduce_weights([2.0, 2.0, 4.0])
+        assert np.allclose(reduced, [0.25, 0.25])
+
+    def test_reduce_expand_roundtrip(self):
+        original = np.array([0.3, 0.5, 0.2])
+        assert np.allclose(expand_weights(reduce_weights(original)), original)
+
+    def test_reduce_rejects_negative(self):
+        with pytest.raises(InvalidQueryError):
+            reduce_weights([0.5, -0.1, 0.6])
+
+    def test_reduce_rejects_zero_sum(self):
+        with pytest.raises(InvalidQueryError):
+            reduce_weights([0.0, 0.0])
+
+    def test_reduce_rejects_scalar(self):
+        with pytest.raises(InvalidQueryError):
+            reduce_weights([1.0])
+
+    def test_expand_rejects_invalid_point(self):
+        with pytest.raises(InvalidQueryError):
+            expand_weights([0.8, 0.5])  # sums above one
+
+
+class TestScores:
+    def test_reduced_scores_match_full_weights(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((30, 4))
+        weights = rng.dirichlet(np.ones(4))
+        via_reduced = scores(values, weights[:3])
+        via_full = scores_full(values, weights)
+        assert np.allclose(via_reduced, via_full)
+
+    def test_batch_scores_shape(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((10, 3))
+        weights = rng.random((7, 2)) * 0.4
+        matrix = scores(values, weights)
+        assert matrix.shape == (7, 10)
+        for row, weight in zip(matrix, weights):
+            assert np.allclose(row, scores(values, weight))
+
+    def test_score_gradients_reconstruct_scores(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((20, 5))
+        gradients, offsets = score_gradients(values)
+        weight = np.array([0.1, 0.2, 0.3, 0.1])
+        assert np.allclose(offsets + gradients @ weight, scores(values, weight))
+
+    def test_scores_full_rejects_mismatched_weights(self):
+        with pytest.raises(InvalidQueryError):
+            scores_full(np.zeros((3, 3)), [0.5, 0.5])
+
+    def test_score_gradients_reject_vector(self):
+        with pytest.raises(InvalidQueryError):
+            score_gradients(np.array([1.0, 2.0]))
+
+
+class TestTopKAt:
+    def test_matches_manual_ranking(self):
+        values = np.array([[10.0, 0.0], [0.0, 10.0], [6.0, 6.0]])
+        top = top_k_at(values, np.array([0.9]), 2)
+        assert list(top) == [0, 2]
+
+    def test_ties_broken_by_index(self):
+        values = np.array([[5.0, 5.0], [5.0, 5.0], [1.0, 1.0]])
+        top = top_k_at(values, np.array([0.5]), 1)
+        assert list(top) == [0]
+
+    def test_k_larger_than_dataset(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert len(top_k_at(values, np.array([0.5]), 10)) == 2
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(InvalidQueryError):
+            top_k_at(np.zeros((2, 2)), np.array([0.5]), 0)
+
+    def test_rejects_weight_batch(self):
+        with pytest.raises(InvalidQueryError):
+            top_k_at(np.zeros((2, 2)), np.zeros((3, 1)), 1)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dominance import RDominance, dominates, r_dominates
+from repro.core.halfspace import halfspace_between
+from repro.core.preference import expand_weights, reduce_weights, scores
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.index.rtree import RTree
+from repro.skyline.dominance import k_skyband_bruteforce
+from repro.skyline.skyband import k_skyband
+
+# Reasonably small, well-conditioned record matrices.
+record_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 40), st.integers(2, 4)),
+    elements=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False, width=32),
+)
+
+weight_vectors = st.lists(st.floats(0.01, 1.0, allow_nan=False),
+                          min_size=2, max_size=5)
+
+common_settings = settings(max_examples=25, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+def region_for(dim: int):
+    lower = np.full(dim, 0.05)
+    upper = np.full(dim, 0.05 + 0.5 / dim)
+    return hyperrectangle(lower, upper)
+
+
+class TestPreferenceProperties:
+    @common_settings
+    @given(weight_vectors)
+    def test_reduce_expand_roundtrip(self, weights):
+        reduced = reduce_weights(weights)
+        expanded = expand_weights(reduced)
+        normalized = np.asarray(weights) / np.sum(weights)
+        assert np.allclose(expanded, normalized, atol=1e-9)
+
+    @common_settings
+    @given(record_matrices, st.integers(0, 10_000))
+    def test_scores_are_convex_combinations(self, values, seed):
+        """A record's score always lies between its min and max attribute."""
+        rng = np.random.default_rng(seed)
+        dim = values.shape[1]
+        weights = rng.dirichlet(np.ones(dim))
+        s = scores(values, weights[:-1])
+        assert np.all(s <= values.max(axis=1) + 1e-9)
+        assert np.all(s >= values.min(axis=1) - 1e-9)
+
+
+class TestDominanceProperties:
+    @common_settings
+    @given(record_matrices)
+    def test_traditional_implies_r_dominance(self, values):
+        region = region_for(values.shape[1] - 1)
+        for i in range(min(5, values.shape[0])):
+            for j in range(min(5, values.shape[0])):
+                if i != j and dominates(values[i], values[j]):
+                    assert r_dominates(values[i], values[j], region)
+
+    @common_settings
+    @given(record_matrices)
+    def test_r_dominance_is_antisymmetric(self, values):
+        region = region_for(values.shape[1] - 1)
+        matrix = RDominance(region).dominance_matrix(values)
+        assert not np.any(matrix & matrix.T)
+
+    @common_settings
+    @given(record_matrices)
+    def test_r_dominance_implies_score_order_at_pivot(self, values):
+        region = region_for(values.shape[1] - 1)
+        matrix = RDominance(region).dominance_matrix(values)
+        pivot_scores = scores(values, region.pivot)
+        winners, losers = np.nonzero(matrix)
+        for i, j in zip(winners, losers):
+            assert pivot_scores[i] >= pivot_scores[j] - 1e-9
+
+
+class TestHalfspaceProperties:
+    @common_settings
+    @given(record_matrices, st.integers(0, 10_000))
+    def test_halfspace_boundary_separates_scores(self, values, seed):
+        rng = np.random.default_rng(seed)
+        if values.shape[0] < 2:
+            pytest.skip("need two records")
+        p, q = values[0], values[1]
+        h = halfspace_between(p, q)
+        dim = values.shape[1] - 1
+        point = rng.dirichlet(np.ones(dim + 1))[:dim]
+        pair_scores = scores(np.vstack([p, q]), point)
+        if h.contains(point, tol=-1e-9):
+            assert pair_scores[0] >= pair_scores[1] - 1e-7
+        elif not h.contains(point, tol=1e-9):
+            assert pair_scores[0] <= pair_scores[1] + 1e-7
+
+
+class TestSkybandProperties:
+    @common_settings
+    @given(record_matrices, st.integers(1, 5))
+    def test_r_skyband_subset_of_k_skyband(self, values, k):
+        region = region_for(values.shape[1] - 1)
+        sky = compute_r_skyband(values, region, k)
+        traditional = set(k_skyband_bruteforce(values, k).tolist())
+        assert set(sky.members()).issubset(traditional)
+
+    @common_settings
+    @given(record_matrices, st.integers(1, 4))
+    def test_skyband_monotone_in_k(self, values, k):
+        smaller = set(k_skyband_bruteforce(values, k).tolist())
+        larger = set(k_skyband_bruteforce(values, k + 1).tolist())
+        assert smaller.issubset(larger)
+
+    @common_settings
+    @given(arrays(dtype=np.float64, shape=st.tuples(st.integers(40, 120), st.just(3)),
+                  elements=st.floats(0.0, 1.0, allow_nan=False, width=32)),
+           st.integers(1, 3))
+    def test_index_and_bruteforce_skyband_agree(self, values, k):
+        tree = RTree(values)
+        assert k_skyband(values, k, tree=tree).tolist() == \
+            k_skyband_bruteforce(values, k).tolist()
+
+
+class TestUTKProperties:
+    @common_settings
+    @given(arrays(dtype=np.float64, shape=st.tuples(st.integers(10, 50), st.just(3)),
+                  elements=st.floats(0.0, 10.0, allow_nan=False, width=32)),
+           st.integers(1, 3), st.integers(0, 10_000))
+    def test_utk1_contains_topk_at_random_point_and_witnesses_hold(self, values, k, seed):
+        region = region_for(2)
+        result = RSA(values, region, k).run()
+        rng = np.random.default_rng(seed)
+        point = region.sample(1, rng)[0]
+        row = scores(values, point)
+        order = np.lexsort((np.arange(row.shape[0]), -row))
+        assert set(int(i) for i in order[:k]).issubset(set(result.indices))
+        for index in result.indices:
+            witness = result.witness_of(index)
+            witness_scores = scores(values, witness)
+            strictly_better = int(np.sum(witness_scores > witness_scores[index]))
+            assert strictly_better < k
+
+    @common_settings
+    @given(st.integers(1, 4))
+    def test_utk1_monotone_in_k(self, k):
+        rng = np.random.default_rng(99)
+        values = rng.random((60, 3)) * 10
+        region = region_for(2)
+        smaller = set(RSA(values, region, k).run().indices)
+        larger = set(RSA(values, region, k + 1).run().indices)
+        assert smaller.issubset(larger)

@@ -1,0 +1,97 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import Dataset, normalize_higher_is_better
+from repro.exceptions import InvalidDatasetError
+
+
+class TestDatasetConstruction:
+    def test_basic_properties(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert data.size == 3
+        assert data.dimensionality == 2
+        assert len(data) == 3
+
+    def test_values_are_read_only(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            data.values[0, 0] = 99.0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.zeros((0, 3)))
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0], [2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, np.nan]])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, np.inf]])
+
+    def test_label_count_must_match(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, 2.0]], labels=["a", "b"])
+
+
+class TestDatasetAccess:
+    def test_getitem(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(data[1], [3.0, 4.0])
+
+    def test_labels_roundtrip(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0]], labels=["a", "b"])
+        assert data.labels == ["a", "b"]
+        assert data.label_of(1) == "b"
+
+    def test_default_labels(self):
+        data = Dataset([[1.0, 2.0]])
+        assert data.labels is None
+        assert data.label_of(0) == "p0"
+
+    def test_subset_preserves_labels(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], labels=["a", "b", "c"])
+        sub = data.subset([2, 0])
+        assert sub.labels == ["c", "a"]
+        assert np.allclose(sub.values, [[5.0, 6.0], [1.0, 2.0]])
+
+    def test_from_columns(self):
+        data = Dataset.from_columns({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert data.size == 2
+        assert np.allclose(data.values[:, 0], [1.0, 2.0])
+
+    def test_from_columns_empty_raises(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset.from_columns({})
+
+
+class TestNormalization:
+    def test_scales_to_unit_range(self):
+        scaled = normalize_higher_is_better([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_inverted_column(self):
+        scaled = normalize_higher_is_better([[0.0, 100.0], [10.0, 50.0]],
+                                            invert_columns=[1])
+        # Higher raw price (column 1) becomes a lower normalized value.
+        assert scaled[0, 1] == pytest.approx(0.0)
+        assert scaled[1, 1] == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_half(self):
+        scaled = normalize_higher_is_better([[1.0, 5.0], [2.0, 5.0]])
+        assert np.allclose(scaled[:, 1], 0.5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidDatasetError):
+            normalize_higher_is_better([1.0, 2.0])

@@ -1,0 +1,78 @@
+"""Unit tests for the UTK result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import Cell
+from repro.core.halfspace import HalfSpace
+from repro.core.records import Dataset
+from repro.core.region import hyperrectangle
+from repro.core.result import UTK1Result, UTK2Result, UTKPartition
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.1], [0.5])
+
+
+class TestUTK1Result:
+    def test_membership_and_iteration(self, region):
+        result = UTK1Result(indices=[1, 4, 7], witnesses={1: np.array([0.2])},
+                            region=region, k=2)
+        assert 4 in result
+        assert 3 not in result
+        assert list(result) == [1, 4, 7]
+        assert len(result) == 3
+
+    def test_witness_lookup(self, region):
+        witness = np.array([0.3])
+        result = UTK1Result(indices=[2], witnesses={2: witness}, region=region, k=1)
+        assert np.allclose(result.witness_of(2), witness)
+        assert result.witness_of(5) is None
+
+    def test_labels(self, region):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], labels=["a", "b", "c"])
+        result = UTK1Result(indices=[0, 2], witnesses={}, region=region, k=1)
+        assert result.labels(data) == ["a", "c"]
+
+
+class TestUTK2Result:
+    def _partitioned(self, region):
+        cell = Cell(region)
+        left = cell.restricted(HalfSpace(np.array([-1.0]), -0.3), True)   # u <= 0.3
+        right = cell.restricted(HalfSpace(np.array([1.0]), 0.3), True)    # u >= 0.3
+        return UTK2Result(
+            partitions=[UTKPartition(cell=left, top_k=frozenset({0, 1})),
+                        UTKPartition(cell=right, top_k=frozenset({0, 2}))],
+            region=region, k=2)
+
+    def test_distinct_sets_and_union(self, region):
+        result = self._partitioned(region)
+        assert result.distinct_top_k_sets == {frozenset({0, 1}), frozenset({0, 2})}
+        assert result.result_records == [0, 1, 2]
+        assert len(result) == 2
+
+    def test_top_k_at(self, region):
+        result = self._partitioned(region)
+        assert result.top_k_at([0.2]) == frozenset({0, 1})
+        assert result.top_k_at([0.45]) == frozenset({0, 2})
+        assert result.top_k_at([0.9]) is None
+
+    def test_partition_contains(self, region):
+        result = self._partitioned(region)
+        assert result.partitions[0].contains([0.2])
+        assert not result.partitions[0].contains([0.4])
+        assert result.partitions[0].interior_point is not None
+
+    def test_to_utk1(self, region):
+        result = self._partitioned(region)
+        collapsed = result.to_utk1()
+        assert collapsed.indices == [0, 1, 2]
+        assert collapsed.k == 2
+        witness = collapsed.witness_of(1)
+        assert witness is not None
+        assert result.top_k_at(witness) == frozenset({0, 1})
+
+    def test_iteration(self, region):
+        result = self._partitioned(region)
+        assert len(list(result)) == 2

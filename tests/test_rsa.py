@@ -1,0 +1,175 @@
+"""Tests for RSA (UTK1), including the paper's running example and oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+
+from .conftest import brute_force_top_k, exact_utk1_d2, sampled_top_k_union
+
+
+class TestPaperExample:
+    def test_figure1_utk1_result(self, paper_hotels, paper_region):
+        """The paper's Figure 1: UTK1 output for k=2 is {p1, p2, p4, p6}."""
+        result = RSA(paper_hotels.values, paper_region, 2).run()
+        assert result.labels(paper_hotels) == ["p1", "p2", "p4", "p6"]
+
+    def test_figure1_excludes_p7(self, paper_hotels, paper_region):
+        """p7 is on the skyline yet never enters the top-2 within R."""
+        result = RSA(paper_hotels.values, paper_region, 2).run()
+        assert 6 not in result
+
+    def test_figure1_witnesses_valid(self, paper_hotels, paper_region):
+        result = RSA(paper_hotels.values, paper_region, 2).run()
+        for index in result.indices:
+            witness = result.witness_of(index)
+            assert paper_region.contains(witness, tol=1e-7)
+            assert index in brute_force_top_k(paper_hotels.values, witness, 2)
+
+    def test_figure1_k1(self, paper_hotels, paper_region):
+        result = RSA(paper_hotels.values, paper_region, 1).run()
+        # Figure 1(b): the rank-1 hotel across R is p1, p2 or p4.
+        assert set(result.labels(paper_hotels)) == {"p1", "p2", "p4"}
+
+
+class TestValidation:
+    def test_rejects_nonpositive_k(self, paper_hotels, paper_region):
+        with pytest.raises(InvalidQueryError):
+            RSA(paper_hotels.values, paper_region, 0)
+
+    def test_rejects_dimension_mismatch(self, paper_hotels):
+        region = hyperrectangle([0.1], [0.2])
+        with pytest.raises(InvalidQueryError):
+            RSA(paper_hotels.values, region, 2)
+
+    def test_rejects_unknown_candidate_order(self, paper_hotels, paper_region):
+        with pytest.raises(InvalidQueryError):
+            RSA(paper_hotels.values, paper_region, 2, candidate_order="random")
+
+    def test_rejects_1d_values(self, paper_region):
+        with pytest.raises(InvalidQueryError):
+            RSA(np.array([1.0, 2.0, 3.0]), paper_region, 2)
+
+
+class TestExactnessD2:
+    """Exact oracle: for d=2 the problem can be solved by a breakpoint sweep."""
+
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 3), (3, 5), (4, 8)])
+    def test_matches_exact_oracle(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((120, 2)) * 10
+        lo, hi = 0.3, 0.7
+        region = hyperrectangle([lo], [hi])
+        result = RSA(values, region, k).run()
+        assert set(result.indices) == exact_utk1_d2(values, lo, hi, k)
+
+    def test_narrow_region(self):
+        rng = np.random.default_rng(9)
+        values = rng.random((150, 2))
+        region = hyperrectangle([0.501], [0.509])
+        result = RSA(values, region, 3).run()
+        assert set(result.indices) == exact_utk1_d2(values, 0.501, 0.509, 3)
+
+
+class TestHigherDimensions:
+    @pytest.mark.parametrize("seed,d,k", [(0, 3, 2), (1, 3, 5), (2, 4, 3), (3, 5, 2)])
+    def test_contains_all_sampled_topk_and_witnesses_hold(self, seed, d, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((150, d)) * 10
+        lower = np.full(d - 1, 0.08)
+        upper = np.full(d - 1, 0.08 + 0.6 / (d - 1))
+        region = hyperrectangle(lower, upper)
+        result = RSA(values, region, k).run()
+        # No false negatives (probabilistic check).
+        sampled = sampled_top_k_union(values, region, k, samples=1500, seed=seed)
+        assert sampled.issubset(set(result.indices))
+        # No false positives (witness certificates).
+        for index in result.indices:
+            witness = result.witness_of(index)
+            assert region.contains(witness, tol=1e-7)
+            assert index in brute_force_top_k(values, witness, k)
+
+    def test_index_and_bruteforce_filtering_agree(self):
+        rng = np.random.default_rng(11)
+        values = rng.random((900, 3))
+        region = hyperrectangle([0.2, 0.1], [0.4, 0.3])
+        with_tree = RSA(values, region, 3, tree=RTree(values)).run()
+        without_tree = RSA(values, region, 3).run()
+        assert with_tree.indices == without_tree.indices
+
+
+class TestOptionsAndAblations:
+    @pytest.fixture
+    def setting(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((200, 3)) * 10
+        region = hyperrectangle([0.1, 0.15], [0.35, 0.3])
+        return values, region
+
+    def test_drill_does_not_change_result(self, setting):
+        values, region = setting
+        with_drill = RSA(values, region, 4, use_drill=True).run()
+        without_drill = RSA(values, region, 4, use_drill=False).run()
+        assert with_drill.indices == without_drill.indices
+
+    def test_lemma1_does_not_change_result(self, setting):
+        values, region = setting
+        with_lemma = RSA(values, region, 4, use_lemma1=True).run()
+        without_lemma = RSA(values, region, 4, use_lemma1=False).run()
+        assert with_lemma.indices == without_lemma.indices
+
+    @pytest.mark.parametrize("order", ["count_desc", "count_asc", "index"])
+    def test_candidate_order_does_not_change_result(self, setting, order):
+        values, region = setting
+        reference = RSA(values, region, 3).run()
+        result = RSA(values, region, 3, candidate_order=order).run()
+        assert result.indices == reference.indices
+
+    def test_precomputed_skyband_reused(self, setting):
+        values, region = setting
+        skyband = compute_r_skyband(values, region, 3)
+        result = RSA(values, region, 3, skyband=skyband).run()
+        reference = RSA(values, region, 3).run()
+        assert result.indices == reference.indices
+
+    def test_stats_populated(self, setting):
+        values, region = setting
+        algorithm = RSA(values, region, 4)
+        result = algorithm.run()
+        assert result.stats["candidates"] >= len(result)
+        assert result.stats["verify_calls"] >= 1
+
+
+class TestEdgeCases:
+    def test_k_at_least_dataset_size(self, paper_region):
+        values = np.random.default_rng(0).random((5, 3))
+        result = RSA(values, paper_region, 10).run()
+        assert result.indices == list(range(5))
+
+    def test_k_equals_skyband_size(self, paper_region):
+        # With k >= |r-skyband| every candidate is reported.
+        values = np.random.default_rng(1).random((40, 3))
+        algorithm = RSA(values, paper_region, 30)
+        result = algorithm.run()
+        assert len(result) == result.stats["candidates"]
+
+    def test_single_record_dataset(self, paper_region):
+        values = np.array([[1.0, 2.0, 3.0]])
+        result = RSA(values, paper_region, 1).run()
+        assert result.indices == [0]
+
+    def test_duplicate_records(self, paper_region):
+        values = np.vstack([np.full((3, 3), 5.0),
+                            np.random.default_rng(2).random((20, 3))])
+        result = RSA(values, paper_region, 2).run()
+        assert len(result) >= 1
+
+    def test_result_minimality_against_utk2(self, paper_hotels, paper_region):
+        from repro.core.jaa import JAA
+        utk2 = JAA(paper_hotels.values, paper_region, 2).run()
+        utk1 = RSA(paper_hotels.values, paper_region, 2).run()
+        assert set(utk1.indices) == set(utk2.result_records)

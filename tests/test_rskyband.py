@@ -1,0 +1,113 @@
+"""Unit tests for r-skyband computation and the r-dominance graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import RDominance
+from repro.core.preference import scores
+from repro.core.region import hyperrectangle
+from repro.core.rskyband import compute_r_skyband
+from repro.index.rtree import RTree
+from repro.skyline.dominance import k_skyband_bruteforce
+
+
+@pytest.fixture
+def region():
+    return hyperrectangle([0.05, 0.05], [0.45, 0.25])
+
+
+def brute_force_r_skyband(values, region, k):
+    matrix = RDominance(region).dominance_matrix(values)
+    counts = matrix.sum(axis=0)
+    return set(np.flatnonzero(counts < k).tolist())
+
+
+class TestMembership:
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 3), (3, 5)])
+    def test_matches_bruteforce(self, region, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((150, 3)) * 10
+        sky = compute_r_skyband(values, region, k)
+        assert set(sky.members()) == brute_force_r_skyband(values, region, k)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_index_path_matches_bruteforce(self, region, k):
+        rng = np.random.default_rng(10)
+        values = rng.random((900, 3)) * 10
+        tree = RTree(values)
+        sky = compute_r_skyband(values, region, k, tree=tree)
+        assert set(sky.members()) == brute_force_r_skyband(values, region, k)
+        assert sky.stats.nodes_visited > 0
+
+    def test_subset_of_traditional_skyband(self, region):
+        rng = np.random.default_rng(4)
+        values = rng.random((200, 3))
+        k = 3
+        sky = compute_r_skyband(values, region, k)
+        traditional = set(k_skyband_bruteforce(values, k).tolist())
+        assert set(sky.members()).issubset(traditional)
+
+    def test_contains_every_sampled_topk(self, region):
+        rng = np.random.default_rng(5)
+        values = rng.random((300, 3))
+        k = 3
+        sky = compute_r_skyband(values, region, k)
+        members = set(sky.members())
+        for w in region.sample(200, rng):
+            top = np.argsort(-scores(values, w))[:k]
+            assert set(top.tolist()).issubset(members)
+
+    def test_empty_dataset_edge(self, region):
+        values = np.random.default_rng(0).random((1, 3))
+        sky = compute_r_skyband(values, region, 1)
+        assert sky.members() == [0]
+
+
+class TestGraph:
+    def test_ancestor_descendant_consistency(self, region):
+        rng = np.random.default_rng(6)
+        values = rng.random((120, 3)) * 10
+        sky = compute_r_skyband(values, region, 4)
+        for member in sky.members():
+            for ancestor in sky.ancestors[member]:
+                assert member in sky.descendants[ancestor]
+            for descendant in sky.descendants[member]:
+                assert member in sky.ancestors[descendant]
+
+    def test_counts_below_k(self, region):
+        rng = np.random.default_rng(7)
+        values = rng.random((150, 3)) * 10
+        k = 3
+        sky = compute_r_skyband(values, region, k)
+        for member in sky.members():
+            assert sky.count_of(member) < k
+
+    def test_graph_is_acyclic(self, region):
+        rng = np.random.default_rng(8)
+        values = rng.random((100, 3)) * 10
+        sky = compute_r_skyband(values, region, 4)
+        for member in sky.members():
+            assert member not in sky.ancestors[member]
+            assert not (sky.ancestors[member] & sky.descendants[member])
+
+    def test_ancestors_are_transitively_closed(self, region):
+        rng = np.random.default_rng(9)
+        values = rng.random((100, 3)) * 10
+        sky = compute_r_skyband(values, region, 5)
+        for member in sky.members():
+            for ancestor in sky.ancestors[member]:
+                assert sky.ancestors[ancestor].issubset(sky.ancestors[member])
+
+    def test_row_lookup(self, region):
+        rng = np.random.default_rng(11)
+        values = rng.random((60, 3))
+        sky = compute_r_skyband(values, region, 2)
+        for member in sky.members():
+            assert np.allclose(sky.row_of(member), values[member])
+
+    def test_subset_values(self, region):
+        rng = np.random.default_rng(12)
+        values = rng.random((60, 3))
+        sky = compute_r_skyband(values, region, 2)
+        members = sky.members()[:3]
+        assert np.allclose(sky.subset_values(members), values[members])

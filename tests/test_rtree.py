@@ -1,0 +1,132 @@
+"""Unit tests for the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDatasetError
+from repro.index.rtree import RTree
+
+
+def brute_force_range(points, lower, upper):
+    lower = np.asarray(lower)
+    upper = np.asarray(upper)
+    mask = np.all((points >= lower) & (points <= upper), axis=1)
+    return sorted(np.flatnonzero(mask).tolist())
+
+
+class TestBulkLoad:
+    def test_all_indices_present(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((500, 3))
+        tree = RTree(points)
+        assert tree.all_indices() == list(range(500))
+        assert len(tree) == 500
+
+    def test_empty_bulk_load(self):
+        tree = RTree(np.zeros((0, 2)))
+        assert tree.all_indices() == []
+        assert tree.root.mbb is None
+
+    def test_node_capacity_respected(self):
+        rng = np.random.default_rng(1)
+        tree = RTree(rng.random((300, 2)), max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.entries) <= 8
+            else:
+                assert len(node.children) <= 8
+                stack.extend(node.children)
+
+    def test_mbbs_cover_children(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((400, 3))
+        tree = RTree(points)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for index, point in node.entries:
+                    assert node.mbb.contains_point(point, tol=1e-12)
+            else:
+                for child in node.children:
+                    assert np.all(node.mbb.lower <= child.mbb.lower + 1e-12)
+                    assert np.all(node.mbb.upper >= child.mbb.upper - 1e-12)
+                    stack.append(child)
+
+    def test_height_grows_logarithmically(self):
+        rng = np.random.default_rng(3)
+        tree = RTree(rng.random((1000, 2)), max_entries=16)
+        assert 2 <= tree.height() <= 4
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidDatasetError):
+            RTree(np.zeros(10))
+
+    def test_rejects_small_capacity(self):
+        with pytest.raises(InvalidDatasetError):
+            RTree(max_entries=2)
+
+
+class TestInsertion:
+    def test_incremental_insert_contains_all(self):
+        rng = np.random.default_rng(4)
+        points = rng.random((200, 2))
+        tree = RTree(max_entries=8)
+        for index, point in enumerate(points):
+            tree.insert(index, point)
+        assert tree.all_indices() == list(range(200))
+
+    def test_insert_after_bulk_load(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((100, 3))
+        tree = RTree(points)
+        tree.insert(100, rng.random(3))
+        assert 100 in tree.all_indices()
+        assert len(tree) == 101
+
+    def test_insert_dimension_mismatch(self):
+        tree = RTree(np.random.default_rng(0).random((10, 2)))
+        with pytest.raises(InvalidDatasetError):
+            tree.insert(10, [0.1, 0.2, 0.3])
+
+    def test_insert_keeps_mbbs_consistent(self):
+        rng = np.random.default_rng(6)
+        tree = RTree(max_entries=6)
+        points = rng.random((150, 2))
+        for index, point in enumerate(points):
+            tree.insert(index, point)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for index, point in node.entries:
+                    assert node.mbb.contains_point(point, tol=1e-12)
+            else:
+                for child in node.children:
+                    assert np.all(node.mbb.lower <= child.mbb.lower + 1e-12)
+                    assert np.all(node.mbb.upper >= child.mbb.upper - 1e-12)
+                    stack.append(child)
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((400, 3))
+        tree = RTree(points)
+        for _ in range(10):
+            lower = rng.random(3) * 0.5
+            upper = lower + rng.random(3) * 0.5
+            assert tree.range_search(lower, upper) == brute_force_range(points, lower, upper)
+
+    def test_empty_tree_range(self):
+        tree = RTree(np.zeros((0, 2)))
+        assert tree.range_search([0, 0], [1, 1]) == []
+
+    def test_full_domain_range_returns_everything(self):
+        rng = np.random.default_rng(9)
+        points = rng.random((120, 2))
+        tree = RTree(points)
+        assert tree.range_search([0, 0], [1, 1]) == list(range(120))

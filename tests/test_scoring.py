@@ -1,0 +1,67 @@
+"""Unit tests for scoring functions (Section 6 generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import LinearScoring, MonotoneScoring, PowerScoring
+from repro.exceptions import InvalidQueryError
+
+
+class TestLinearScoring:
+    def test_identity_transform(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(LinearScoring().transform(values), values)
+
+    def test_describe(self):
+        assert "linear" in LinearScoring().describe()
+
+
+class TestPowerScoring:
+    def test_square_transform(self):
+        values = np.array([[2.0, 3.0]])
+        assert np.allclose(PowerScoring(2.0).transform(values), [[4.0, 9.0]])
+
+    def test_preserves_per_attribute_order(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((50, 3))
+        transformed = PowerScoring(3.0).transform(values)
+        for column in range(3):
+            order_before = np.argsort(values[:, column])
+            order_after = np.argsort(transformed[:, column])
+            assert np.array_equal(order_before, order_after)
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(InvalidQueryError):
+            PowerScoring(0.0)
+
+    def test_rejects_negative_attributes(self):
+        with pytest.raises(InvalidQueryError):
+            PowerScoring(2.0).transform(np.array([[-1.0, 2.0]]))
+
+    def test_describe_mentions_exponent(self):
+        assert "2.5" in PowerScoring(2.5).describe()
+
+
+class TestMonotoneScoring:
+    def test_custom_transforms(self):
+        scoring = MonotoneScoring([np.sqrt, lambda x: x * 2.0])
+        values = np.array([[4.0, 1.0], [9.0, 2.0]])
+        transformed = scoring.transform(values)
+        assert np.allclose(transformed, [[2.0, 2.0], [3.0, 4.0]])
+
+    def test_rejects_decreasing_transform(self):
+        with pytest.raises(InvalidQueryError):
+            MonotoneScoring([lambda x: -x, lambda x: x])
+
+    def test_rejects_empty_transforms(self):
+        with pytest.raises(InvalidQueryError):
+            MonotoneScoring([])
+
+    def test_rejects_wrong_attribute_count(self):
+        scoring = MonotoneScoring([lambda x: x])
+        with pytest.raises(InvalidQueryError):
+            scoring.transform(np.array([[1.0, 2.0]]))
+
+    def test_describe(self):
+        scoring = MonotoneScoring([lambda x: x, lambda x: x])
+        assert "2 attributes" in scoring.describe()

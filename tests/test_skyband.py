@@ -1,0 +1,98 @@
+"""Unit tests for skyline/k-skyband computation (brute force and BBS paths)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preference import scores
+from repro.index.rtree import RTree
+from repro.skyline.dominance import (
+    dominance_matrix,
+    dominator_sets,
+    k_skyband_bruteforce,
+    skyline_bruteforce,
+)
+from repro.skyline.skyband import k_skyband, onion_candidates
+
+
+class TestBruteForce:
+    def test_dominance_matrix_simple(self):
+        values = np.array([[2.0, 2.0], [1.0, 1.0], [2.0, 1.0]])
+        matrix = dominance_matrix(values)
+        assert matrix[0, 1] and matrix[0, 2] and matrix[2, 1]
+        assert not matrix[1, 0] and not matrix[2, 0]
+
+    def test_skyline_of_staircase(self):
+        values = np.array([[4.0, 1.0], [3.0, 2.0], [2.0, 3.0], [1.0, 4.0],
+                           [1.0, 1.0]])
+        assert skyline_bruteforce(values).tolist() == [0, 1, 2, 3]
+
+    def test_k_skyband_nested(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((100, 3))
+        for k in (1, 2, 4):
+            band_k = set(k_skyband_bruteforce(values, k).tolist())
+            band_next = set(k_skyband_bruteforce(values, k + 1).tolist())
+            assert band_k.issubset(band_next)
+
+    def test_skyline_equals_1_skyband(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((80, 2))
+        assert set(skyline_bruteforce(values).tolist()) == \
+            set(k_skyband_bruteforce(values, 1).tolist())
+
+    def test_dominator_sets(self):
+        values = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        sets = dominator_sets(values)
+        assert sets == [set(), {0}, {0, 1}]
+
+
+class TestIndexBasedSkyband:
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 3), (3, 5)])
+    def test_bbs_matches_bruteforce(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.random((700, 3))
+        tree = RTree(values)
+        via_bbs = k_skyband(values, k, tree=tree)
+        via_brute = k_skyband_bruteforce(values, k)
+        assert via_bbs.tolist() == via_brute.tolist()
+
+    def test_small_dataset_skips_index(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((50, 4))
+        result, stats = k_skyband(values, 2, return_stats=True)
+        assert stats.nodes_visited == 0
+        assert result.tolist() == k_skyband_bruteforce(values, 2).tolist()
+
+    def test_contains_every_sampled_topk(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((600, 3))
+        k = 3
+        band = set(k_skyband(values, k, tree=RTree(values)).tolist())
+        for _ in range(100):
+            weights = rng.dirichlet(np.ones(3))[:2]
+            top = np.argsort(-scores(values, weights))[:k]
+            assert set(top.tolist()).issubset(band)
+
+
+class TestOnionCandidates:
+    def test_subset_of_skyband(self):
+        rng = np.random.default_rng(6)
+        values = rng.random((200, 3))
+        k = 3
+        onion = set(onion_candidates(values, k).tolist())
+        band = set(k_skyband(values, k).tolist())
+        assert onion.issubset(band)
+
+    def test_contains_every_sampled_topk(self):
+        rng = np.random.default_rng(7)
+        values = rng.random((150, 2))
+        k = 2
+        onion = set(onion_candidates(values, k).tolist())
+        for _ in range(200):
+            weights = rng.dirichlet(np.ones(2))[:1]
+            top = np.argsort(-scores(values, weights))[:k]
+            assert set(top.tolist()).issubset(onion)
+
+    def test_empty_when_k_zero_layers(self):
+        values = np.random.default_rng(8).random((20, 2))
+        assert onion_candidates(values, 0).size == 0
