@@ -5,6 +5,13 @@ inserting every competitor's half-space; disabling it forces deeper recursion.
 Both configurations must produce the same set of distinct top-k sets.
 """
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_ablation_jaa

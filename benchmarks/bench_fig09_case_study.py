@@ -4,6 +4,13 @@ Reproduces the UTK1/UTK2 outputs on the curated star table and reports the
 players returned by UTK versus the k onion layers and the k-skyband.
 """
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_fig9_2d, experiment_fig9_3d

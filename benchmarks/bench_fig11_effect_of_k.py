@@ -4,6 +4,13 @@ The paper's headline comparison: the proposed algorithms outperform the
 baselines by one to two orders of magnitude, and the gap grows with k.
 """
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_fig11

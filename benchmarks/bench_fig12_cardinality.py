@@ -4,6 +4,13 @@ Reports RSA response time and UTK1 output size, and JAA response time and the
 number of distinct top-k sets, for COR / IND / ANTI as n grows.
 """
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_fig12

@@ -1,5 +1,12 @@
 """Figure 16: JAA on the real-data substitutes as the region size varies."""
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_fig16

@@ -4,6 +4,13 @@ This benchmark also measures the cost of generating one full query workload,
 which is the fixed overhead shared by every other experiment.
 """
 
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from conftest import print_rows
 
 from repro.bench.experiments import experiment_table1

@@ -71,14 +71,7 @@ def bench_scale() -> dict:
     return dict(QUICK_SCALE)
 
 
-def print_rows(title: str, rows: list[dict]) -> None:
-    """Print experiment rows as the aligned table the figure would plot."""
-    from repro.bench.reporting import format_table
-
-    if not rows:
-        print(f"\n{title}: no rows")
-        return
-    headers = list(rows[0].keys())
-    table = format_table(headers, [[row[h] for h in headers] for row in rows],
-                         title=f"\n{title}")
-    print(table)
+# Re-exported so every benchmark keeps its `from conftest import print_rows`
+# (the sys.path bootstrap each benchmark performs makes this module — and
+# through it the src tree — importable from any working directory).
+from repro.bench.reporting import print_rows  # noqa: E402,F401

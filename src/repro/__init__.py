@@ -17,13 +17,14 @@ Quickstart
 >>> partitioning = utk2(data, region, k=2)
 """
 
-from repro.core.api import utk1, utk2, utk_query
+from repro.core.api import make_engine, utk1, utk2, utk_query
 from repro.core.records import Dataset
 from repro.core.region import Region, hyperrectangle, region_from_vertices, simplex_region
 from repro.core.result import UTK1Result, UTK2Result, UTKPartition
 from repro.core.rsa import RSA
 from repro.core.jaa import JAA
 from repro.core.scoring import LinearScoring, MonotoneScoring, PowerScoring
+from repro.engine import BatchQuery, UTKEngine
 from repro.exceptions import (
     GeometryError,
     InvalidDatasetError,
@@ -33,12 +34,15 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "utk1",
     "utk2",
     "utk_query",
+    "make_engine",
+    "UTKEngine",
+    "BatchQuery",
     "Dataset",
     "Region",
     "hyperrectangle",

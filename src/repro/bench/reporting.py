@@ -31,6 +31,16 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
     return "\n".join(lines)
 
 
+def print_rows(title: str, rows: Sequence[Mapping]) -> None:
+    """Print experiment rows as the aligned table the figure would plot."""
+    if not rows:
+        print(f"\n{title}: no rows")
+        return
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows],
+                       title=f"\n{title}"))
+
+
 def format_series(series: Mapping[str, Mapping], x_label: str, *,
                   title: str | None = None) -> str:
     """Format ``{series name: {x value: y value}}`` as a table with one column per series.

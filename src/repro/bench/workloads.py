@@ -52,23 +52,32 @@ def random_region(data_dimensionality: int, sigma: float,
     random such that it stays inside the valid simplex
     ``{u >= 0, sum(u) <= 1}``.
     """
+    rng = np.random.default_rng() if rng is None else rng
+    return hyperrectangle(*_random_cube(data_dimensionality - 1, sigma, rng))
+
+
+def _random_cube(dim: int, sigma: float,
+                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Corner pair of a random hyper-cube region inside the valid simplex."""
     if not 0.0 < sigma < 1.0:
         raise InvalidQueryError("sigma must be in (0, 1)")
-    dim = data_dimensionality - 1
     if dim < 1:
         raise InvalidQueryError("data dimensionality must be at least 2")
-    rng = np.random.default_rng() if rng is None else rng
-    side = sigma
     for _ in range(1_000):
-        lower = rng.uniform(0.0, 1.0 - side, size=dim)
-        upper = lower + side
+        lower = rng.uniform(0.0, 1.0 - sigma, size=dim)
+        upper = lower + sigma
         if upper.sum() <= 1.0 - 1e-9:
-            return hyperrectangle(lower, upper)
-    # Fall back to a corner placement near the origin, always valid since
-    # side * dim < 1 is enforced by the retry bound in practice.
-    lower = np.full(dim, 1e-3)
-    upper = lower + min(side, (1.0 - 2e-3) / dim)
-    return hyperrectangle(lower, upper)
+            return lower, upper
+    # Fall back to a corner placement near the origin; the side length is
+    # capped so that dim * (margin + side) stays below 1 for every dim/sigma
+    # combination (large sigmas can make the random placement unsatisfiable).
+    margin = 1e-3
+    side = min(sigma, (1.0 - 1e-6) / dim - 2.0 * margin)
+    if side <= 0.0:
+        raise InvalidQueryError(
+            f"no valid cube of side {sigma} fits the {dim}-dimensional simplex")
+    lower = np.full(dim, margin)
+    return lower, lower + side
 
 
 @dataclass(frozen=True)
@@ -89,3 +98,91 @@ def query_workload(data_dimensionality: int, k: int, sigma: float,
         region = random_region(data_dimensionality, sigma, rng)
         specs.append(QuerySpec(region=region, k=k, seed=seed * 1_000 + position))
     return specs
+
+
+# --------------------------------------------------------------- query streams
+def zipfian_k(k_choices, exponent: float, rng: np.random.Generator) -> int:
+    """Draw ``k`` from ``k_choices`` with Zipf-distributed rank popularity.
+
+    The first choice is the most popular (probability proportional to
+    ``1 / rank ** exponent``), mimicking real serving traffic where small
+    ``k`` dominates.
+    """
+    k_choices = list(k_choices)
+    if not k_choices:
+        raise InvalidQueryError("k_choices must be non-empty")
+    ranks = np.arange(1, len(k_choices) + 1, dtype=float)
+    weights = ranks ** (-float(exponent))
+    probabilities = weights / weights.sum()
+    return int(k_choices[int(rng.choice(len(k_choices), p=probabilities))])
+
+
+def _subcube(lower: np.ndarray, upper: np.ndarray,
+             rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A random sub-rectangle strictly inside ``[lower, upper]``."""
+    span = upper - lower
+    shrink = rng.uniform(0.35, 0.75)
+    new_span = span * shrink
+    offset = rng.uniform(0.0, 1.0, size=lower.shape) * (span - new_span)
+    new_lower = lower + offset
+    return new_lower, new_lower + new_span
+
+
+def engine_query_stream(data_dimensionality: int, count: int, *,
+                        k_choices=(1, 2, 5, 10),
+                        zipf_exponent: float = 1.2,
+                        sigma: float = 0.08,
+                        parents: int = 4,
+                        repeat_prob: float = 0.3,
+                        subregion_prob: float = 0.45,
+                        drill_k_prob: float = 0.7,
+                        seed: int = 0) -> list[QuerySpec]:
+    """A serving-style query stream exercising the engine's reuse paths.
+
+    The stream mimics interactive traffic against one dataset: a handful of
+    ``parents`` hot regions appear first, after which each query is — with
+    the given probabilities — an exact *repeat* of an earlier query (result
+    cache), a *sub-region* of a hot region (containment reuse), or a fresh
+    random region (cold path).  ``k`` values follow a Zipf distribution over
+    ``k_choices`` (small ``k`` dominates, as in real serving traffic), except
+    that a sub-region query keeps its anchor's ``k`` with probability
+    ``drill_k_prob`` — the drill-down pattern of interactive sensitivity
+    analysis, where the user narrows the region while ``k`` stays fixed.
+    """
+    if count < 0:
+        raise InvalidQueryError("count must be non-negative")
+    if not 0.0 <= repeat_prob + subregion_prob <= 1.0:
+        raise InvalidQueryError("repeat_prob + subregion_prob must be in [0, 1]")
+    dim = data_dimensionality - 1
+    if dim < 1:
+        raise InvalidQueryError("data dimensionality must be at least 2")
+    rng = np.random.default_rng(seed)
+    parent_corners = [_random_cube(dim, sigma, rng) for _ in range(max(parents, 1))]
+    stream: list[QuerySpec] = []
+    for position in range(count):
+        if position < len(parent_corners):
+            # Hot-region anchor queries: broadest k, so every later drill-down
+            # (smaller region and/or smaller k) can reuse their filtering.
+            lower, upper = parent_corners[position]
+            stream.append(QuerySpec(region=hyperrectangle(lower, upper),
+                                    k=int(max(k_choices)),
+                                    seed=seed * 1_000 + position))
+            continue
+        roll = rng.random()
+        if roll < repeat_prob and stream:
+            earlier = stream[int(rng.integers(len(stream)))]
+            stream.append(QuerySpec(region=earlier.region, k=earlier.k,
+                                    seed=seed * 1_000 + position))
+            continue
+        if roll < repeat_prob + subregion_prob:
+            lower, upper = parent_corners[int(rng.integers(len(parent_corners)))]
+            region = hyperrectangle(*_subcube(lower, upper, rng))
+            if rng.random() < drill_k_prob:
+                k = int(max(k_choices))
+            else:
+                k = zipfian_k(k_choices, zipf_exponent, rng)
+        else:
+            region = hyperrectangle(*_random_cube(dim, sigma, rng))
+            k = zipfian_k(k_choices, zipf_exponent, rng)
+        stream.append(QuerySpec(region=region, k=k, seed=seed * 1_000 + position))
+    return stream

@@ -1,10 +1,14 @@
 """Command-line interface.
 
-``python -m repro`` exposes the two UTK query versions and the benchmark
-experiments without writing any code:
+``python -m repro`` (or the installed ``repro`` script) exposes the two UTK
+query versions, batch serving, and the benchmark experiments without writing
+any code:
 
 * ``query`` — run UTK1/UTK2 on a synthetic or simulated-real dataset for a
   hyper-rectangular preference region;
+* ``batch`` — serve a JSON-lines file of queries through a persistent
+  :class:`~repro.engine.engine.UTKEngine` and report results plus cache
+  statistics;
 * ``experiment`` — run one of the per-figure experiment generators and print
   the rows the paper's figure plots.
 """
@@ -14,15 +18,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 import numpy as np
 
 from repro.bench import experiments as _experiments
 from repro.bench.reporting import format_table
-from repro.core.api import utk1, utk2
+from repro.core.api import make_engine, utk1, utk2
 from repro.core.region import hyperrectangle
 from repro.datasets.real import real_dataset
 from repro.datasets.synthetic import DISTRIBUTIONS, synthetic_dataset
+from repro.engine.batch import BatchQuery, summarize_batch
+from repro.exceptions import InvalidQueryError
 
 #: Experiment names accepted by ``python -m repro experiment``.
 EXPERIMENTS = {
@@ -62,6 +69,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="which UTK problem version to answer")
     query.add_argument("--seed", type=int, default=0, help="dataset seed")
     query.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="serve a JSON-lines query file through a persistent engine")
+    batch.add_argument("--input", required=True,
+                       help="JSON-lines query file, or '-' for stdin; each line "
+                            "is {\"lower\": [...], \"upper\": [...], \"k\": int, "
+                            "\"version\": \"utk1\"|\"utk2\"|\"both\"}")
+    batch.add_argument("--dataset", default="IND",
+                       help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)")
+    batch.add_argument("--cardinality", type=int, default=2000,
+                       help="number of records to generate (default 2000)")
+    batch.add_argument("--dimensionality", type=int, default=3,
+                       help="attributes for synthetic datasets (default 3)")
+    batch.add_argument("--seed", type=int, default=0, help="dataset seed")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="thread-pool size for independent queries (default 1)")
+    batch.add_argument("--cache-size", type=int, default=128,
+                       help="capacity of each engine cache (default 128)")
+    batch.add_argument("--output", default="-",
+                       help="file to write the JSON report to (default stdout)")
 
     experiment = subparsers.add_parser("experiment",
                                        help="regenerate one of the paper's experiments")
@@ -112,6 +140,83 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_batch_line(line: str, number: int) -> BatchQuery:
+    """One JSON-lines query: corners + k (+ optional problem version)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise InvalidQueryError(f"line {number}: invalid JSON ({exc})") from exc
+    missing = {"lower", "upper", "k"} - set(payload)
+    if missing:
+        raise InvalidQueryError(
+            f"line {number}: missing field(s) {sorted(missing)}")
+    region = hyperrectangle(payload["lower"], payload["upper"])
+    return BatchQuery(region=region, k=int(payload["k"]),
+                      version=payload.get("version", "utk1"))
+
+
+def _read_batch_queries(source: str) -> list[BatchQuery]:
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    queries = []
+    for number, line in enumerate(lines, start=1):
+        if line.strip():
+            queries.append(_parse_batch_line(line, number))
+    return queries
+
+
+def _batch_item_payload(item) -> dict:
+    payload: dict = {"k": item.query.k, "version": item.query.version,
+                     "sources": item.sources,
+                     "seconds": round(item.seconds, 6)}
+    if item.utk1 is not None:
+        payload["utk1"] = {"records": item.utk1.indices}
+    if item.utk2 is not None:
+        payload["utk2"] = {
+            "partitions": len(item.utk2),
+            "distinct_top_k_sets": sorted(sorted(s) for s in
+                                          item.utk2.distinct_top_k_sets),
+        }
+    return payload
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    queries = _read_batch_queries(args.input)
+    if not queries:
+        print("no queries supplied", file=sys.stderr)
+        return 1
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality,
+                         args.seed)
+    engine = make_engine(data, cache_size=args.cache_size)
+    started = time.perf_counter()
+    items = engine.run_batch(queries, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    summary = summarize_batch(items)
+    report = {
+        "dataset": args.dataset.upper(),
+        "n": data.size,
+        "d": data.dimensionality,
+        "workers": args.workers,
+        "queries": summary["queries"],
+        "wall_seconds": round(elapsed, 6),
+        "queries_per_second": round(summary["queries"] / elapsed, 3)
+                              if elapsed > 0 else float("inf"),
+        "sources": summary["sources"],
+        "cache": engine.statistics(),
+        "results": [_batch_item_payload(item) for item in items],
+    }
+    text = json.dumps(report, indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     rows = EXPERIMENTS[args.name](args.scale)
     if not rows:
@@ -129,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "batch":
+        return _run_batch(args)
     return _run_experiment(args)
 
 

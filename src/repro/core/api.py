@@ -5,6 +5,11 @@ raw matrix or a :class:`~repro.core.records.Dataset`, an optional scoring
 function, and the query region, and they run the paper's RSA / JAA
 algorithms.  ``utk_query`` answers both problem versions while computing the
 shared filtering step only once.
+
+For repeated queries against the same dataset, pass an ``engine`` (built with
+:func:`make_engine`): the call is then served through the persistent
+:class:`~repro.engine.engine.UTKEngine`, which shares the scoring transform
+and the R-tree across calls and reuses cached r-skybands and answers.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.core.result import UTK1Result, UTK2Result
 from repro.core.rsa import RSA
 from repro.core.rskyband import compute_r_skyband
 from repro.core.scoring import LinearScoring, ScoringFunction
+from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
 
 
@@ -28,16 +34,43 @@ def _as_matrix(data) -> np.ndarray:
     return np.asarray(data, dtype=float)
 
 
+def _check_engine_call(scoring, tree) -> None:
+    """Reject per-call options the engine cannot honour.
+
+    An engine fixes its scoring transform and R-tree at construction; silently
+    ignoring a per-call override would return answers for the wrong query.
+    """
+    if scoring is not None or tree is not None:
+        raise InvalidQueryError(
+            "scoring/tree cannot be overridden per call when engine= is "
+            "given; configure them when building the engine (make_engine)"
+        )
+
+
+def make_engine(data, *, scoring: ScoringFunction | None = None,
+                cache_size: int = 128):
+    """Bind a persistent :class:`~repro.engine.engine.UTKEngine` to ``data``.
+
+    The engine applies the scoring transform and builds the shared R-tree
+    once, then serves every subsequent ``utk1``/``utk2``/batch call through
+    its caches.  Imported lazily to keep the one-shot path dependency-free.
+    """
+    from repro.engine import UTKEngine
+    return UTKEngine(data, scoring=scoring, cache_size=cache_size)
+
+
 def utk1(data, region: Region, k: int, *,
          scoring: ScoringFunction | None = None,
          tree: RTree | None = None,
-         use_drill: bool = True) -> UTK1Result:
+         use_drill: bool | None = None,
+         engine=None) -> UTK1Result:
     """Answer a UTK1 query: which records may enter the top-k within ``region``.
 
     Parameters
     ----------
     data:
         A :class:`~repro.core.records.Dataset` or an ``(n, d)`` matrix.
+        Ignored when ``engine`` is given (the engine is already bound).
     region:
         Convex preference region (dimension ``d - 1``).
     k:
@@ -48,18 +81,34 @@ def utk1(data, region: Region, k: int, *,
     tree:
         Optional pre-built R-tree over the (transformed) data.
     use_drill:
-        Enable the drill optimization (Section 4.3).
+        Enable the drill optimization (Section 4.3); defaults to enabled.
+    engine:
+        Optional :class:`~repro.engine.engine.UTKEngine`; when given, the
+        query is served through the engine's caches (fast path) and the
+        per-call ``scoring``/``tree``/``use_drill`` options are rejected —
+        they are fixed at engine construction.
     """
+    if engine is not None:
+        _check_engine_call(scoring, tree)
+        if use_drill is not None:
+            raise InvalidQueryError(
+                "use_drill cannot be overridden per call when engine= is given")
+        return engine.utk1(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
-    algorithm = RSA(values, region, k, tree=tree, use_drill=use_drill)
+    algorithm = RSA(values, region, k, tree=tree,
+                    use_drill=True if use_drill is None else use_drill)
     return algorithm.run()
 
 
 def utk2(data, region: Region, k: int, *,
          scoring: ScoringFunction | None = None,
-         tree: RTree | None = None) -> UTK2Result:
+         tree: RTree | None = None,
+         engine=None) -> UTK2Result:
     """Answer a UTK2 query: the exact top-k set for every weight vector in ``region``."""
+    if engine is not None:
+        _check_engine_call(scoring, tree)
+        return engine.utk2(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
     algorithm = JAA(values, region, k, tree=tree)
@@ -68,8 +117,12 @@ def utk2(data, region: Region, k: int, *,
 
 def utk_query(data, region: Region, k: int, *,
               scoring: ScoringFunction | None = None,
-              tree: RTree | None = None) -> tuple[UTK1Result, UTK2Result]:
+              tree: RTree | None = None,
+              engine=None) -> tuple[UTK1Result, UTK2Result]:
     """Answer both UTK versions, sharing the r-skyband filtering step."""
+    if engine is not None:
+        _check_engine_call(scoring, tree)
+        return engine.query(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
     skyband = compute_r_skyband(values, region, k, tree=tree)

@@ -119,6 +119,34 @@ def compute_r_skyband(values: np.ndarray, region: Region, k: int, *,
         candidate_idx = np.asarray(idx_list, dtype=int)
         candidate_rows = np.vstack(row_list)
 
+    return _finalize_skyband(candidate_idx, candidate_rows, tester, region, k,
+                             stats)
+
+
+def refilter_r_skyband(skyband: RSkyband, region: Region, k: int, *,
+                       tol: float = DOMINANCE_TOL) -> RSkyband:
+    """Re-filter a cached r-skyband for a contained sub-query.
+
+    When ``region`` is contained in ``skyband.region`` and ``k`` does not
+    exceed the ``k`` the skyband was computed for, r-dominance relationships
+    only grow as the region shrinks, so the cached member set is a candidate
+    superset of the sub-query's r-skyband (the paper's progressiveness
+    property).  The exact sub-query skyband is then obtained with a single
+    quadratic pass over the (small) cached member set — no index traversal,
+    no scan of the full dataset.
+
+    Callers are responsible for the containment check; this function only
+    performs the re-filtering.
+    """
+    tester = RDominance(region, tol)
+    return _finalize_skyband(skyband.indices, skyband.values, tester, region,
+                             k, BBSStatistics())
+
+
+def _finalize_skyband(candidate_idx: np.ndarray, candidate_rows: np.ndarray,
+                      tester: RDominance, region: Region, k: int,
+                      stats: BBSStatistics) -> RSkyband:
+    """Exact quadratic pass turning a candidate superset into the r-skyband."""
     matrix = tester.dominance_matrix(candidate_rows)
     counts = matrix.sum(axis=0)
     keep = counts < k

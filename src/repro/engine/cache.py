@@ -1,0 +1,131 @@
+"""Caching primitives of the query-serving engine.
+
+Three small pieces that :class:`~repro.engine.engine.UTKEngine` composes:
+
+* :func:`region_signature` — a stable hashable fingerprint of a query region
+  (its rounded H-representation), used as the exact-match cache key;
+* :func:`region_contains` — polytope containment ``inner ⊆ outer``, the test
+  behind the engine's containment-reuse path;
+* :class:`LRUCache` — a bounded mapping with least-recently-used eviction and
+  hit/miss/eviction accounting.
+
+Signatures are syntactic: two :class:`~repro.core.region.Region` objects built
+from the same constraints share a signature, while geometrically equal regions
+described differently may not.  The engine tolerates that — a signature miss
+falls through to the containment scan, and mutual containment covers equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.region import Region
+
+#: Decimal places kept when fingerprinting region constraints.
+SIGNATURE_DECIMALS = 10
+
+#: Default tolerance of the containment test.
+CONTAINMENT_TOL = 1e-9
+
+
+def region_signature(region: Region, *, decimals: int = SIGNATURE_DECIMALS) -> str:
+    """A stable fingerprint of the region's H-representation."""
+    a, b = region.constraints
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.asarray(a.shape, dtype=np.int64).tobytes())
+    digest.update(np.round(a, decimals).tobytes())
+    digest.update(np.round(b, decimals).tobytes())
+    return digest.hexdigest()
+
+
+def region_contains(outer: Region, inner: Region, *,
+                    tol: float = CONTAINMENT_TOL) -> bool:
+    """Whether ``inner`` is contained in ``outer`` (both convex polytopes).
+
+    With a vertex representation of ``inner`` the test is a dense constraint
+    evaluation; otherwise each constraint of ``outer`` is checked by
+    maximizing it over ``inner`` (one LP per constraint).
+    """
+    if outer.dimension != inner.dimension:
+        return False
+    a, b = outer.constraints
+    vertices = inner.vertices
+    if vertices is not None:
+        return bool(np.all(a @ vertices.T <= b[:, None] + tol))
+    return all(inner.linear_max(row) <= rhs + tol for row, rhs in zip(a, b))
+
+
+class LRUCache:
+    """A bounded key/value store with least-recently-used eviction.
+
+    ``get`` refreshes recency and counts a hit or a miss; ``put`` inserts or
+    refreshes and evicts the stalest entry once ``maxsize`` is exceeded.
+    ``scan`` iterates entries most-recent-first, which the engine uses for its
+    containment lookups (recently touched regions are the most likely parents
+    of the next query in a clustered stream).
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key, default=None):
+        """Value for ``key`` (refreshing its recency), or ``default``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert or refresh ``key``; evict the least-recent beyond capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def touch(self, key) -> None:
+        """Refresh recency without affecting hit/miss counters."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def scan(self) -> Iterator[tuple]:
+        """Iterate ``(key, value)`` pairs, most recently used first."""
+        return iter(list(reversed(self._entries.items())))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot: size, capacity, hits, misses, evictions."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LRUCache(size={len(self._entries)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,332 @@
+"""A persistent UTK query-serving engine.
+
+The one-shot API (:func:`repro.core.api.utk1` / ``utk2``) re-transforms the
+data and recomputes the r-skyband for every call.  :class:`UTKEngine` binds to
+a dataset once and serves many queries fast through three layers:
+
+1. **Result cache** — answers are memoized by ``(region signature, k)``; a
+   repeated query is a dictionary lookup.
+2. **Containment reuse** — a cached answer for region ``R`` answers any
+   sub-region ``R' ⊆ R``.  For UTK2 the cached partitioning is *clipped* to
+   ``R'`` (each cell intersected with the sub-region, degenerate pieces
+   dropped); for UTK1 the clipped partitioning collapses to the record union.
+   Independently, cached r-skybands are *re-filtered* for contained regions
+   (and smaller ``k``), so even a brand-new sub-query skips the expensive
+   filtering step.  Both reuses are exact — r-dominance relationships only
+   grow as the region shrinks (the paper's progressiveness property), so a
+   cached candidate/cell set is always a superset for a contained query.
+3. **LRU eviction** — every cache is bounded and evicts least-recently-used
+   entries, with hit/miss/eviction statistics for capacity planning.
+
+Batch workloads fan out over a thread pool via :meth:`UTKEngine.run_batch`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cell import Cell
+from repro.core.jaa import JAA
+from repro.core.records import Dataset
+from repro.core.region import Region
+from repro.core.result import UTK1Result, UTK2Result, UTKPartition
+from repro.core.rsa import RSA
+from repro.core.rskyband import (RSkyband, _BRUTE_FORCE_LIMIT,
+                                 compute_r_skyband, refilter_r_skyband)
+from repro.core.scoring import LinearScoring, ScoringFunction
+from repro.engine.cache import LRUCache, region_contains, region_signature
+from repro.exceptions import InvalidQueryError
+from repro.index.rtree import RTree
+
+#: How a query was answered; recorded per query and tallied in the stats.
+SOURCE_RESULT_HIT = "hit"
+SOURCE_CONTAINMENT = "containment"
+SOURCE_SKYBAND_HIT = "skyband-hit"
+SOURCE_SKYBAND_CONTAINMENT = "skyband-containment"
+SOURCE_COLD = "cold"
+
+
+@dataclass
+class EngineStatistics:
+    """Counters describing the work saved (and done) by the engine."""
+
+    utk1_queries: int = 0
+    utk2_queries: int = 0
+    result_hits: int = 0
+    containment_hits: int = 0
+    skyband_hits: int = 0
+    skyband_containment_hits: int = 0
+    cold_queries: int = 0
+    batches: int = 0
+    batch_queries: int = 0
+
+    @property
+    def queries(self) -> int:
+        """Total queries served."""
+        return self.utk1_queries + self.utk2_queries
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the CLI and the benchmark harness."""
+        return {
+            "queries": self.queries,
+            "utk1_queries": self.utk1_queries,
+            "utk2_queries": self.utk2_queries,
+            "result_hits": self.result_hits,
+            "containment_hits": self.containment_hits,
+            "skyband_hits": self.skyband_hits,
+            "skyband_containment_hits": self.skyband_containment_hits,
+            "cold_queries": self.cold_queries,
+            "batches": self.batches,
+            "batch_queries": self.batch_queries,
+        }
+
+
+@dataclass(frozen=True)
+class _SkybandEntry:
+    region: Region
+    k: int
+    skyband: RSkyband
+
+
+@dataclass(frozen=True)
+class _ResultEntry:
+    region: Region
+    k: int
+    result: object  # UTK1Result | UTK2Result
+
+
+def clip_partitioning(result: UTK2Result, region: Region) -> UTK2Result:
+    """Restrict a UTK2 partitioning to a contained sub-region.
+
+    Every partition cell is intersected with ``region``; pieces that lose
+    their interior are dropped.  Because the input partitions cover the outer
+    region and carry exact top-k sets, the surviving pieces cover ``region``
+    with the same exactness — no arrangement is rebuilt.
+    """
+    clipped: list[UTKPartition] = []
+    for partition in result.partitions:
+        a, b = partition.cell.constraints
+        cell = Cell(region, extra_a=a, extra_b=b)
+        if cell.is_full_dimensional():
+            clipped.append(UTKPartition(cell=cell, top_k=partition.top_k))
+    stats = {"reused_partitions": len(result.partitions),
+             "clipped_partitions": len(clipped)}
+    return UTK2Result(partitions=clipped, region=region, k=result.k,
+                      stats=stats)
+
+
+class UTKEngine:
+    """Serve many UTK queries against one dataset.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.core.records.Dataset` or an ``(n, d)`` matrix.  The
+        scoring transform is applied once at construction.
+    scoring:
+        Optional scoring function; defaults to the linear weighted sum.
+    cache_size:
+        Capacity of each of the three LRU caches (r-skybands, UTK1 results,
+        UTK2 results).
+    index_threshold:
+        Datasets larger than this get a bulk-loaded R-tree at bind time (the
+        same cut-off the filtering step uses to pick BBS over brute force).
+
+    The engine is thread-safe: cache bookkeeping happens under a lock while
+    the algorithmic work runs outside it, so :meth:`run_batch` can fan
+    queries across a thread pool.  Concurrent identical queries may duplicate
+    work (last write wins) but never produce wrong answers.
+    """
+
+    def __init__(self, data, *, scoring: ScoringFunction | None = None,
+                 cache_size: int = 128,
+                 index_threshold: int = _BRUTE_FORCE_LIMIT):
+        self._dataset = data if isinstance(data, Dataset) else None
+        matrix = data.values if isinstance(data, Dataset) else np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise InvalidQueryError("engine data must be an (n, d) matrix")
+        self.scoring = scoring or LinearScoring()
+        self._values = self.scoring.transform(matrix)
+        self._tree: RTree | None = None
+        if self._values.shape[0] > index_threshold:
+            self._tree = RTree(self._values)
+        self._lock = threading.RLock()
+        self._skybands = LRUCache(cache_size)
+        self._utk1_cache = LRUCache(cache_size)
+        self._utk2_cache = LRUCache(cache_size)
+        self.stats = EngineStatistics()
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def dataset(self) -> Dataset | None:
+        """The bound dataset, when one was supplied (``None`` for raw arrays)."""
+        return self._dataset
+
+    @property
+    def values(self) -> np.ndarray:
+        """The transformed ``(n, d)`` matrix the engine queries against."""
+        return self._values
+
+    @property
+    def tree(self) -> RTree | None:
+        """The shared R-tree (``None`` for datasets below the index threshold)."""
+        return self._tree
+
+    def _check_region(self, region: Region) -> None:
+        if region.dimension != self._values.shape[1] - 1:
+            raise InvalidQueryError(
+                f"region dimension {region.dimension} does not match "
+                f"{self._values.shape[1]}-dimensional data"
+            )
+
+    # ---------------------------------------------------------------- serving
+    def utk1(self, region: Region, k: int) -> UTK1Result:
+        """Answer a UTK1 query (which records may enter the top-k)."""
+        result, _ = self.serve_utk1(region, k)
+        return result
+
+    def utk2(self, region: Region, k: int) -> UTK2Result:
+        """Answer a UTK2 query (the exact top-k partitioning of the region)."""
+        result, _ = self.serve_utk2(region, k)
+        return result
+
+    def query(self, region: Region, k: int) -> tuple[UTK1Result, UTK2Result]:
+        """Answer both problem versions, sharing the filtering through the cache."""
+        second, _ = self.serve_utk2(region, k)
+        first, _ = self.serve_utk1(region, k)
+        return first, second
+
+    def serve_utk1(self, region: Region, k: int) -> tuple[UTK1Result, str]:
+        """Answer a UTK1 query and report which reuse path served it."""
+        self._check_region(region)
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        k = int(k)
+        signature = region_signature(region)
+        key = (signature, k)
+        with self._lock:
+            self.stats.utk1_queries += 1
+            entry = self._utk1_cache.get(key)
+            if entry is not None:
+                self.stats.result_hits += 1
+                return entry.result, SOURCE_RESULT_HIT
+            donor = self._find_containing(self._utk2_cache, region, k)
+        if donor is not None:
+            result = clip_partitioning(donor.result, region).to_utk1()
+            with self._lock:
+                self.stats.containment_hits += 1
+                self._utk1_cache.put(key, _ResultEntry(region, k, result))
+            return result, SOURCE_CONTAINMENT
+        skyband, source = self._skyband_for(region, k, signature)
+        result = RSA(self._values, region, k, skyband=skyband).run()
+        with self._lock:
+            self._utk1_cache.put(key, _ResultEntry(region, k, result))
+        return result, source
+
+    def serve_utk2(self, region: Region, k: int) -> tuple[UTK2Result, str]:
+        """Answer a UTK2 query and report which reuse path served it."""
+        self._check_region(region)
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        k = int(k)
+        signature = region_signature(region)
+        key = (signature, k)
+        with self._lock:
+            self.stats.utk2_queries += 1
+            entry = self._utk2_cache.get(key)
+            if entry is not None:
+                self.stats.result_hits += 1
+                return entry.result, SOURCE_RESULT_HIT
+            donor = self._find_containing(self._utk2_cache, region, k)
+        if donor is not None:
+            result = clip_partitioning(donor.result, region)
+            with self._lock:
+                self.stats.containment_hits += 1
+                self._utk2_cache.put(key, _ResultEntry(region, k, result))
+            return result, SOURCE_CONTAINMENT
+        skyband, source = self._skyband_for(region, k, signature)
+        result = JAA(self._values, region, k, skyband=skyband).run()
+        with self._lock:
+            self._utk2_cache.put(key, _ResultEntry(region, k, result))
+        return result, source
+
+    # ------------------------------------------------------------- filtering
+    def _skyband_for(self, region: Region, k: int,
+                     signature: str) -> tuple[RSkyband, str]:
+        """The r-skyband for a query, reusing cached filterings when possible."""
+        key = (signature, k)
+        with self._lock:
+            entry = self._skybands.get(key)
+            if entry is not None:
+                self.stats.skyband_hits += 1
+                return entry.skyband, SOURCE_SKYBAND_HIT
+            donor = self._find_containing(self._skybands, region, k,
+                                          allow_larger_k=True)
+        if donor is not None:
+            skyband = refilter_r_skyband(donor.skyband, region, k)
+            with self._lock:
+                self.stats.skyband_containment_hits += 1
+                self._skybands.put(key, _SkybandEntry(region, k, skyband))
+            return skyband, SOURCE_SKYBAND_CONTAINMENT
+        skyband = compute_r_skyband(self._values, region, k, tree=self._tree)
+        with self._lock:
+            self.stats.cold_queries += 1
+            self._skybands.put(key, _SkybandEntry(region, k, skyband))
+        return skyband, SOURCE_COLD
+
+    def _find_containing(self, cache: LRUCache, region: Region, k: int, *,
+                         allow_larger_k: bool = False):
+        """Most recent cache entry whose region contains ``region``.
+
+        Result entries must match ``k`` exactly (top-k sets change with
+        ``k``); skyband entries computed for a larger ``k`` remain candidate
+        supersets and are accepted when ``allow_larger_k`` is set.
+        """
+        for _, entry in cache.scan():
+            if entry.k != k and not (allow_larger_k and entry.k > k):
+                continue
+            if region_contains(entry.region, region):
+                return entry
+        return None
+
+    # ----------------------------------------------------------------- batch
+    def run_batch(self, queries, *, workers: int | None = None) -> list:
+        """Serve a sequence of queries, optionally across a thread pool.
+
+        See :func:`repro.engine.batch.run_batch` for the accepted query
+        shapes and the returned :class:`~repro.engine.batch.BatchItem` list.
+        """
+        from repro.engine.batch import run_batch
+        return run_batch(self, queries, workers=workers)
+
+    # ------------------------------------------------------------------ stats
+    def cache_stats(self) -> dict:
+        """Size/hit/miss/eviction counters of the three LRU caches."""
+        with self._lock:
+            return {
+                "skyband": self._skybands.stats(),
+                "utk1": self._utk1_cache.stats(),
+                "utk2": self._utk2_cache.stats(),
+            }
+
+    def statistics(self) -> dict:
+        """Engine counters plus per-cache statistics, as one plain dict."""
+        with self._lock:
+            merged = {"engine": self.stats.as_dict()}
+        merged.update(self.cache_stats())
+        return merged
+
+    def clear_caches(self) -> None:
+        """Drop every cached skyband and result (counters are preserved)."""
+        with self._lock:
+            self._skybands.clear()
+            self._utk1_cache.clear()
+            self._utk2_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n, d = self._values.shape
+        return (f"UTKEngine(n={n}, d={d}, indexed={self._tree is not None}, "
+                f"queries={self.stats.queries})")

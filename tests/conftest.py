@@ -1,27 +1,19 @@
-"""Shared fixtures and correctness oracles for the test-suite.
+"""Shared fixtures for the test-suite.
 
-The oracles here are deliberately independent from the library's algorithms:
-
-* ``exact_utk1_d2`` — for 2-dimensional data the preference domain is a
-  segment, so UTK can be solved exactly by sweeping over the breakpoints
-  where two records tie.
-* ``sampled_top_k_union`` — a dense random sample of weight vectors; the
-  union of their top-k sets is a subset of the true UTK1 answer.
+The correctness oracles (exact d=2 sweeps, sampled unions, brute-force
+top-k) live in :mod:`helpers`, a plain module next to the tests, so the test
+files can import them absolutely under any pytest invocation.
 """
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 import pytest
 
-from repro.core.preference import scores
 from repro.core.records import Dataset
 from repro.core.region import hyperrectangle
 
 
-# --------------------------------------------------------------------- fixtures
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
@@ -58,78 +50,3 @@ def small_dataset_3d(rng) -> np.ndarray:
 @pytest.fixture
 def small_dataset_4d(rng) -> np.ndarray:
     return rng.random((120, 4))
-
-
-# ---------------------------------------------------------------------- oracles
-def exact_utk1_d2(values: np.ndarray, lo: float, hi: float, k: int) -> set[int]:
-    """Exact UTK1 for 2-dimensional data over the weight interval [lo, hi].
-
-    The score of every record is linear in the single reduced weight, so the
-    ranking only changes at pairwise tie points.  Evaluating the top-k in the
-    interior of every sub-interval between consecutive breakpoints (plus the
-    interval endpoints) enumerates every reachable top-k set exactly.
-    """
-    values = np.asarray(values, dtype=float)
-    n = values.shape[0]
-    breakpoints = {lo, hi}
-    for i, j in itertools.combinations(range(n), 2):
-        # offsets[i] + grad[i] * w == offsets[j] + grad[j] * w
-        grad_i = values[i, 0] - values[i, 1]
-        grad_j = values[j, 0] - values[j, 1]
-        if abs(grad_i - grad_j) < 1e-15:
-            continue
-        w = (values[j, 1] - values[i, 1]) / (grad_i - grad_j)
-        if lo < w < hi:
-            breakpoints.add(float(w))
-    points = sorted(breakpoints)
-    probes = []
-    for a, b in zip(points[:-1], points[1:]):
-        probes.append((a + b) / 2.0)
-    probes.extend([lo, hi])
-    members: set[int] = set()
-    for w in probes:
-        row = scores(values, np.array([w]))
-        members.update(np.argsort(-row, kind="stable")[:k].tolist())
-    return members
-
-
-def exact_utk2_d2(values: np.ndarray, lo: float, hi: float, k: int) -> list[tuple[float, float, frozenset[int]]]:
-    """Exact UTK2 for 2-dimensional data: (interval, top-k set) triples."""
-    values = np.asarray(values, dtype=float)
-    n = values.shape[0]
-    breakpoints = {lo, hi}
-    for i, j in itertools.combinations(range(n), 2):
-        grad_i = values[i, 0] - values[i, 1]
-        grad_j = values[j, 0] - values[j, 1]
-        if abs(grad_i - grad_j) < 1e-15:
-            continue
-        w = (values[j, 1] - values[i, 1]) / (grad_i - grad_j)
-        if lo < w < hi:
-            breakpoints.add(float(w))
-    points = sorted(breakpoints)
-    segments = []
-    for a, b in zip(points[:-1], points[1:]):
-        mid = (a + b) / 2.0
-        row = scores(values, np.array([mid]))
-        top = frozenset(np.argsort(-row, kind="stable")[:k].tolist())
-        segments.append((a, b, top))
-    return segments
-
-
-def sampled_top_k_union(values: np.ndarray, region, k: int,
-                        samples: int = 2000, seed: int = 0) -> set[int]:
-    """Union of top-k sets over a dense sample of the region (lower bound of UTK1)."""
-    rng = np.random.default_rng(seed)
-    weights = region.sample(samples, rng)
-    score_matrix = scores(values, weights)
-    members: set[int] = set()
-    for row in score_matrix:
-        members.update(np.argsort(-row, kind="stable")[:k].tolist())
-    return members
-
-
-def brute_force_top_k(values: np.ndarray, weights, k: int) -> set[int]:
-    """Top-k indices by full scoring (deterministic tie-break by index)."""
-    row = scores(values, weights)
-    order = np.lexsort((np.arange(row.shape[0]), -row))
-    return set(int(i) for i in order[:k])

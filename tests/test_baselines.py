@@ -9,7 +9,7 @@ from repro.core.rsa import RSA
 from repro.exceptions import InvalidQueryError
 from repro.queries.baselines import baseline_utk1, baseline_utk2
 
-from .conftest import brute_force_top_k
+from helpers import brute_force_top_k
 
 
 @pytest.fixture

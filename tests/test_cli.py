@@ -50,6 +50,52 @@ class TestQueryCommand:
                   "--lower", "0.9", "0.9", "--upper", "0.95", "0.95"])
 
 
+class TestBatchCommand:
+    def _write_queries(self, path):
+        lines = [
+            {"lower": [0.1, 0.1], "upper": [0.35, 0.3], "k": 2, "version": "both"},
+            {"lower": [0.15, 0.12], "upper": [0.3, 0.22], "k": 2, "version": "utk2"},
+            {"lower": [0.15, 0.12], "upper": [0.3, 0.22], "k": 2, "version": "utk2"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+
+    def test_batch_report(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        self._write_queries(queries)
+        code = main(["batch", "--input", str(queries), "--dataset", "IND",
+                     "--cardinality", "150", "--workers", "1"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 3
+        assert report["sources"].get("hit") == 1
+        assert report["sources"].get("containment") == 2
+        assert report["sources"].get("cold") == 1
+        assert set(report["cache"]) == {"engine", "skyband", "utk1", "utk2"}
+        assert report["results"][0]["utk1"]["records"]
+        assert report["results"][1]["utk2"]["partitions"] >= 1
+
+    def test_batch_output_file(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        self._write_queries(queries)
+        out = tmp_path / "report.json"
+        code = main(["batch", "--input", str(queries), "--cardinality", "120",
+                     "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["queries"] == 3
+
+    def test_batch_empty_input_fails(self, tmp_path):
+        queries = tmp_path / "empty.jsonl"
+        queries.write_text("")
+        assert main(["batch", "--input", str(queries)]) == 1
+
+    def test_batch_malformed_line_rejected(self, tmp_path):
+        queries = tmp_path / "bad.jsonl"
+        queries.write_text('{"lower": [0.1, 0.1], "k": 2}\n')
+        with pytest.raises(Exception):
+            main(["batch", "--input", str(queries), "--cardinality", "100"])
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         code = main(["experiment", "table1"])

@@ -17,7 +17,7 @@ from repro.datasets.synthetic import synthetic_dataset
 from repro.index.rtree import RTree
 from repro.queries.baselines import baseline_utk1
 
-from .conftest import brute_force_top_k, sampled_top_k_union
+from helpers import brute_force_top_k, sampled_top_k_union
 
 
 class TestCrossAlgorithmConsistency:

@@ -9,7 +9,7 @@ from repro.core.rsa import RSA
 from repro.core.rskyband import compute_r_skyband
 from repro.exceptions import InvalidQueryError
 
-from .conftest import brute_force_top_k, exact_utk2_d2
+from helpers import brute_force_top_k, exact_utk2_d2
 
 
 class TestPaperExample:

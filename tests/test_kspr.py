@@ -9,7 +9,7 @@ from repro.exceptions import InvalidQueryError
 from repro.queries.kspr import constrained_reverse_topk
 from repro.skyline.dominance import k_skyband_bruteforce
 
-from .conftest import brute_force_top_k
+from helpers import brute_force_top_k
 
 
 @pytest.fixture

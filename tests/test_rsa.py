@@ -9,7 +9,7 @@ from repro.core.rskyband import compute_r_skyband
 from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
 
-from .conftest import brute_force_top_k, exact_utk1_d2, sampled_top_k_union
+from helpers import brute_force_top_k, exact_utk1_d2, sampled_top_k_union
 
 
 class TestPaperExample:
