@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import print_rows
 
+from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import engine_query_stream
 from repro.core.api import make_engine, utk1, utk2, utk_query
 from repro.datasets.synthetic import synthetic_dataset
@@ -152,11 +153,21 @@ def main(argv=None) -> int:
     parser.add_argument("--required-speedup", type=float,
                         default=REQUIRED_SPEEDUP,
                         help="fail when warm/cold falls below this factor")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the rows as a BENCH JSON artifact")
     args = parser.parse_args(argv)
-    setting = SETTINGS["smoke" if args.smoke else "default"]
+    mode = "smoke" if args.smoke else "default"
+    setting = SETTINGS[mode]
     rows = run_benchmark(setting, args.workers)
     print_rows("Engine serving — warm cache vs cold per-query path", rows)
     speedup = rows[0]["speedup"]
+    if args.output:
+        gates = {"required_speedup": args.required_speedup,
+                 "speedup": speedup,
+                 "passed": speedup >= args.required_speedup}
+        write_bench_json(args.output, "engine_throughput", rows, gates=gates,
+                         meta={"mode": mode, **setting})
+        print(f"wrote {args.output}")
     if speedup < args.required_speedup:
         print(f"FAIL: warm-cache speedup {speedup}x is below the required "
               f"{args.required_speedup}x", file=sys.stderr)

@@ -64,7 +64,7 @@ def main() -> None:
     engine.run_batch(stream)
     rerun = time.perf_counter() - started
     print(f"second pass  : {rerun:.3f}s ({len(stream) / rerun:.0f} q/s, "
-          f"all cache hits)")
+          "all cache hits)")
 
 
 if __name__ == "__main__":

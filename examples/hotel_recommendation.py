@@ -72,7 +72,7 @@ def portal_scenario() -> None:
           f"onion layers {onion.size} — both ignore the user's region entirely.")
 
     partitioning = utk2(data, region, k)
-    print(f"UTK2 partitions the preference region into "
+    print("UTK2 partitions the preference region into "
           f"{len(partitioning.distinct_top_k_sets)} distinct top-{k} sets.")
 
 

@@ -60,7 +60,7 @@ def main() -> None:
     region = widen_region(reduced, 0.02)
     quadratic = utk1(data, region, k, scoring=PowerScoring(2.0))
     linear = utk1(data, region, k)
-    print(f"\nWith a quadratic scoring function the UTK1 answer has "
+    print("\nWith a quadratic scoring function the UTK1 answer has "
           f"{len(quadratic)} options (linear: {len(linear)}); overlap: "
           f"{len(set(quadratic.indices) & set(linear.indices))} options.")
 

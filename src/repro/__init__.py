@@ -17,7 +17,7 @@ Quickstart
 >>> partitioning = utk2(data, region, k=2)
 """
 
-from repro.core.api import make_engine, utk1, utk2, utk_query
+from repro.core.api import k_skyband, make_engine, utk1, utk2, utk_query
 from repro.core.records import Dataset
 from repro.core.region import Region, hyperrectangle, region_from_vertices, simplex_region
 from repro.core.result import UTK1Result, UTK2Result, UTKPartition
@@ -34,12 +34,13 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "utk1",
     "utk2",
     "utk_query",
+    "k_skyband",
     "make_engine",
     "UTKEngine",
     "BatchQuery",

@@ -1,14 +1,21 @@
-"""Plain-text reporting helpers for the benchmark harness.
+"""Reporting helpers for the benchmark harness.
 
 Every benchmark prints the same rows/series the corresponding paper figure
 plots; these helpers format them as aligned text tables so the shape of the
 result (who wins, by what factor, where trends bend) is readable directly
-from the benchmark output.
+from the benchmark output.  :func:`write_bench_json` additionally persists
+rows (plus gate outcomes and environment metadata) as a ``BENCH_*.json``
+artifact, which is what CI uploads and what makes every PR's speed claim
+checkable after the fact.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
@@ -55,6 +62,48 @@ def format_series(series: Mapping[str, Mapping], x_label: str, *,
         row = [x] + [series[name].get(x, "") for name in series]
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def write_bench_json(path, benchmark: str, rows: Sequence[Mapping], *,
+                     gates: Mapping | None = None,
+                     meta: Mapping | None = None) -> dict:
+    """Write benchmark ``rows`` as a ``BENCH_*.json`` artifact and return the payload.
+
+    Parameters
+    ----------
+    path:
+        Output file path (conventionally ``BENCH_<name>.json``).
+    benchmark:
+        Benchmark identifier stored in the payload.
+    rows:
+        The measurement rows, one mapping per table row.
+    gates:
+        Optional pass/fail gate outcomes (e.g. required speedup factors and
+        whether they were met).
+    meta:
+        Optional run metadata (workload mode, sizes, ...).
+    """
+    payload = {
+        "benchmark": benchmark,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "meta": dict(meta or {}),
+        "gates": dict(gates or {}),
+        "rows": [dict(row) for row in rows],
+    }
+    text = json.dumps(payload, indent=2, default=_json_default)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+    return payload
+
+
+def _json_default(value):
+    """Coerce NumPy scalars/arrays (and other oddballs) into JSON-able types."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
 
 
 def _render(value) -> str:

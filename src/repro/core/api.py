@@ -59,6 +59,43 @@ def make_engine(data, *, scoring: ScoringFunction | None = None,
     return UTKEngine(data, scoring=scoring, cache_size=cache_size)
 
 
+def k_skyband(data, k: int, *,
+              scoring: ScoringFunction | None = None,
+              tree: RTree | None = None,
+              engine=None) -> np.ndarray:
+    """Indices of the traditional k-skyband of the (transformed) dataset.
+
+    The one-shot path silently built (and threw away) an R-tree on every call
+    for datasets above the index threshold; callers that issue repeated
+    skyband queries should either pass a pre-built ``tree`` or — preferably —
+    an ``engine``, whose cached R-tree and per-``k`` skyband memo are shared
+    with the UTK query paths.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.core.records.Dataset` or an ``(n, d)`` matrix.
+        Ignored when ``engine`` is given (the engine is already bound).
+    k:
+        Skyband parameter: records dominated by fewer than ``k`` others.
+    scoring, tree:
+        As in :func:`utk1`; rejected when ``engine`` is given.
+    engine:
+        Optional :class:`~repro.engine.engine.UTKEngine`; the skyband is then
+        computed over the engine's transformed matrix with its cached R-tree
+        and memoized per ``k``.
+    """
+    if engine is not None:
+        _check_engine_call(scoring, tree)
+        return engine.k_skyband(k)
+    # Imported lazily (as make_engine does) to keep repro.core importable
+    # independently of the skyline package.
+    from repro.skyline.skyband import k_skyband as traditional_k_skyband
+    scoring = scoring or LinearScoring()
+    values = scoring.transform(_as_matrix(data))
+    return traditional_k_skyband(values, k, tree=tree)
+
+
 def utk1(data, region: Region, k: int, *,
          scoring: ScoringFunction | None = None,
          tree: RTree | None = None,

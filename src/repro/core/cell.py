@@ -41,7 +41,7 @@ class Cell:
     """
 
     __slots__ = ("region", "_extra_a", "_extra_b", "history",
-                 "_chebyshev", "_radius")
+                 "_chebyshev", "_radius", "_children")
 
     def __init__(self, region: Region, extra_a: np.ndarray | None = None,
                  extra_b: np.ndarray | None = None,
@@ -56,6 +56,7 @@ class Cell:
         self.history = history
         self._chebyshev = None
         self._radius = None
+        self._children = {}
 
     # --------------------------------------------------------------- geometry
     @property
@@ -74,7 +75,10 @@ class Cell:
     def _ensure_chebyshev(self) -> None:
         if self._radius is None:
             a, b = self.constraints
-            centre, radius = chebyshev_center(a, b, dim=self.dimension)
+            # Cells are subsets of the (bounded) query region, so every LP
+            # here may take the vertex-enumeration fast path.
+            centre, radius = chebyshev_center(a, b, dim=self.dimension,
+                                              assume_bounded=True)
             self._chebyshev = centre
             self._radius = radius
 
@@ -105,15 +109,28 @@ class Cell:
 
     # --------------------------------------------------------------- children
     def restricted(self, halfspace: HalfSpace, inside: bool) -> "Cell":
-        """The sub-cell on the requested side of ``halfspace``."""
+        """The sub-cell on the requested side of ``halfspace``.
+
+        Children are memoized per ``(halfspace, side)``: :meth:`classify`
+        builds both sides of a candidate split to test full-dimensionality,
+        and the arrangement then asks for the same children again — without
+        the memo their (LP-computed) Chebyshev data would be thrown away and
+        recomputed.
+        """
+        key = (halfspace, inside)
+        child = self._children.get(key)
+        if child is not None:
+            return child
         if inside:
             row, rhs = halfspace.as_upper_constraint()
         else:
             row, rhs = halfspace.as_lower_constraint()
         extra_a = np.vstack([self._extra_a, row.reshape(1, -1)])
         extra_b = np.concatenate([self._extra_b, [rhs]])
-        return Cell(self.region, extra_a, extra_b,
-                    history=self.history + ((halfspace, inside),))
+        child = Cell(self.region, extra_a, extra_b,
+                     history=self.history + ((halfspace, inside),))
+        self._children[key] = child
+        return child
 
     def classify(self, halfspace: HalfSpace,
                  tol: float = CELL_SIDE_TOL) -> str:
@@ -122,17 +139,29 @@ class Cell:
         Returns ``"inside"`` when the whole cell satisfies
         ``normal @ u >= offset``, ``"outside"`` when no interior point does,
         and ``"split"`` when the half-space properly crosses the cell.
+
+        The (cached) Chebyshev centre is a feasible point, so its slack
+        brackets both linear programs: the minimum cannot exceed it and the
+        maximum cannot fall below it.  Each bound test is therefore only run
+        when the probe leaves it any chance of succeeding, which skips one of
+        the two LPs for every cell the hyperplane clearly crosses.
         """
-        a, b = self.constraints
-        low = minimize(halfspace.normal, a, b)
-        if not low.is_optimal:
+        self._ensure_chebyshev()
+        if self._chebyshev is None or self._radius <= 0.0:
             # Empty cell: report "outside" so callers simply drop it.
             return "outside"
-        if low.value >= halfspace.offset - tol:
-            return "inside"
-        high = maximize(halfspace.normal, a, b)
-        if high.value <= halfspace.offset + tol:
-            return "outside"
+        a, b = self.constraints
+        probe = halfspace.value(self._chebyshev)
+        if probe >= -tol:
+            low = minimize(halfspace.normal, a, b, assume_bounded=True)
+            if not low.is_optimal:
+                return "outside"
+            if low.value >= halfspace.offset - tol:
+                return "inside"
+        if probe <= tol:
+            high = maximize(halfspace.normal, a, b, assume_bounded=True)
+            if high.value <= halfspace.offset + tol:
+                return "outside"
         # The hyperplane crosses the cell's affine hull; only a genuine split
         # when both sides keep a full-dimensional piece.
         inside_part = self.restricted(halfspace, True)
@@ -148,8 +177,8 @@ class Cell:
     def linear_range(self, coef) -> tuple[float, float]:
         """Minimum and maximum of ``coef @ u`` over the cell."""
         a, b = self.constraints
-        low = minimize(coef, a, b)
-        high = maximize(coef, a, b)
+        low = minimize(coef, a, b, assume_bounded=True)
+        high = maximize(coef, a, b, assume_bounded=True)
         if not (low.is_optimal and high.is_optimal):
             return np.nan, np.nan
         return float(low.value), float(high.value)

@@ -15,9 +15,21 @@ import numpy as np
 
 from repro.core.preference import score_gradients
 from repro.core.region import Region
+from repro.kernels.dominance import DOMINANCE_TOL
+from repro.kernels.dominance import dominance_counts as _kernel_dominance_counts
+from repro.kernels.halfspace import (
+    r_dominance_matrix as _kernel_r_dominance_matrix,
+    r_dominators_mask as _kernel_r_dominators_mask,
+    vertex_scores as _kernel_vertex_scores,
+)
 
-#: Tie tolerance used by dominance tests on floating-point data.
-DOMINANCE_TOL = 1e-9
+__all__ = [
+    "DOMINANCE_TOL",
+    "dominates",
+    "dominance_counts",
+    "r_dominates",
+    "RDominance",
+]
 
 
 def dominates(p, q, tol: float = DOMINANCE_TOL) -> bool:
@@ -30,19 +42,12 @@ def dominates(p, q, tol: float = DOMINANCE_TOL) -> bool:
 def dominance_counts(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:
     """For every record, the number of records that traditionally dominate it.
 
-    Quadratic brute force intended for oracles and small candidate sets; the
-    index-based path lives in :mod:`repro.skyline.bbs`.
+    Served by the batched kernel (:mod:`repro.kernels.dominance`); the
+    per-record loop this replaced survives there as
+    :func:`~repro.kernels.dominance.dominance_counts_loop`, the oracle of the
+    property tests.  The index-based path lives in :mod:`repro.skyline.bbs`.
     """
-    values = np.asarray(values, dtype=float)
-    n = values.shape[0]
-    counts = np.zeros(n, dtype=int)
-    for i in range(n):
-        geq = np.all(values >= values[i] - tol, axis=1)
-        gt = np.any(values > values[i] + tol, axis=1)
-        dominators = geq & gt
-        dominators[i] = False
-        counts[i] = int(dominators.sum())
-    return counts
+    return _kernel_dominance_counts(values, tol)
 
 
 def r_dominates(p, q, region: Region, tol: float = DOMINANCE_TOL) -> bool:
@@ -77,8 +82,7 @@ class RDominance:
     # ------------------------------------------------------------- primitives
     def _vertex_scores(self, values: np.ndarray) -> np.ndarray:
         """Scores of ``values`` at every region vertex, shape ``(v, n)``."""
-        gradients, offsets = score_gradients(np.asarray(values, dtype=float))
-        return offsets[None, :] + self._vertices @ gradients.T
+        return _kernel_vertex_scores(values, self._vertices)
 
     def dominates(self, p, q) -> bool:
         """Single-pair r-dominance test."""
@@ -100,16 +104,19 @@ class RDominance:
         if self._vertices is None:
             return np.array([r_dominates(row, point, self.region, self.tol)
                              for row in pool], dtype=bool)
+        # One vertex_scores call on the stacked records keeps the probe and
+        # pool scores bit-identical to the pre-kernel implementation.
         stacked = np.vstack([np.asarray(point, dtype=float).reshape(1, -1), pool])
         scores = self._vertex_scores(stacked)
-        diff = scores[:, 1:] - scores[:, 0:1]
-        return np.all(diff >= -self.tol, axis=0) & np.any(diff > self.tol, axis=0)
+        return _kernel_r_dominators_mask(scores[:, 0], scores[:, 1:], self.tol)
 
     def dominance_matrix(self, values: np.ndarray) -> np.ndarray:
         """Full pairwise matrix ``M[i, j] = True`` iff record ``i`` r-dominates ``j``.
 
-        Quadratic in the number of records; intended for the (small) r-skyband
-        candidate set when building the r-dominance graph.
+        Quadratic in the number of records.  With a vertex representation the
+        whole matrix is a kernel call that accumulates per vertex over
+        ``(n, n)`` slabs — the ``(v, n, n)`` difference tensor the pre-kernel
+        code materialized is never built.
         """
         values = np.asarray(values, dtype=float)
         n = values.shape[0]
@@ -122,11 +129,7 @@ class RDominance:
                     if i != j and r_dominates(values[i], values[j], self.region, self.tol):
                         matrix[i, j] = True
             return matrix
-        scores = self._vertex_scores(values)                    # (v, n)
-        diff = scores[:, :, None] - scores[:, None, :]          # (v, i, j)
-        matrix = np.all(diff >= -self.tol, axis=0) & np.any(diff > self.tol, axis=0)
-        np.fill_diagonal(matrix, False)
-        return matrix
+        return _kernel_r_dominance_matrix(self._vertex_scores(values), self.tol)
 
     def dominance_counts(self, values: np.ndarray) -> np.ndarray:
         """Number of records (within ``values``) r-dominating each record."""

@@ -30,7 +30,7 @@ def drill_vector(cell: Cell, record) -> np.ndarray | None:
     """
     gradients, _ = score_gradients(np.asarray(record, dtype=float).reshape(1, -1))
     a, b = cell.constraints
-    result = maximize(gradients[0], a, b)
+    result = maximize(gradients[0], a, b, assume_bounded=True)
     if result.is_optimal:
         return result.x
     return cell.interior_point

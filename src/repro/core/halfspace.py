@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.preference import score_gradients
+from repro.kernels.halfspace import halfspace_coefficients
 
 
 @dataclass(frozen=True)
@@ -95,15 +96,10 @@ def halfspaces_against(candidate, competitors: np.ndarray, labels) -> list[HalfS
 
     Vectorized variant of :func:`halfspace_between` used by the refinement
     steps, which build one half-space per competitor of the candidate/anchor.
+    All coefficients come from one kernel broadcast
+    (:func:`repro.kernels.halfspace.halfspace_coefficients`); only the
+    ``HalfSpace`` wrappers are created per row.
     """
-    competitors = np.asarray(competitors, dtype=float)
-    candidate = np.asarray(candidate, dtype=float).reshape(1, -1)
-    stacked = np.vstack([candidate, competitors])
-    gradients, offsets = score_gradients(stacked)
-    cand_grad, cand_off = gradients[0], offsets[0]
-    result = []
-    for row in range(competitors.shape[0]):
-        normal = gradients[row + 1] - cand_grad
-        offset = cand_off - offsets[row + 1]
-        result.append(HalfSpace(normal=normal, offset=offset, label=int(labels[row])))
-    return result
+    normals, offsets = halfspace_coefficients(candidate, competitors)
+    return [HalfSpace(normal=normals[row], offset=offsets[row], label=int(labels[row]))
+            for row in range(normals.shape[0])]

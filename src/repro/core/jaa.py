@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.arrangement import Arrangement
 from repro.core.cell import Cell
-from repro.core.halfspace import halfspace_between
+from repro.core.halfspace import halfspaces_against
 from repro.core.preference import scores as _scores_at
 from repro.core.region import Region
 from repro.core.result import UTK2Result, UTKPartition
@@ -158,7 +158,7 @@ class JAA:
         """
         probe = cell.interior_point
         eligible = [index for index in self._members if index not in excluded]
-        rows = np.vstack([self._rows[index] for index in eligible])
+        rows = self._sky.subset_values(eligible)
         ordered = np.lexsort((np.arange(rows.shape[0]),
                               -_scores_at(rows, probe)))
         for position in ordered[self.k - 1:]:
@@ -190,13 +190,15 @@ class JAA:
         self.stats.arrangements_built += 1
         chosen: list[int] = []
         if competitors:
-            competitor_set = set(competitors)
-            counts = {c: len(self._ancestors[c] & competitor_set) for c in competitors}
-            minimum = min(counts.values())
-            chosen = [c for c in competitors if counts[c] == minimum]
-            for comp in chosen:
-                halfspace = halfspace_between(self._rows[comp], self._rows[anchor],
-                                              label=comp)
+            # Restricted r-dominance counts come from one adjacency-submatrix
+            # column sum; the chosen competitors' half-spaces from one kernel
+            # broadcast.
+            counts = self._sky.restricted_counts(competitors)
+            minimum = counts.min()
+            chosen = [c for c, count in zip(competitors, counts) if count == minimum]
+            for halfspace in halfspaces_against(self._rows[anchor],
+                                                self._sky.subset_values(chosen),
+                                                chosen):
                 arrangement.insert(halfspace)
                 self.stats.halfspaces_inserted += 1
         remaining = [c for c in competitors if c not in set(chosen)]

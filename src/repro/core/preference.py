@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidQueryError
+from repro.kernels.halfspace import score_decomposition
 
 
 def preference_dimension(data_dimension: int) -> int:
@@ -65,9 +66,7 @@ def score_gradients(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     values = np.asarray(values, dtype=float)
     if values.ndim != 2 or values.shape[1] < 2:
         raise InvalidQueryError("values must be an (n, d) matrix with d >= 2")
-    last = values[:, -1]
-    gradients = values[:, :-1] - last[:, None]
-    return gradients, last.copy()
+    return score_decomposition(values)
 
 
 def scores(values: np.ndarray, reduced_weights) -> np.ndarray:

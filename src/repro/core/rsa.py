@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.arrangement import Arrangement
 from repro.core.cell import Cell
 from repro.core.drill import drill_vector, is_in_top_k
-from repro.core.halfspace import HalfSpace, halfspace_between
+from repro.core.halfspace import halfspaces_against
 from repro.core.region import Region
 from repro.core.result import UTK1Result
 from repro.core.rskyband import RSkyband, compute_r_skyband
@@ -188,10 +188,14 @@ class RSA:
         pool = (self._alive | set(self._verified)) - skip
         return sorted(pool)
 
-    def _restricted_counts(self, competitors: list[int]) -> dict[int, int]:
-        """r-dominance counts restricted to the competitor set itself."""
-        competitor_set = set(competitors)
-        return {c: len(self._ancestors[c] & competitor_set) for c in competitors}
+    def _restricted_counts(self, competitors: list[int]) -> np.ndarray:
+        """r-dominance counts restricted to the competitor set itself.
+
+        One adjacency-submatrix column sum (see
+        :meth:`~repro.core.rskyband.RSkyband.restricted_counts`) instead of a
+        per-candidate ancestor-set intersection.
+        """
+        return self._sky.restricted_counts(competitors)
 
     def _verify(self, candidate: int, cell: Cell, quota: int,
                 skip: set[int]) -> tuple[bool, np.ndarray | None]:
@@ -201,8 +205,7 @@ class RSA:
             return False, None
 
         pool_indices = sorted((self._alive | set(self._verified)) - {candidate})
-        pool_rows = np.vstack([self._rows[i] for i in pool_indices] +
-                              [self._rows[candidate]])
+        pool_rows = self._sky.subset_values(pool_indices + [candidate])
         candidate_position = pool_rows.shape[0] - 1
 
         # Drill: probe the cell at the vector maximizing the candidate's score.
@@ -221,15 +224,14 @@ class RSA:
         # Insert half-spaces of the strongest competitors (smallest restricted
         # r-dominance count) into a fresh local arrangement.
         counts = self._restricted_counts(competitors)
-        minimum = min(counts.values())
-        chosen = [c for c in competitors if counts[c] == minimum]
-        remaining = [c for c in competitors if counts[c] != minimum]
+        minimum = counts.min()
+        chosen = [c for c, count in zip(competitors, counts) if count == minimum]
+        remaining = [c for c, count in zip(competitors, counts) if count != minimum]
 
         arrangement = Arrangement(cell)
         self.stats.arrangements_built += 1
-        for comp in chosen:
-            halfspace = halfspace_between(self._rows[comp], self._rows[candidate],
-                                          label=comp)
+        for halfspace in halfspaces_against(self._rows[candidate],
+                                            self._sky.subset_values(chosen), chosen):
             arrangement.insert(halfspace)
             self.stats.halfspaces_inserted += 1
 

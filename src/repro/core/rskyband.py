@@ -45,6 +45,12 @@ class RSkyband:
         The query region the skyband was computed for.
     stats:
         BBS traversal statistics (empty for the brute-force path).
+    adjacency:
+        Boolean ``(m, m)`` matrix over member *positions*:
+        ``adjacency[i, j]`` iff member ``i`` r-dominates member ``j``.  The
+        dense form of ``G`` that the refinement steps use for vectorized
+        restricted-count computations; reconstructed from ``ancestors`` when
+        not supplied.
     """
 
     indices: np.ndarray
@@ -53,6 +59,7 @@ class RSkyband:
     descendants: dict[int, frozenset[int]]
     region: Region
     stats: BBSStatistics = field(default_factory=BBSStatistics)
+    adjacency: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -69,15 +76,37 @@ class RSkyband:
 
     def __post_init__(self):
         self._position = {int(idx): pos for pos, idx in enumerate(self.indices)}
+        if self.adjacency is None:
+            size = int(self.indices.shape[0])
+            adjacency = np.zeros((size, size), dtype=bool)
+            for column, dataset_index in enumerate(self.indices):
+                for ancestor in self.ancestors[int(dataset_index)]:
+                    adjacency[self._position[int(ancestor)], column] = True
+            self.adjacency = adjacency
 
     def members(self) -> list[int]:
         """Member indices as a plain list."""
         return [int(i) for i in self.indices]
 
+    def positions_of(self, indices) -> np.ndarray:
+        """Row positions (into ``values``/``adjacency``) of member indices."""
+        return np.fromiter((self._position[int(i)] for i in indices), dtype=int,
+                           count=len(indices))
+
     def subset_values(self, indices) -> np.ndarray:
-        """Attribute rows for a list of member indices."""
-        rows = [self._position[int(i)] for i in indices]
-        return self.values[rows]
+        """Attribute rows for a list of member indices (one fancy index)."""
+        return self.values[self.positions_of(indices)]
+
+    def restricted_counts(self, indices) -> np.ndarray:
+        """r-dominance counts restricted to the given member subset.
+
+        ``result[i]`` is the number of members of ``indices`` that r-dominate
+        ``indices[i]`` — the quantity RSA/JAA rank competitors by — computed
+        as column sums of an adjacency submatrix instead of per-candidate
+        ancestor-set intersections.
+        """
+        positions = self.positions_of(indices)
+        return self.adjacency[np.ix_(positions, positions)].sum(axis=0)
 
 
 def compute_r_skyband(values: np.ndarray, region: Region, k: int, *,
@@ -170,4 +199,5 @@ def _finalize_skyband(candidate_idx: np.ndarray, candidate_rows: np.ndarray,
 
     stats.candidate_count = int(member_idx.shape[0])
     return RSkyband(indices=member_idx, values=member_rows, ancestors=ancestors,
-                    descendants=descendants, region=region, stats=stats)
+                    descendants=descendants, region=region, stats=stats,
+                    adjacency=sub)

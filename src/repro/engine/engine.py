@@ -24,7 +24,7 @@ Batch workloads fan out over a thread pool via :meth:`UTKEngine.run_batch`.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -157,6 +157,7 @@ class UTKEngine:
         self._skybands = LRUCache(cache_size)
         self._utk1_cache = LRUCache(cache_size)
         self._utk2_cache = LRUCache(cache_size)
+        self._traditional_skybands = LRUCache(cache_size)
         self.stats = EngineStatistics()
 
     # ------------------------------------------------------------------ basic
@@ -253,6 +254,26 @@ class UTKEngine:
             self._utk2_cache.put(key, _ResultEntry(region, k, result))
         return result, source
 
+    def k_skyband(self, k: int) -> np.ndarray:
+        """Traditional k-skyband of the bound (transformed) dataset.
+
+        Runs over the engine's cached R-tree — the one-shot path rebuilds a
+        throwaway tree for every call above the index threshold — and is
+        memoized per ``k``, so repeated skyband queries are a lookup.
+        """
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        key = int(k)
+        with self._lock:
+            cached = self._traditional_skybands.get(key)
+            if cached is not None:
+                return cached
+        from repro.skyline.skyband import k_skyband as traditional_k_skyband
+        result = traditional_k_skyband(self._values, key, tree=self._tree)
+        with self._lock:
+            self._traditional_skybands.put(key, result)
+        return result
+
     # ------------------------------------------------------------- filtering
     def _skyband_for(self, region: Region, k: int,
                      signature: str) -> tuple[RSkyband, str]:
@@ -310,6 +331,7 @@ class UTKEngine:
                 "skyband": self._skybands.stats(),
                 "utk1": self._utk1_cache.stats(),
                 "utk2": self._utk2_cache.stats(),
+                "k_skyband": self._traditional_skybands.stats(),
             }
 
     def statistics(self) -> dict:
@@ -325,6 +347,7 @@ class UTKEngine:
             self._skybands.clear()
             self._utk1_cache.clear()
             self._utk2_cache.clear()
+            self._traditional_skybands.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         n, d = self._values.shape

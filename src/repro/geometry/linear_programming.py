@@ -7,6 +7,13 @@ This module wraps :func:`scipy.optimize.linprog` (HiGHS) and adds:
 * an analytic fast path for one-dimensional problems, which dominate the
   workload whenever the data dimensionality is ``d = 2`` (the preference
   domain is then a segment);
+* a vertex-enumeration fast path for *bounded* low-dimensional polytopes
+  (``assume_bounded=True``): the optimum of a bounded LP is attained at a
+  vertex, so enumerating the feasible intersections of ``dim``-subsets of
+  constraints answers the program with a handful of batched dense solves —
+  roughly an order of magnitude faster than a :func:`scipy.optimize.linprog`
+  round-trip at arrangement-cell sizes.  Arrangement cells opt in: they are
+  always subsets of the (bounded) query region;
 * Chebyshev-centre computation, used both as a robust interior point and as a
   full-dimensionality test for arrangement cells;
 * convenience wrappers for maximizing / minimizing linear objectives.
@@ -17,7 +24,10 @@ All functions treat the polytope as closed; "interior" tests use a tolerance
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.optimize import linprog
@@ -27,6 +37,14 @@ from repro.exceptions import LinearProgramError
 #: Default radius below which a cell is considered lower-dimensional (empty
 #: interior).  Chosen conservatively for attribute values in [0, 1] x 10.
 DEFAULT_INTERIOR_TOL = 1e-9
+
+#: Candidate-vertex budget of the bounded-polytope enumeration fast path;
+#: programs whose combination count exceeds this fall back to scipy.
+_ENUM_LIMIT = 20000
+
+#: Relative determinant threshold below which a constraint subset is treated
+#: as degenerate (no vertex contributed).
+_ENUM_DET_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -95,7 +113,65 @@ def _solve_1d(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> LPResult:
     return LPResult(status="optimal", x=x, value=float(slope * best))
 
 
-def minimize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
+@lru_cache(maxsize=256)
+def _combination_index(m: int, k: int) -> np.ndarray | None:
+    """All ``k``-subsets of ``range(m)`` as an ``(count, k)`` index array."""
+    if math.comb(m, k) > _ENUM_LIMIT:
+        return None
+    combos = np.array(list(itertools.combinations(range(m), k)), dtype=int)
+    combos.setflags(write=False)
+    return combos
+
+
+def _enumerate_vertices(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Feasible vertices of ``{x : a x <= b}`` via batched dense solves.
+
+    Returns ``None`` when the enumeration cannot be applied (too many
+    combinations, or every constraint subset degenerate) — callers then fall
+    back to scipy.  An empty result means no feasible vertex exists, which
+    for a pointed polyhedron certifies infeasibility.
+    """
+    m, dim = a.shape
+    if m < dim:
+        return None
+    combos = _combination_index(m, dim)
+    if combos is None:
+        return None
+    sub_a = a[combos]
+    dets = np.linalg.det(sub_a)
+    scale = np.maximum(np.linalg.norm(sub_a, axis=2).prod(axis=1), 1e-300)
+    keep = np.abs(dets) > _ENUM_DET_TOL * scale
+    if not keep.any():
+        return None
+    try:
+        candidates = np.linalg.solve(sub_a[keep], b[combos[keep]][..., None])[..., 0]
+    except np.linalg.LinAlgError:  # pragma: no cover - blocked by the det filter
+        return None
+    slack = 1e-9 * (1.0 + np.abs(b) + np.linalg.norm(a, axis=1))
+    feasible = np.all(a @ candidates.T <= (b + slack)[:, None], axis=0)
+    return candidates[feasible]
+
+
+def _solve_bounded(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> LPResult | None:
+    """Solve ``min c @ x`` over a *pointed, bounded-objective* polyhedron.
+
+    Valid whenever the optimum is attained at a vertex — in particular for
+    the bounded arrangement-cell polytopes.  Returns ``None`` when the
+    enumeration is not applicable (the caller falls back to scipy); ties are
+    broken by candidate order, so results are deterministic.
+    """
+    vertices = _enumerate_vertices(a, b)
+    if vertices is None:
+        return None
+    if vertices.shape[0] == 0:
+        return LPResult(status="infeasible")
+    values = vertices @ c
+    best = int(np.argmin(values))
+    return LPResult(status="optimal", x=vertices[best], value=float(values[best]))
+
+
+def minimize(c, a_ub=None, b_ub=None, *, bounds=None,
+             assume_bounded: bool = False) -> LPResult:
     """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub``.
 
     Parameters
@@ -108,12 +184,21 @@ def minimize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
         Optional scipy-style variable bounds.  Defaults to unbounded
         variables, which is what the preference-space machinery expects
         (region constraints already bound every variable).
+    assume_bounded:
+        Promise that the feasible region is bounded (as every arrangement
+        cell is).  Enables the exact vertex-enumeration fast path; must not
+        be set for potentially unbounded programs, whose detection needs the
+        scipy solver.
     """
     c = np.asarray(c, dtype=float).reshape(-1)
     dim = c.shape[0]
     a, b = _as_matrix(a_ub, b_ub, dim)
     if dim == 1 and bounds is None:
         return _solve_1d(c, a, b)
+    if assume_bounded and bounds is None:
+        solved = _solve_bounded(c, a, b)
+        if solved is not None:
+            return solved
     if bounds is None:
         bounds = [(None, None)] * dim
     try:
@@ -131,16 +216,18 @@ def minimize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
     raise LinearProgramError(f"linear program failed: {res.message}")
 
 
-def maximize(c, a_ub=None, b_ub=None, *, bounds=None) -> LPResult:
+def maximize(c, a_ub=None, b_ub=None, *, bounds=None,
+             assume_bounded: bool = False) -> LPResult:
     """Maximize ``c @ x`` subject to ``a_ub @ x <= b_ub``."""
     c = np.asarray(c, dtype=float).reshape(-1)
-    res = minimize(-c, a_ub, b_ub, bounds=bounds)
+    res = minimize(-c, a_ub, b_ub, bounds=bounds, assume_bounded=assume_bounded)
     if res.is_optimal:
         return LPResult(status="optimal", x=res.x, value=-res.value)
     return res
 
 
-def chebyshev_center(a_ub, b_ub, dim: int | None = None) -> tuple[np.ndarray | None, float]:
+def chebyshev_center(a_ub, b_ub, dim: int | None = None, *,
+                     assume_bounded: bool = False) -> tuple[np.ndarray | None, float]:
     """Compute the Chebyshev centre of ``{x : A x <= b}``.
 
     Returns ``(centre, radius)`` where ``radius`` is the largest ball radius
@@ -148,7 +235,10 @@ def chebyshev_center(a_ub, b_ub, dim: int | None = None) -> tuple[np.ndarray | N
     empty.  An unbounded polytope returns a finite point with ``radius``
     ``inf`` is never produced in this library because every cell is contained
     in a bounded preference region; if it happens we cap the radius at a large
-    constant and return a feasible point.
+    constant and return a feasible point.  ``assume_bounded`` promises the
+    ``x``-polytope is bounded and enables the vertex-enumeration fast path on
+    the augmented ``(x, r)`` program (that program is pointed whenever the
+    promise holds, so its optimum sits at an enumerated vertex).
     """
     if dim is None:
         a_probe = np.asarray(a_ub, dtype=float)
@@ -180,6 +270,16 @@ def chebyshev_center(a_ub, b_ub, dim: int | None = None) -> tuple[np.ndarray | N
     c = np.zeros(dim + 1)
     c[-1] = -1.0
     a_aug = np.hstack([a, norms.reshape(-1, 1)])
+    if assume_bounded:
+        solved = _solve_bounded(c, a_aug, b)
+        if solved is not None:
+            if not solved.is_optimal:
+                return None, -np.inf
+            radius = float(solved.x[-1])
+            if radius < 0.0:
+                # A negative inscribed radius means the polytope is empty.
+                return None, radius
+            return np.asarray(solved.x[:dim], dtype=float), radius
     bounds = [(None, None)] * dim + [(None, None)]
     try:
         res = linprog(c, A_ub=a_aug, b_ub=b, bounds=bounds, method="highs")

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.arrangement import Arrangement, ArrangementLeaf
 from repro.core.cell import Cell
-from repro.core.halfspace import halfspace_between
+from repro.core.halfspace import halfspaces_against
 from repro.core.preference import scores
 from repro.core.region import Region
 from repro.exceptions import InvalidQueryError
@@ -107,10 +107,12 @@ def constrained_reverse_topk(values: np.ndarray, focal: int, region: Region,
 
     arrangement = Arrangement(Cell(region))
     result = KSPRResult(focal=int(focal))
-    for position in order:
-        competitor = competitors[int(position)]
-        halfspace = halfspace_between(values[competitor], values[focal],
-                                      label=int(competitor))
+    ordered = [competitors[int(position)] for position in order]
+    # All competitor half-spaces come from one kernel broadcast; insertion
+    # order (decreasing pivot score) is preserved.
+    halfspaces = halfspaces_against(values[focal], values[ordered], ordered) \
+        if ordered else []
+    for halfspace in halfspaces:
         arrangement.insert(halfspace, freeze_at=k)
         result.halfspaces_inserted += 1
         if early_terminate and all(leaf.frozen for leaf in arrangement.leaves):

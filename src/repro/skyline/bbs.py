@@ -71,7 +71,12 @@ def bbs_candidates(tree: RTree, k: int, *,
     stats = BBSStatistics()
     members_idx: list[int] = []
     members_rows: list[np.ndarray] = []
-    member_matrix = np.zeros((0, tree.dimension or 0), dtype=float)
+    # Members live in an amortized-doubling buffer so the r-dominance kernel
+    # always sees one contiguous matrix; the seed re-stacked the whole pool on
+    # every admission, which is quadratic in the member count.
+    dimension = tree.dimension or 0
+    member_buffer = np.empty((16, dimension), dtype=float)
+    member_count = 0
 
     counter = itertools.count()
     heap: list[tuple[float, int, int, object]] = []
@@ -91,8 +96,9 @@ def bbs_candidates(tree: RTree, k: int, *,
             node = payload
             stats.nodes_visited += 1
             corner = node.mbb.top_corner
-            if member_matrix.shape[0] >= k:
-                dominated_by = int(dominators_of(corner, member_matrix).sum())
+            if member_count >= k:
+                dominated_by = int(dominators_of(corner,
+                                                 member_buffer[:member_count]).sum())
                 if dominated_by >= k:
                     stats.nodes_pruned += 1
                     continue
@@ -106,15 +112,20 @@ def bbs_candidates(tree: RTree, k: int, *,
         else:  # data record
             index, point = payload
             stats.records_visited += 1
-            if member_matrix.shape[0] >= k:
-                dominated_by = int(dominators_of(point, member_matrix).sum())
+            if member_count >= k:
+                dominated_by = int(dominators_of(point,
+                                                 member_buffer[:member_count]).sum())
                 if dominated_by >= k:
                     stats.records_pruned += 1
                     continue
             members_idx.append(int(index))
             members_rows.append(np.asarray(point, dtype=float))
-            member_matrix = np.vstack([member_matrix, point]) if member_matrix.size \
-                else np.asarray(point, dtype=float).reshape(1, -1)
+            if member_count == member_buffer.shape[0]:
+                grown = np.empty((member_buffer.shape[0] * 2, dimension), dtype=float)
+                grown[:member_count] = member_buffer[:member_count]
+                member_buffer = grown
+            member_buffer[member_count] = point
+            member_count += 1
 
     stats.candidate_count = len(members_idx)
     return members_idx, members_rows, stats

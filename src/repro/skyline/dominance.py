@@ -1,9 +1,10 @@
-"""Vectorized traditional-dominance utilities.
+"""Quadratic traditional-dominance utilities (kernel-backed).
 
-These quadratic routines serve three purposes: they are the correctness
-oracle for the index-based BBS computation, they finalize candidate sets
-produced by BBS (see :mod:`repro.skyline.skyband`), and they are perfectly
-adequate on the small candidate pools that reach the refinement steps.
+These routines serve three purposes: they are the correctness oracle for the
+index-based BBS computation, they finalize candidate sets produced by BBS
+(see :mod:`repro.skyline.skyband`), and they are perfectly adequate on the
+small candidate pools that reach the refinement steps.  The pairwise matrix
+itself is served by :mod:`repro.kernels.dominance`.
 """
 
 from __future__ import annotations
@@ -11,20 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dominance import DOMINANCE_TOL
+from repro.kernels.dominance import dominance_matrix as _kernel_dominance_matrix
 
 
 def dominance_matrix(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:
     """Pairwise matrix ``M[i, j] = True`` iff record ``i`` dominates record ``j``."""
-    values = np.asarray(values, dtype=float)
-    n = values.shape[0]
-    if n == 0:
-        return np.zeros((0, 0), dtype=bool)
-    # geq[i, j] — record i is at least as good as j on every attribute.
-    geq = np.all(values[:, None, :] >= values[None, :, :] - tol, axis=2)
-    gt = np.any(values[:, None, :] > values[None, :, :] + tol, axis=2)
-    matrix = geq & gt
-    np.fill_diagonal(matrix, False)
-    return matrix
+    return _kernel_dominance_matrix(values, tol)
 
 
 def skyline_bruteforce(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.ndarray:

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.dominance import DOMINANCE_TOL
 from repro.geometry.onion import onion_layers
 from repro.index.rtree import RTree
+from repro.kernels.dominance import dominators_mask
 from repro.skyline.bbs import BBSStatistics, bbs_candidates
 from repro.skyline.dominance import dominance_matrix, k_skyband_bruteforce
 
@@ -42,9 +43,7 @@ def k_skyband(values: np.ndarray, k: int, *, tree: RTree | None = None,
         return float(np.sum(point))
 
     def dominators_of(point: np.ndarray, members: np.ndarray) -> np.ndarray:
-        geq = np.all(members >= point - tol, axis=1)
-        gt = np.any(members > point + tol, axis=1)
-        return geq & gt
+        return dominators_mask(point, members, tol)
 
     candidate_idx, candidate_rows, stats = bbs_candidates(
         tree, k, key=key, dominators_of=dominators_of)

@@ -96,3 +96,79 @@ def brute_force_top_k(values: np.ndarray, weights, k: int) -> set[int]:
     row = scores(values, weights)
     order = np.lexsort((np.arange(row.shape[0]), -row))
     return set(int(i) for i in order[:k])
+
+
+# --------------------------------------------------------------------------
+# Kernel oracles: deliberately scalar, per-pair implementations of the batch
+# primitives in ``repro.kernels``, written without any broadcasting so they
+# share no code (and no bugs) with the kernels they check.
+
+def oracle_dominance_matrix(values: np.ndarray, tol: float) -> np.ndarray:
+    """Per-pair traditional-dominance matrix: ``[i, j]`` iff ``i`` dominates ``j``."""
+    values = np.asarray(values, dtype=float)
+    n, d = values.shape
+    out = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            geq = all(values[i, k] >= values[j, k] - tol for k in range(d))
+            gt = any(values[i, k] > values[j, k] + tol for k in range(d))
+            out[i, j] = geq and gt
+    return out
+
+
+def oracle_dominance_counts(values: np.ndarray, tol: float) -> np.ndarray:
+    """Per-record dominator counts derived from the per-pair matrix."""
+    return oracle_dominance_matrix(values, tol).sum(axis=0)
+
+
+def oracle_dominators_mask(point, pool: np.ndarray, tol: float) -> np.ndarray:
+    """Per-member mask of pool records dominating ``point``."""
+    point = np.asarray(point, dtype=float).reshape(-1)
+    pool = np.asarray(pool, dtype=float)
+    out = np.zeros(pool.shape[0], dtype=bool)
+    for i in range(pool.shape[0]):
+        geq = all(pool[i, k] >= point[k] - tol for k in range(pool.shape[1]))
+        gt = any(pool[i, k] > point[k] + tol for k in range(pool.shape[1]))
+        out[i] = geq and gt
+    return out
+
+
+def oracle_r_dominance_matrix(vertex_scores: np.ndarray, tol: float) -> np.ndarray:
+    """Per-pair r-dominance from ``(v, n)`` vertex scores."""
+    vertex_scores = np.asarray(vertex_scores, dtype=float)
+    v, n = vertex_scores.shape
+    out = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            diffs = [vertex_scores[w, i] - vertex_scores[w, j] for w in range(v)]
+            out[i, j] = all(d >= -tol for d in diffs) and any(d > tol for d in diffs)
+    return out
+
+
+def oracle_r_dominators_mask(point_scores, pool_scores, tol: float) -> np.ndarray:
+    """Per-member r-dominance of pool records over a probe, from vertex scores."""
+    point_scores = np.asarray(point_scores, dtype=float)
+    pool_scores = np.asarray(pool_scores, dtype=float)
+    v, n = pool_scores.shape
+    out = np.zeros(n, dtype=bool)
+    for j in range(n):
+        diffs = [pool_scores[w, j] - point_scores[w] for w in range(v)]
+        out[j] = all(d >= -tol for d in diffs) and any(d > tol for d in diffs)
+    return out
+
+
+def oracle_halfspace_values(normals: np.ndarray, offsets: np.ndarray,
+                            points: np.ndarray) -> np.ndarray:
+    """Per-pair signed slack ``normals[i] @ points[j] - offsets[i]``."""
+    normals = np.asarray(normals, dtype=float)
+    offsets = np.asarray(offsets, dtype=float)
+    points = np.asarray(points, dtype=float)
+    out = np.zeros((normals.shape[0], points.shape[0]), dtype=float)
+    for i in range(normals.shape[0]):
+        for j in range(points.shape[0]):
+            out[i, j] = float(np.dot(normals[i], points[j])) - offsets[i]
+    return out

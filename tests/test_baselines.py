@@ -1,6 +1,5 @@
 """Tests for the SK / ON baseline UTK algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.core.jaa import JAA

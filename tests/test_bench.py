@@ -8,7 +8,6 @@ from repro.bench.reporting import format_series, format_table
 from repro.bench.workloads import (
     DEFAULT_PARAMETERS,
     PAPER_PARAMETERS,
-    QuerySpec,
     query_workload,
     random_region,
 )

@@ -1,7 +1,6 @@
 """Unit tests for upper-hull membership and hull utilities."""
 
 import numpy as np
-import pytest
 
 from repro.core.preference import scores
 from repro.geometry.convex_hull import (

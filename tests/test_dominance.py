@@ -115,9 +115,9 @@ class TestRDominanceBatch:
             for j in range(n):
                 if not matrix[i, j]:
                     continue
-                for l in range(n):
-                    if matrix[j, l]:
-                        assert matrix[i, l], "r-dominance must be transitive"
+                for m in range(n):
+                    if matrix[j, m]:
+                        assert matrix[i, m], "r-dominance must be transitive"
 
     def test_dominators_of_matches_matrix(self, region):
         rng = np.random.default_rng(8)

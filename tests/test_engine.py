@@ -134,7 +134,7 @@ class TestEngineAccounting:
     def test_statistics_shape(self):
         engine = UTKEngine(random_dataset(6))
         merged = engine.statistics()
-        assert set(merged) == {"engine", "skyband", "utk1", "utk2"}
+        assert set(merged) == {"engine", "skyband", "utk1", "utk2", "k_skyband"}
         assert merged["engine"]["queries"] == 0
 
     def test_invalid_queries_rejected(self):

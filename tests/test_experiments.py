@@ -1,7 +1,5 @@
 """Smoke tests for the per-figure experiment generators (tiny scale)."""
 
-import pytest
-
 from repro.bench.experiments import (
     experiment_ablation_jaa,
     experiment_ablation_rsa,

@@ -1,7 +1,6 @@
 """Unit tests for onion-layer computation."""
 
 import numpy as np
-import pytest
 
 from repro.core.preference import scores
 from repro.geometry.onion import onion_layers, onion_member_indices
