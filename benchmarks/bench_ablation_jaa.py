@@ -18,8 +18,7 @@ from repro.bench.experiments import experiment_ablation_jaa
 
 
 def test_jaa_ablation(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_ablation_jaa, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_ablation_jaa, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Ablation — JAA Lemma-1 pruning", rows)
     assert {row["configuration"] for row in rows} == {"full", "no_lemma1"}
     sizes = {row["utk2_sets"] for row in rows}

@@ -19,8 +19,7 @@ from repro.bench.experiments import experiment_ablation_rsa
 
 
 def test_rsa_ablation(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_ablation_rsa, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_ablation_rsa, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Ablation — RSA design choices", rows)
     sizes = {row["utk1_records"] for row in rows}
     assert len(sizes) == 1, "every configuration must report the same answer"

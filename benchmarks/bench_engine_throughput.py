@@ -95,8 +95,9 @@ def run_cold(data, stream: list[BatchQuery]) -> float:
     return time.perf_counter() - started
 
 
-def run_warm(data, stream: list[BatchQuery], parents: int,
-             workers: int) -> tuple[float, float, dict]:
+def run_warm(data, stream: list[BatchQuery], parents: int, workers: int) -> tuple[
+    float, float, dict
+]:
     """Bind an engine, prime it with the anchors, then serve the full stream.
 
     Returns ``(prime_seconds, serve_seconds, summary)``; only the serve phase
@@ -116,12 +117,12 @@ def run_warm(data, stream: list[BatchQuery], parents: int,
 
 
 def run_benchmark(setting: dict, workers: int) -> list[dict]:
-    data = synthetic_dataset("IND", setting["cardinality"],
-                             setting["dimensionality"], seed=setting["seed"])
+    data = synthetic_dataset(
+        "IND", setting["cardinality"], setting["dimensionality"], seed=setting["seed"]
+    )
     stream = build_stream(setting)
     cold_seconds = run_cold(data, stream)
-    prime_seconds, warm_seconds, summary = run_warm(data, stream,
-                                                    setting["parents"], workers)
+    prime_seconds, warm_seconds, summary = run_warm(data, stream, setting["parents"], workers)
     count = len(stream)
     return [{
         "queries": count,
@@ -146,15 +147,22 @@ def test_engine_throughput(bench_scale):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", action="store_true",
-                        help="small, CI-sized workload")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="engine thread-pool size (default 1)")
-    parser.add_argument("--required-speedup", type=float,
-                        default=REQUIRED_SPEEDUP,
-                        help="fail when warm/cold falls below this factor")
-    parser.add_argument("--output", default=None, metavar="PATH",
-                        help="also write the rows as a BENCH JSON artifact")
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="engine thread-pool size (default 1)"
+    )
+    parser.add_argument(
+        "--required-speedup",
+        type=float,
+        default=REQUIRED_SPEEDUP,
+        help="fail when warm/cold falls below this factor",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the rows as a BENCH JSON artifact",
+    )
     args = parser.parse_args(argv)
     mode = "smoke" if args.smoke else "default"
     setting = SETTINGS[mode]
@@ -162,11 +170,14 @@ def main(argv=None) -> int:
     print_rows("Engine serving — warm cache vs cold per-query path", rows)
     speedup = rows[0]["speedup"]
     if args.output:
-        gates = {"required_speedup": args.required_speedup,
-                 "speedup": speedup,
-                 "passed": speedup >= args.required_speedup}
-        write_bench_json(args.output, "engine_throughput", rows, gates=gates,
-                         meta={"mode": mode, **setting})
+        gates = {
+            "required_speedup": args.required_speedup,
+            "speedup": speedup,
+            "passed": speedup >= args.required_speedup,
+        }
+        write_bench_json(
+            args.output, "engine_throughput", rows, gates=gates, meta={"mode": mode, **setting}
+        )
         print(f"wrote {args.output}")
     if speedup < args.required_speedup:
         print(f"FAIL: warm-cache speedup {speedup}x is below the required "

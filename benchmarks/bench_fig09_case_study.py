@@ -18,9 +18,11 @@ from repro.bench.experiments import experiment_fig9_2d, experiment_fig9_3d
 
 def test_fig9a_two_dimensional(benchmark):
     outcome = benchmark(experiment_fig9_2d)
-    rows = [{"operator": "UTK", "players": outcome["counts"]["utk"]},
-            {"operator": "onion", "players": outcome["counts"]["onion"]},
-            {"operator": "k-skyband", "players": outcome["counts"]["skyband"]}]
+    rows = [
+        {"operator": "UTK", "players": outcome["counts"]["utk"]},
+        {"operator": "onion", "players": outcome["counts"]["onion"]},
+        {"operator": "k-skyband", "players": outcome["counts"]["skyband"]},
+    ]
     print_rows("Figure 9(a) — 2D NBA case study (k=3, R=[0.64,0.74])", rows)
     print("  UTK1 players:", ", ".join(outcome["utk1_players"]))
     for part in outcome["utk2_partitions"]:
@@ -30,10 +32,12 @@ def test_fig9a_two_dimensional(benchmark):
 
 def test_fig9b_three_dimensional(benchmark):
     outcome = benchmark(experiment_fig9_3d)
-    rows = [{"operator": "UTK", "players": outcome["counts"]["utk"]},
-            {"operator": "onion", "players": outcome["counts"]["onion"]},
-            {"operator": "k-skyband", "players": outcome["counts"]["skyband"]},
-            {"operator": "UTK2 partitions", "players": outcome["counts"]["utk2_partitions"]}]
+    rows = [
+        {"operator": "UTK", "players": outcome["counts"]["utk"]},
+        {"operator": "onion", "players": outcome["counts"]["onion"]},
+        {"operator": "k-skyband", "players": outcome["counts"]["skyband"]},
+        {"operator": "UTK2 partitions", "players": outcome["counts"]["utk2_partitions"]},
+    ]
     print_rows("Figure 9(b) — 3D NBA case study (k=3, R=[0.2,0.3]x[0.5,0.6])", rows)
     print("  UTK1 players:", ", ".join(outcome["utk1_players"]))
     for part in outcome["utk2_partitions"]:

@@ -19,8 +19,7 @@ from repro.bench.experiments import experiment_fig10
 
 
 def test_fig10_operator_comparison(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig10, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig10, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 10 — UTK vs k-skyband / onion / enlarged top-k (NBA)", rows)
     for row in rows:
         # Shape of the paper's result: UTK is the smallest set, the k-skyband

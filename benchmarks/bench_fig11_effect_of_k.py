@@ -17,8 +17,7 @@ from repro.bench.experiments import experiment_fig11
 
 
 def test_fig11_rsa_jaa_vs_baselines(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig11, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig11, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 11 — response time vs k (IND): RSA/JAA vs SK/ON", rows)
     for row in rows:
         # Shape check: our algorithms beat both baselines for every k.

@@ -17,8 +17,7 @@ from repro.bench.experiments import experiment_fig12
 
 
 def test_fig12_cardinality_and_distribution(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig12, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig12, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 12 — effect of n and data distribution", rows)
 
     by_distribution = {}

@@ -13,8 +13,7 @@ from repro.bench.experiments import experiment_fig13
 
 
 def test_fig13_dimensionality(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig13, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig13, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 13 — effect of dimensionality d (IND)", rows)
     # Shape: the problem gets harder with d (compare the 2-D and the largest-d
     # settings; middle points may fluctuate at small scale).

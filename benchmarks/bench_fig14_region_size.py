@@ -13,8 +13,7 @@ from repro.bench.experiments import experiment_fig14
 
 
 def test_fig14_region_size(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig14, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig14, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 14 — effect of region size sigma (IND)", rows)
     # Shape: a larger region can only enlarge the UTK result.
     assert rows[0]["utk1_records"] <= rows[-1]["utk1_records"]

@@ -13,8 +13,7 @@ from repro.bench.experiments import experiment_fig15
 
 
 def test_fig15_real_datasets_vs_k(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig15, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig15, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 15 — JAA vs k on HOTEL/HOUSE/NBA substitutes", rows)
     by_dataset = {}
     for row in rows:

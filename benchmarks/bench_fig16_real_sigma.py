@@ -13,8 +13,7 @@ from repro.bench.experiments import experiment_fig16
 
 
 def test_fig16_real_datasets_vs_sigma(benchmark, bench_scale):
-    rows = benchmark.pedantic(experiment_fig16, args=(bench_scale,),
-                              iterations=1, rounds=1)
+    rows = benchmark.pedantic(experiment_fig16, args=(bench_scale,), iterations=1, rounds=1)
     print_rows("Figure 16 — JAA vs region size on HOTEL/HOUSE/NBA substitutes", rows)
     by_dataset = {}
     for row in rows:

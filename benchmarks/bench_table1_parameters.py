@@ -24,7 +24,12 @@ def test_table1_parameters(benchmark, bench_scale):
 
 
 def test_workload_generation(benchmark, bench_scale):
-    workload = benchmark(query_workload, bench_scale["dimensionality"],
-                         bench_scale["k"], bench_scale["sigma"], 50,
-                         bench_scale["seed"])
+    workload = benchmark(
+        query_workload,
+        bench_scale["dimensionality"],
+        bench_scale["k"],
+        bench_scale["sigma"],
+        50,
+        bench_scale["seed"],
+    )
     assert len(workload) == 50

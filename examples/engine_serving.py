@@ -42,8 +42,7 @@ def main() -> None:
         else:
             utk1(data, query.region, query.k)
     cold = time.perf_counter() - started
-    print(f"one-shot API : {len(stream)} queries in {cold:.2f}s "
-          f"({len(stream) / cold:.1f} q/s)")
+    print(f"one-shot API : {len(stream)} queries in {cold:.2f}s " f"({len(stream) / cold:.1f} q/s)")
 
     # Warm: bind an engine once and serve the same stream through its caches.
     engine = UTKEngine(data)
@@ -63,8 +62,7 @@ def main() -> None:
     started = time.perf_counter()
     engine.run_batch(stream)
     rerun = time.perf_counter() - started
-    print(f"second pass  : {rerun:.3f}s ({len(stream) / rerun:.0f} q/s, "
-          "all cache hits)")
+    print(f"second pass  : {rerun:.3f}s ({len(stream) / rerun:.0f} q/s, " "all cache hits)")
 
 
 if __name__ == "__main__":

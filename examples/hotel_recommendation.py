@@ -37,8 +37,7 @@ def paper_example() -> None:
     )
     region = hyperrectangle([0.05, 0.05], [0.45, 0.25])
     result = utk1(hotels, region, k=2)
-    print("Figure 1 example — hotels that may enter the top-2:",
-          result.labels(hotels))
+    print("Figure 1 example — hotels that may enter the top-2:", result.labels(hotels))
     partitioning = utk2(hotels, region, k=2)
     print("Exact top-2 set per sub-region of R:")
     for partition in partitioning.partitions:

@@ -54,8 +54,9 @@ def three_dimensional_study() -> None:
     partitioning = utk2(data, region, k)
     print(f"  UTK2 partitions: {len(partitioning)} "
           f"({len(partitioning.distinct_top_k_sets)} distinct top-3 sets)")
-    for top_k in sorted(partitioning.distinct_top_k_sets,
-                        key=lambda s: sorted(data.label_of(i) for i in s)):
+    for top_k in sorted(
+        partitioning.distinct_top_k_sets, key=lambda s: sorted(data.label_of(i) for i in s)
+    ):
         names = sorted(data.label_of(i) for i in top_k)
         print(f"    {names}")
 

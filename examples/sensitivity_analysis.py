@@ -38,8 +38,7 @@ def main() -> None:
     exact = set(top_k_indices(data.values, reduced, k))
     print(f"Exact top-{k} at the indicated weights: {sorted(exact)}\n")
 
-    print(f"{'leeway':>8}  {'UTK1 size':>9}  {'distinct top-k sets':>19}  "
-          f"{'new options':>11}")
+    print(f"{'leeway':>8}  {'UTK1 size':>9}  {'distinct top-k sets':>19}  " f"{'new options':>11}")
     first_change = None
     for leeway in (0.005, 0.01, 0.02, 0.04, 0.08):
         region = widen_region(reduced, leeway)

@@ -101,8 +101,7 @@ def experiment_fig9_2d(k: int = 3, region_bounds=(0.64, 0.74)) -> dict:
     }
 
 
-def experiment_fig9_3d(k: int = 3,
-                       region_low=(0.2, 0.5), region_high=(0.3, 0.6)) -> dict:
+def experiment_fig9_3d(k: int = 3, region_low=(0.2, 0.5), region_high=(0.3, 0.6)) -> dict:
     """Figure 9(b): 3-D NBA case study (Rebounds/Points/Assists, k=3)."""
     data = nba_star_dataset(("rebounds", "points", "assists"))
     region = hyperrectangle(list(region_low), list(region_high))
@@ -132,13 +131,13 @@ def experiment_fig10(scale: dict | None = None) -> list[dict]:
     (Fig 10b).
     """
     scale = _scale(scale)
-    data = real_dataset("NBA", cardinality=scale["baseline_cardinality"],
-                        seed=scale["seed"])
+    data = real_dataset("NBA", cardinality=scale["baseline_cardinality"], seed=scale["seed"])
     values = data.values
     rows = []
     for k in scale["baseline_k_values"]:
-        workload = query_workload(values.shape[1], k, scale["sigma"],
-                                  scale["queries"], seed=scale["seed"])
+        workload = query_workload(
+            values.shape[1], k, scale["sigma"], scale["queries"], seed=scale["seed"]
+        )
         # The traditional skyband and onion filters depend only on k, not on
         # the query region; computing them per spec silently rebuilt an
         # R-tree (above the index threshold) for every single query.
@@ -150,8 +149,7 @@ def experiment_fig10(scale: dict | None = None) -> list[dict]:
             skyband_sizes.append(int(skyband.size))
             onion_sizes.append(int(onion.size))
             utk_sizes.append(len(utk))
-            needed, output = incremental_top_k_until(
-                values, spec.region.pivot, k, set(utk.indices))
+            needed, output = incremental_top_k_until(values, spec.region.pivot, k, set(utk.indices))
             needed_ks.append(needed)
             tk_sizes.append(len(output))
         rows.append({
@@ -169,13 +167,15 @@ def experiment_fig10(scale: dict | None = None) -> list[dict]:
 def experiment_fig11(scale: dict | None = None) -> list[dict]:
     """Figure 11: response time versus ``k`` on IND — our algorithms vs baselines."""
     scale = _scale(scale)
-    data = synthetic_dataset("IND", scale["baseline_cardinality"],
-                             scale["dimensionality"], seed=scale["seed"])
+    data = synthetic_dataset(
+        "IND", scale["baseline_cardinality"], scale["dimensionality"], seed=scale["seed"]
+    )
     values = data.values
     rows = []
     for k in scale["baseline_k_values"]:
-        workload = query_workload(values.shape[1], k, scale["sigma"],
-                                  scale["queries"], seed=scale["seed"])
+        workload = query_workload(
+            values.shape[1], k, scale["sigma"], scale["queries"], seed=scale["seed"]
+        )
         row = {"k": k}
         for algorithm in ("RSA", "SK1", "ON1", "JAA", "SK2", "ON2"):
             elapsed = [measure_query(algorithm, values, spec.region, k).elapsed_seconds
@@ -192,11 +192,16 @@ def experiment_fig12(scale: dict | None = None) -> list[dict]:
     rows = []
     for distribution in ("COR", "IND", "ANTI"):
         for cardinality in scale["cardinalities"]:
-            data = synthetic_dataset(distribution, cardinality,
-                                     scale["dimensionality"], seed=scale["seed"])
-            workload = query_workload(scale["dimensionality"], scale["k"],
-                                      scale["sigma"], scale["queries"],
-                                      seed=scale["seed"])
+            data = synthetic_dataset(
+                distribution, cardinality, scale["dimensionality"], seed=scale["seed"]
+            )
+            workload = query_workload(
+                scale["dimensionality"],
+                scale["k"],
+                scale["sigma"],
+                scale["queries"],
+                seed=scale["seed"],
+            )
             rsa_time, rsa_size, jaa_time, jaa_sets = [], [], [], []
             for spec in workload:
                 rsa = measure_query("RSA", data.values, spec.region, spec.k)
@@ -222,16 +227,14 @@ def experiment_fig13(scale: dict | None = None) -> list[dict]:
     scale = _scale(scale)
     rows = []
     for dimensionality in scale["dimensionalities"]:
-        data = synthetic_dataset("IND", scale["cardinality"], dimensionality,
-                                 seed=scale["seed"])
-        workload = query_workload(dimensionality, scale["k"], scale["sigma"],
-                                  scale["queries"], seed=scale["seed"])
+        data = synthetic_dataset("IND", scale["cardinality"], dimensionality, seed=scale["seed"])
+        workload = query_workload(
+            dimensionality, scale["k"], scale["sigma"], scale["queries"], seed=scale["seed"]
+        )
         rsa_time, jaa_time, rsa_memory, jaa_memory = [], [], [], []
         for spec in workload:
-            rsa = measure_query("RSA", data.values, spec.region, spec.k,
-                                track_memory=True)
-            jaa = measure_query("JAA", data.values, spec.region, spec.k,
-                                track_memory=True)
+            rsa = measure_query("RSA", data.values, spec.region, spec.k, track_memory=True)
+            jaa = measure_query("JAA", data.values, spec.region, spec.k, track_memory=True)
             rsa_time.append(rsa.elapsed_seconds)
             jaa_time.append(jaa.elapsed_seconds)
             rsa_memory.append(rsa.peak_memory_bytes)
@@ -250,12 +253,14 @@ def experiment_fig13(scale: dict | None = None) -> list[dict]:
 def experiment_fig14(scale: dict | None = None) -> list[dict]:
     """Figure 14: effect of the region size ``sigma`` on time and result size (IND)."""
     scale = _scale(scale)
-    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
-                             seed=scale["seed"])
+    data = synthetic_dataset(
+        "IND", scale["cardinality"], scale["dimensionality"], seed=scale["seed"]
+    )
     rows = []
     for sigma in scale["sigma_values"]:
-        workload = query_workload(scale["dimensionality"], scale["k"], sigma,
-                                  scale["queries"], seed=scale["seed"])
+        workload = query_workload(
+            scale["dimensionality"], scale["k"], sigma, scale["queries"], seed=scale["seed"]
+        )
         rsa_time, rsa_size, jaa_time, jaa_sets = [], [], [], []
         for spec in workload:
             rsa = measure_query("RSA", data.values, spec.region, spec.k)
@@ -280,21 +285,27 @@ def experiment_fig15(scale: dict | None = None) -> list[dict]:
     scale = _scale(scale)
     rows = []
     for name in ("HOTEL", "HOUSE", "NBA"):
-        data = real_dataset(name,
-                            cardinality=scale.get("real_cardinality",
-                                                  scale["cardinality"]),
-                            seed=scale["seed"])
+        data = real_dataset(
+            name,
+            cardinality=scale.get("real_cardinality", scale["cardinality"]),
+            seed=scale["seed"],
+        )
         for k in scale.get("real_k_values", scale["k_values"]):
-            workload = query_workload(data.dimensionality, k,
-                                      scale.get("real_sigma", scale["sigma"]),
-                                      scale["queries"], seed=scale["seed"])
+            workload = query_workload(
+                data.dimensionality,
+                k,
+                scale.get("real_sigma", scale["sigma"]),
+                scale["queries"],
+                seed=scale["seed"],
+            )
             times, sets = [], []
             for spec in workload:
                 jaa = measure_query("JAA", data.values, spec.region, k)
                 times.append(jaa.elapsed_seconds)
                 sets.append(jaa.output_size)
-            rows.append({"dataset": name, "k": k,
-                         "jaa_seconds": mean(times), "utk2_sets": mean(sets)})
+            rows.append(
+                {"dataset": name, "k": k, "jaa_seconds": mean(times), "utk2_sets": mean(sets)}
+            )
     return rows
 
 
@@ -303,16 +314,19 @@ def experiment_fig16(scale: dict | None = None) -> list[dict]:
     scale = _scale(scale)
     rows = []
     for name in ("HOTEL", "HOUSE", "NBA"):
-        data = real_dataset(name,
-                            cardinality=scale.get("real_cardinality",
-                                                  scale["cardinality"]),
-                            seed=scale["seed"])
+        data = real_dataset(
+            name,
+            cardinality=scale.get("real_cardinality", scale["cardinality"]),
+            seed=scale["seed"],
+        )
         for sigma in scale.get("real_sigma_values", scale["sigma_values"]):
-            workload = query_workload(data.dimensionality,
-                                      max(scale.get("real_k_values",
-                                                    [scale["k"]])),
-                                      sigma,
-                                      scale["queries"], seed=scale["seed"])
+            workload = query_workload(
+                data.dimensionality,
+                max(scale.get("real_k_values", [scale["k"]])),
+                sigma,
+                scale["queries"],
+                seed=scale["seed"],
+            )
             times, sets = [], []
             for spec in workload:
                 jaa = measure_query("JAA", data.values, spec.region, spec.k)
@@ -327,10 +341,12 @@ def experiment_fig16(scale: dict | None = None) -> list[dict]:
 def experiment_ablation_rsa(scale: dict | None = None) -> list[dict]:
     """Ablation of RSA's design choices: drill, Lemma-1 pruning, candidate order."""
     scale = _scale(scale)
-    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
-                             seed=scale["seed"])
-    workload = query_workload(scale["dimensionality"], scale["k"], scale["sigma"],
-                              scale["queries"], seed=scale["seed"])
+    data = synthetic_dataset(
+        "IND", scale["cardinality"], scale["dimensionality"], seed=scale["seed"]
+    )
+    workload = query_workload(
+        scale["dimensionality"], scale["k"], scale["sigma"], scale["queries"], seed=scale["seed"]
+    )
     configurations = [
         ("full", {}),
         ("no_drill", {"use_drill": False}),
@@ -347,18 +363,19 @@ def experiment_ablation_rsa(scale: dict | None = None) -> list[dict]:
             result = RSA(data.values, spec.region, spec.k, **options).run()
             times.append(_time.perf_counter() - started)
             sizes.append(len(result))
-        rows.append({"configuration": label, "seconds": mean(times),
-                     "utk1_records": mean(sizes)})
+        rows.append({"configuration": label, "seconds": mean(times), "utk1_records": mean(sizes)})
     return rows
 
 
 def experiment_ablation_jaa(scale: dict | None = None) -> list[dict]:
     """Ablation of JAA: effect of disabling Lemma-1 pruning."""
     scale = _scale(scale)
-    data = synthetic_dataset("IND", scale["cardinality"], scale["dimensionality"],
-                             seed=scale["seed"])
-    workload = query_workload(scale["dimensionality"], scale["k"], scale["sigma"],
-                              scale["queries"], seed=scale["seed"])
+    data = synthetic_dataset(
+        "IND", scale["cardinality"], scale["dimensionality"], seed=scale["seed"]
+    )
+    workload = query_workload(
+        scale["dimensionality"], scale["k"], scale["sigma"], scale["queries"], seed=scale["seed"]
+    )
     rows = []
     for label, options in (("full", {}), ("no_lemma1", {"use_lemma1": False})):
         times, sets = [], []
@@ -368,6 +385,5 @@ def experiment_ablation_jaa(scale: dict | None = None) -> list[dict]:
             result = JAA(data.values, spec.region, spec.k, **options).run()
             times.append(_time.perf_counter() - started)
             sets.append(len(result))
-        rows.append({"configuration": label, "seconds": mean(times),
-                     "utk2_sets": mean(sets)})
+        rows.append({"configuration": label, "seconds": mean(times), "utk2_sets": mean(sets)})
     return rows

@@ -49,17 +49,16 @@ class WorkloadMeasurement:
     per_query: list[QueryMeasurement] = field(default_factory=list)
 
 
-def _run_algorithm(algorithm: str, values: np.ndarray, region: Region, k: int,
-                   tree: RTree | None):
+def _run_algorithm(algorithm: str, values: np.ndarray, region: Region, k: int, tree: RTree | None):
     """Execute one algorithm and return ``(output_size, details)``."""
     if algorithm == "RSA":
         result = RSA(values, region, k, tree=tree).run()
         return len(result), {"indices": list(result.indices), **result.stats}
     if algorithm == "JAA":
         result = JAA(values, region, k, tree=tree).run()
-        return len(result.distinct_top_k_sets), {"records": result.result_records,
-                                                 "partitions": len(result),
-                                                 **result.stats}
+        return len(result.distinct_top_k_sets), {
+            "records": result.result_records, "partitions": len(result), **result.stats
+        }
     if algorithm in ("SK1", "ON1"):
         variant = "skyband" if algorithm.startswith("SK") else "onion"
         outcome = baseline_utk1(values, region, k, variant=variant, tree=tree)
@@ -72,9 +71,15 @@ def _run_algorithm(algorithm: str, values: np.ndarray, region: Region, k: int,
     raise InvalidQueryError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
 
 
-def measure_query(algorithm: str, values, region: Region, k: int, *,
-                  tree: RTree | None = None,
-                  track_memory: bool = False) -> QueryMeasurement:
+def measure_query(
+    algorithm: str,
+    values,
+    region: Region,
+    k: int,
+    *,
+    tree: RTree | None = None,
+    track_memory: bool = False,
+) -> QueryMeasurement:
     """Run one algorithm on one query and measure time / memory / output size."""
     values = np.asarray(values, dtype=float)
     if track_memory:
@@ -86,13 +91,18 @@ def measure_query(algorithm: str, values, region: Region, k: int, *,
     if track_memory:
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
-    return QueryMeasurement(algorithm=algorithm, elapsed_seconds=elapsed,
-                            output_size=output_size, peak_memory_bytes=peak,
-                            details=details)
+    return QueryMeasurement(
+        algorithm=algorithm,
+        elapsed_seconds=elapsed,
+        output_size=output_size,
+        peak_memory_bytes=peak,
+        details=details,
+    )
 
 
-def run_workload(algorithm: str, values, queries, *, tree: RTree | None = None,
-                 track_memory: bool = False) -> WorkloadMeasurement:
+def run_workload(
+    algorithm: str, values, queries, *, tree: RTree | None = None, track_memory: bool = False
+) -> WorkloadMeasurement:
     """Run an algorithm over a workload of :class:`~repro.bench.workloads.QuerySpec`."""
     measurements = [measure_query(algorithm, values, spec.region, spec.k,
                                   tree=tree, track_memory=track_memory)

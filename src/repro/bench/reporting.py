@@ -18,8 +18,9 @@ from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
-                 title: str | None = None) -> str:
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
     """Format rows as an aligned text table."""
     rendered_rows = [[_render(value) for value in row] for row in rows]
     widths = [len(str(header)) for header in headers]
@@ -29,8 +30,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(str(header).ljust(widths[i])
-                            for i, header in enumerate(headers))
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
     lines.append(header_line)
     lines.append("  ".join("-" * width for width in widths))
     for row in rendered_rows:
@@ -44,12 +44,10 @@ def print_rows(title: str, rows: Sequence[Mapping]) -> None:
         print(f"\n{title}: no rows")
         return
     headers = list(rows[0].keys())
-    print(format_table(headers, [[row[h] for h in headers] for row in rows],
-                       title=f"\n{title}"))
+    print(format_table(headers, [[row[h] for h in headers] for row in rows], title=f"\n{title}"))
 
 
-def format_series(series: Mapping[str, Mapping], x_label: str, *,
-                  title: str | None = None) -> str:
+def format_series(series: Mapping[str, Mapping], x_label: str, *, title: str | None = None) -> str:
     """Format ``{series name: {x value: y value}}`` as a table with one column per series.
 
     This mirrors how the paper's line plots are read: one row per x-axis
@@ -64,9 +62,14 @@ def format_series(series: Mapping[str, Mapping], x_label: str, *,
     return format_table(headers, rows, title=title)
 
 
-def write_bench_json(path, benchmark: str, rows: Sequence[Mapping], *,
-                     gates: Mapping | None = None,
-                     meta: Mapping | None = None) -> dict:
+def write_bench_json(
+    path,
+    benchmark: str,
+    rows: Sequence[Mapping],
+    *,
+    gates: Mapping | None = None,
+    meta: Mapping | None = None,
+) -> dict:
     """Write benchmark ``rows`` as a ``BENCH_*.json`` artifact and return the payload.
 
     Parameters

@@ -43,8 +43,9 @@ DEFAULT_PARAMETERS = {
 }
 
 
-def random_region(data_dimensionality: int, sigma: float,
-                  rng: np.random.Generator | None = None) -> Region:
+def random_region(
+    data_dimensionality: int, sigma: float, rng: np.random.Generator | None = None
+) -> Region:
     """A random axis-parallel hyper-cube region of side length ``sigma``.
 
     ``sigma`` is expressed as a fraction of the preference-domain axis length
@@ -56,8 +57,7 @@ def random_region(data_dimensionality: int, sigma: float,
     return hyperrectangle(*_random_cube(data_dimensionality - 1, sigma, rng))
 
 
-def _random_cube(dim: int, sigma: float,
-                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+def _random_cube(dim: int, sigma: float, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
     """Corner pair of a random hyper-cube region inside the valid simplex."""
     if not 0.0 < sigma < 1.0:
         raise InvalidQueryError("sigma must be in (0, 1)")
@@ -74,8 +74,7 @@ def _random_cube(dim: int, sigma: float,
     margin = 1e-3
     side = min(sigma, (1.0 - 1e-6) / dim - 2.0 * margin)
     if side <= 0.0:
-        raise InvalidQueryError(
-            f"no valid cube of side {sigma} fits the {dim}-dimensional simplex")
+        raise InvalidQueryError(f"no valid cube of side {sigma} fits the {dim}-dimensional simplex")
     lower = np.full(dim, margin)
     return lower, lower + side
 
@@ -117,8 +116,9 @@ def zipfian_k(k_choices, exponent: float, rng: np.random.Generator) -> int:
     return int(k_choices[int(rng.choice(len(k_choices), p=probabilities))])
 
 
-def _subcube(lower: np.ndarray, upper: np.ndarray,
-             rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+def _subcube(lower: np.ndarray, upper: np.ndarray, rng: np.random.Generator) -> tuple[
+    np.ndarray, np.ndarray
+]:
     """A random sub-rectangle strictly inside ``[lower, upper]``."""
     span = upper - lower
     shrink = rng.uniform(0.35, 0.75)
@@ -171,8 +171,9 @@ def engine_query_stream(data_dimensionality: int, count: int, *,
         roll = rng.random()
         if roll < repeat_prob and stream:
             earlier = stream[int(rng.integers(len(stream)))]
-            stream.append(QuerySpec(region=earlier.region, k=earlier.k,
-                                    seed=seed * 1_000 + position))
+            stream.append(
+                QuerySpec(region=earlier.region, k=earlier.k, seed=seed * 1_000 + position)
+            )
             continue
         if roll < repeat_prob + subregion_prob:
             lower, upper = parent_corners[int(rng.integers(len(parent_corners)))]

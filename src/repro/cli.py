@@ -54,49 +54,87 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     query = subparsers.add_parser("query", help="run a UTK query on a generated dataset")
-    query.add_argument("--dataset", default="IND",
-                       help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)")
-    query.add_argument("--cardinality", type=int, default=2000,
-                       help="number of records to generate (default 2000)")
-    query.add_argument("--dimensionality", type=int, default=3,
-                       help="attributes for synthetic datasets (default 3)")
+    query.add_argument(
+        "--dataset", default="IND", help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)"
+    )
+    query.add_argument(
+        "--cardinality", type=int, default=2000, help="number of records to generate (default 2000)"
+    )
+    query.add_argument(
+        "--dimensionality",
+        type=int,
+        default=3,
+        help="attributes for synthetic datasets (default 3)",
+    )
     query.add_argument("--k", type=int, default=3, help="top-k parameter (default 3)")
-    query.add_argument("--lower", type=float, nargs="+", required=True,
-                       help="lower corner of the preference region (d-1 values)")
-    query.add_argument("--upper", type=float, nargs="+", required=True,
-                       help="upper corner of the preference region (d-1 values)")
-    query.add_argument("--version", choices=["utk1", "utk2", "both"], default="both",
-                       help="which UTK problem version to answer")
+    query.add_argument(
+        "--lower",
+        type=float,
+        nargs="+",
+        required=True,
+        help="lower corner of the preference region (d-1 values)",
+    )
+    query.add_argument(
+        "--upper",
+        type=float,
+        nargs="+",
+        required=True,
+        help="upper corner of the preference region (d-1 values)",
+    )
+    query.add_argument(
+        "--version",
+        choices=["utk1", "utk2", "both"],
+        default="both",
+        help="which UTK problem version to answer",
+    )
     query.add_argument("--seed", type=int, default=0, help="dataset seed")
     query.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     batch = subparsers.add_parser(
-        "batch",
-        help="serve a JSON-lines query file through a persistent engine")
+        "batch", help="serve a JSON-lines query file through a persistent engine"
+    )
     batch.add_argument("--input", required=True,
                        help="JSON-lines query file, or '-' for stdin; each line "
                             "is {\"lower\": [...], \"upper\": [...], \"k\": int, "
                             "\"version\": \"utk1\"|\"utk2\"|\"both\"}")
-    batch.add_argument("--dataset", default="IND",
-                       help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)")
-    batch.add_argument("--cardinality", type=int, default=2000,
-                       help="number of records to generate (default 2000)")
-    batch.add_argument("--dimensionality", type=int, default=3,
-                       help="attributes for synthetic datasets (default 3)")
+    batch.add_argument(
+        "--dataset", default="IND", help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)"
+    )
+    batch.add_argument(
+        "--cardinality", type=int, default=2000, help="number of records to generate (default 2000)"
+    )
+    batch.add_argument(
+        "--dimensionality",
+        type=int,
+        default=3,
+        help="attributes for synthetic datasets (default 3)",
+    )
     batch.add_argument("--seed", type=int, default=0, help="dataset seed")
-    batch.add_argument("--workers", type=int, default=1,
-                       help="thread-pool size for independent queries (default 1)")
-    batch.add_argument("--cache-size", type=int, default=128,
-                       help="capacity of each engine cache (default 128)")
-    batch.add_argument("--output", default="-",
-                       help="file to write the JSON report to (default stdout)")
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="thread-pool size for independent queries (default 1)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=128, help="capacity of each engine cache (default 128)"
+    )
+    batch.add_argument(
+        "--output", default="-", help="file to write the JSON report to (default stdout)"
+    )
 
-    experiment = subparsers.add_parser("experiment",
-                                       help="regenerate one of the paper's experiments")
-    experiment.add_argument("name", choices=sorted(EXPERIMENTS),
-                            help="experiment identifier (e.g. fig12)")
-    experiment.add_argument("--scale", type=json.loads, default=None,
-                            help="JSON dict overriding the quick-scale parameters")
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(EXPERIMENTS), help="experiment identifier (e.g. fig12)"
+    )
+    experiment.add_argument(
+        "--scale",
+        type=json.loads,
+        default=None,
+        help="JSON dict overriding the quick-scale parameters",
+    )
     return parser
 
 
@@ -110,8 +148,9 @@ def _load_dataset(name: str, cardinality: int, dimensionality: int, seed: int):
 def _run_query(args: argparse.Namespace) -> int:
     data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
     region = hyperrectangle(args.lower, args.upper)
-    payload: dict = {"dataset": args.dataset.upper(), "n": data.size,
-                     "d": data.dimensionality, "k": args.k}
+    payload: dict = {
+        "dataset": args.dataset.upper(), "n": data.size, "d": data.dimensionality, "k": args.k
+    }
     if args.version in ("utk1", "both"):
         result = utk1(data, region, args.k)
         payload["utk1"] = {
@@ -130,8 +169,7 @@ def _run_query(args: argparse.Namespace) -> int:
         return 0
     print(f"{payload['dataset']}: n={payload['n']}, d={payload['d']}, k={payload['k']}")
     if "utk1" in payload:
-        print(f"UTK1 ({len(payload['utk1']['records'])} records): "
-              f"{payload['utk1']['records']}")
+        print(f"UTK1 ({len(payload['utk1']['records'])} records): " f"{payload['utk1']['records']}")
     if "utk2" in payload:
         print(f"UTK2: {payload['utk2']['partitions']} partitions, "
               f"{len(payload['utk2']['distinct_top_k_sets'])} distinct top-k sets")
@@ -148,11 +186,9 @@ def _parse_batch_line(line: str, number: int) -> BatchQuery:
         raise InvalidQueryError(f"line {number}: invalid JSON ({exc})") from exc
     missing = {"lower", "upper", "k"} - set(payload)
     if missing:
-        raise InvalidQueryError(
-            f"line {number}: missing field(s) {sorted(missing)}")
+        raise InvalidQueryError(f"line {number}: missing field(s) {sorted(missing)}")
     region = hyperrectangle(payload["lower"], payload["upper"])
-    return BatchQuery(region=region, k=int(payload["k"]),
-                      version=payload.get("version", "utk1"))
+    return BatchQuery(region=region, k=int(payload["k"]), version=payload.get("version", "utk1"))
 
 
 def _read_batch_queries(source: str) -> list[BatchQuery]:
@@ -169,9 +205,12 @@ def _read_batch_queries(source: str) -> list[BatchQuery]:
 
 
 def _batch_item_payload(item) -> dict:
-    payload: dict = {"k": item.query.k, "version": item.query.version,
-                     "sources": item.sources,
-                     "seconds": round(item.seconds, 6)}
+    payload: dict = {
+        "k": item.query.k,
+        "version": item.query.version,
+        "sources": item.sources,
+        "seconds": round(item.seconds, 6),
+    }
     if item.utk1 is not None:
         payload["utk1"] = {"records": item.utk1.indices}
     if item.utk2 is not None:
@@ -188,8 +227,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries supplied", file=sys.stderr)
         return 1
-    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality,
-                         args.seed)
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
     engine = make_engine(data, cache_size=args.cache_size)
     started = time.perf_counter()
     items = engine.run_batch(queries, workers=args.workers)

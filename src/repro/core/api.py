@@ -47,8 +47,7 @@ def _check_engine_call(scoring, tree) -> None:
         )
 
 
-def make_engine(data, *, scoring: ScoringFunction | None = None,
-                cache_size: int = 128):
+def make_engine(data, *, scoring: ScoringFunction | None = None, cache_size: int = 128):
     """Bind a persistent :class:`~repro.engine.engine.UTKEngine` to ``data``.
 
     The engine applies the scoring transform and builds the shared R-tree
@@ -59,10 +58,9 @@ def make_engine(data, *, scoring: ScoringFunction | None = None,
     return UTKEngine(data, scoring=scoring, cache_size=cache_size)
 
 
-def k_skyband(data, k: int, *,
-              scoring: ScoringFunction | None = None,
-              tree: RTree | None = None,
-              engine=None) -> np.ndarray:
+def k_skyband(
+    data, k: int, *, scoring: ScoringFunction | None = None, tree: RTree | None = None, engine=None
+) -> np.ndarray:
     """Indices of the traditional k-skyband of the (transformed) dataset.
 
     The one-shot path silently built (and threw away) an R-tree on every call
@@ -96,11 +94,16 @@ def k_skyband(data, k: int, *,
     return traditional_k_skyband(values, k, tree=tree)
 
 
-def utk1(data, region: Region, k: int, *,
-         scoring: ScoringFunction | None = None,
-         tree: RTree | None = None,
-         use_drill: bool | None = None,
-         engine=None) -> UTK1Result:
+def utk1(
+    data,
+    region: Region,
+    k: int,
+    *,
+    scoring: ScoringFunction | None = None,
+    tree: RTree | None = None,
+    use_drill: bool | None = None,
+    engine=None,
+) -> UTK1Result:
     """Answer a UTK1 query: which records may enter the top-k within ``region``.
 
     Parameters
@@ -128,20 +131,25 @@ def utk1(data, region: Region, k: int, *,
     if engine is not None:
         _check_engine_call(scoring, tree)
         if use_drill is not None:
-            raise InvalidQueryError(
-                "use_drill cannot be overridden per call when engine= is given")
+            raise InvalidQueryError("use_drill cannot be overridden per call when engine= is given")
         return engine.utk1(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
-    algorithm = RSA(values, region, k, tree=tree,
-                    use_drill=True if use_drill is None else use_drill)
+    algorithm = RSA(
+        values, region, k, tree=tree, use_drill=True if use_drill is None else use_drill
+    )
     return algorithm.run()
 
 
-def utk2(data, region: Region, k: int, *,
-         scoring: ScoringFunction | None = None,
-         tree: RTree | None = None,
-         engine=None) -> UTK2Result:
+def utk2(
+    data,
+    region: Region,
+    k: int,
+    *,
+    scoring: ScoringFunction | None = None,
+    tree: RTree | None = None,
+    engine=None,
+) -> UTK2Result:
     """Answer a UTK2 query: the exact top-k set for every weight vector in ``region``."""
     if engine is not None:
         _check_engine_call(scoring, tree)

@@ -89,10 +89,10 @@ class Arrangement:
                 self.split_operations += 1
                 inside_cell = leaf.cell.restricted(halfspace, True)
                 outside_cell = leaf.cell.restricted(halfspace, False)
-                inside_leaf = ArrangementLeaf(cell=inside_cell,
-                                              covering=set(leaf.covering) | {halfspace.label})
-                outside_leaf = ArrangementLeaf(cell=outside_cell,
-                                               covering=set(leaf.covering))
+                inside_leaf = ArrangementLeaf(
+                    cell=inside_cell, covering=set(leaf.covering) | {halfspace.label}
+                )
+                outside_leaf = ArrangementLeaf(cell=outside_cell, covering=set(leaf.covering))
                 if freeze_at is not None and inside_leaf.count >= freeze_at:
                     inside_leaf.frozen = True
                 new_leaves.append(inside_leaf)

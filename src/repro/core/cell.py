@@ -40,8 +40,7 @@ class Cell:
         carved out of the base region; useful for reporting and debugging.
     """
 
-    __slots__ = ("region", "_extra_a", "_extra_b", "history",
-                 "_chebyshev", "_radius", "_children")
+    __slots__ = ("region", "_extra_a", "_extra_b", "history", "_chebyshev", "_radius", "_children")
 
     def __init__(self, region: Region, extra_a: np.ndarray | None = None,
                  extra_b: np.ndarray | None = None,
@@ -127,13 +126,11 @@ class Cell:
             row, rhs = halfspace.as_lower_constraint()
         extra_a = np.vstack([self._extra_a, row.reshape(1, -1)])
         extra_b = np.concatenate([self._extra_b, [rhs]])
-        child = Cell(self.region, extra_a, extra_b,
-                     history=self.history + ((halfspace, inside),))
+        child = Cell(self.region, extra_a, extra_b, history=self.history + ((halfspace, inside),))
         self._children[key] = child
         return child
 
-    def classify(self, halfspace: HalfSpace,
-                 tol: float = CELL_SIDE_TOL) -> str:
+    def classify(self, halfspace: HalfSpace, tol: float = CELL_SIDE_TOL) -> str:
         """Position of the cell relative to ``halfspace``.
 
         Returns ``"inside"`` when the whole cell satisfies

@@ -102,8 +102,9 @@ class RDominance:
         if pool.shape[0] == 0:
             return np.zeros(0, dtype=bool)
         if self._vertices is None:
-            return np.array([r_dominates(row, point, self.region, self.tol)
-                             for row in pool], dtype=bool)
+            return np.array(
+                [r_dominates(row, point, self.region, self.tol) for row in pool], dtype=bool
+            )
         # One vertex_scores call on the stacked records keeps the probe and
         # pool scores bit-identical to the pre-kernel implementation.
         stacked = np.vstack([np.asarray(point, dtype=float).reshape(1, -1), pool])

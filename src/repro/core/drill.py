@@ -36,8 +36,7 @@ def drill_vector(cell: Cell, record) -> np.ndarray | None:
     return cell.interior_point
 
 
-def rank_of(values: np.ndarray, weights, target_position: int,
-            tol: float = SCORE_TOL) -> int:
+def rank_of(values: np.ndarray, weights, target_position: int, tol: float = SCORE_TOL) -> int:
     """1-based rank of ``values[target_position]`` at ``weights``.
 
     Ties (within ``tol``) count *against* the target, which makes every
@@ -50,8 +49,9 @@ def rank_of(values: np.ndarray, weights, target_position: int,
     return int(better) + 1
 
 
-def is_in_top_k(values: np.ndarray, weights, target_position: int, k: int,
-                tol: float = SCORE_TOL) -> bool:
+def is_in_top_k(
+    values: np.ndarray, weights, target_position: int, k: int, tol: float = SCORE_TOL
+) -> bool:
     """Whether ``values[target_position]`` ranks within the top ``k`` at ``weights``."""
     return rank_of(values, weights, target_position, tol) <= k
 

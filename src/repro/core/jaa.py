@@ -83,10 +83,16 @@ class JAA:
     same query).
     """
 
-    def __init__(self, values, region: Region, k: int, *,
-                 tree: RTree | None = None,
-                 skyband: RSkyband | None = None,
-                 use_lemma1: bool = True):
+    def __init__(
+        self,
+        values,
+        region: Region,
+        k: int,
+        *,
+        tree: RTree | None = None,
+        skyband: RSkyband | None = None,
+        use_lemma1: bool = True,
+    ):
         self.values = np.asarray(values, dtype=float)
         if self.values.ndim != 2:
             raise InvalidQueryError("values must be an (n, d) matrix")
@@ -109,8 +115,7 @@ class JAA:
         """Execute the query and return the UTK2 partitioning."""
         skyband = self._skyband
         if skyband is None:
-            skyband = compute_r_skyband(self.values, self.region, self.k,
-                                        tree=self.tree)
+            skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
         self._sky = skyband
         self.stats.candidates = skyband.size
         self.stats.filtering_stats = {
@@ -122,12 +127,14 @@ class JAA:
         self._partitions: list[UTKPartition] = []
         root_cell = Cell(self.region)
         if not members:
-            return UTK2Result(partitions=[], region=self.region, k=self.k,
-                              stats=self.stats.as_dict())
+            return UTK2Result(
+                partitions=[], region=self.region, k=self.k, stats=self.stats.as_dict()
+            )
         if len(members) <= self.k:
             partition = UTKPartition(cell=root_cell, top_k=frozenset(members))
-            return UTK2Result(partitions=[partition], region=self.region,
-                              k=self.k, stats=self.stats.as_dict())
+            return UTK2Result(
+                partitions=[partition], region=self.region, k=self.k, stats=self.stats.as_dict()
+            )
 
         self._members = members
         self._rows = {index: skyband.row_of(index) for index in members}
@@ -136,11 +143,21 @@ class JAA:
 
         anchor = self._choose_anchor(root_cell, excluded=frozenset())
         pending = frozenset(self._ancestors[anchor])
-        self._partition(anchor, root_cell, prefix=frozenset(), pending=pending,
-                        excluded=frozenset(), skip=frozenset())
+        self._partition(
+            anchor,
+            root_cell,
+            prefix=frozenset(),
+            pending=pending,
+            excluded=frozenset(),
+            skip=frozenset(),
+        )
         self.stats.finalized_partitions = len(self._partitions)
-        return UTK2Result(partitions=list(self._partitions), region=self.region,
-                          k=self.k, stats=self.stats.as_dict())
+        return UTK2Result(
+            partitions=list(self._partitions),
+            region=self.region,
+            k=self.k,
+            stats=self.stats.as_dict(),
+        )
 
     # --------------------------------------------------------------- internals
     def _choose_anchor(self, cell: Cell, excluded: frozenset[int],
@@ -159,8 +176,7 @@ class JAA:
         probe = cell.interior_point
         eligible = [index for index in self._members if index not in excluded]
         rows = self._sky.subset_values(eligible)
-        ordered = np.lexsort((np.arange(rows.shape[0]),
-                              -_scores_at(rows, probe)))
+        ordered = np.lexsort((np.arange(rows.shape[0]), -_scores_at(rows, probe)))
         for position in ordered[self.k - 1:]:
             candidate = eligible[int(position)]
             if candidate not in forbidden:
@@ -173,9 +189,15 @@ class JAA:
                 return candidate
         raise InvalidQueryError("no eligible anchor candidate remains")
 
-    def _partition(self, anchor: int, cell: Cell, prefix: frozenset[int],
-                   pending: frozenset[int], excluded: frozenset[int],
-                   skip: frozenset[int]) -> None:
+    def _partition(
+        self,
+        anchor: int,
+        cell: Cell,
+        prefix: frozenset[int],
+        pending: frozenset[int],
+        excluded: frozenset[int],
+        skip: frozenset[int],
+    ) -> None:
         """Verification-like recursion on ``anchor`` inside ``cell`` (Algorithm 4)."""
         self.stats.partition_calls += 1
         known_above = len(prefix) + len(pending)
@@ -196,9 +218,9 @@ class JAA:
             counts = self._sky.restricted_counts(competitors)
             minimum = counts.min()
             chosen = [c for c, count in zip(competitors, counts) if count == minimum]
-            for halfspace in halfspaces_against(self._rows[anchor],
-                                                self._sky.subset_values(chosen),
-                                                chosen):
+            for halfspace in halfspaces_against(
+                self._rows[anchor], self._sky.subset_values(chosen), chosen
+            ):
                 arrangement.insert(halfspace)
                 self.stats.halfspaces_inserted += 1
         remaining = [c for c in competitors if c not in set(chosen)]
@@ -211,10 +233,7 @@ class JAA:
                 self._handle_greater_than(anchor, leaf.cell, prefix, excluded)
                 continue
             if self.use_lemma1:
-                disregarded = {
-                    c for c in remaining
-                    if self._ancestors[c] & (chosen_set - covering)
-                }
+                disregarded = {c for c in remaining if self._ancestors[c] & (chosen_set - covering)}
             else:
                 disregarded = set()
             confirmed = len(disregarded) == len(remaining)
@@ -223,35 +242,39 @@ class JAA:
                     top_k = prefix | pending | {anchor} | covering
                     self._finalize(leaf.cell, top_k)
                 else:
-                    self._handle_less_than(anchor, leaf.cell, prefix, pending,
-                                           covering, excluded)
+                    self._handle_less_than(anchor, leaf.cell, prefix, pending, covering, excluded)
             else:
                 new_pending = pending | covering
                 new_skip = skip | chosen_set | disregarded
-                self._partition(anchor, leaf.cell, prefix, new_pending,
-                                excluded, frozenset(new_skip))
+                self._partition(
+                    anchor, leaf.cell, prefix, new_pending, excluded, frozenset(new_skip)
+                )
 
-    def _handle_less_than(self, anchor: int, cell: Cell, prefix: frozenset[int],
-                          pending: frozenset[int], covering: frozenset[int],
-                          excluded: frozenset[int]) -> None:
+    def _handle_less_than(
+        self,
+        anchor: int,
+        cell: Cell,
+        prefix: frozenset[int],
+        pending: frozenset[int],
+        covering: frozenset[int],
+        excluded: frozenset[int],
+    ) -> None:
         """A confirmed partition where the anchor ranks strictly above k."""
         new_prefix = prefix | pending | {anchor} | covering
         new_anchor = self._choose_anchor(cell, excluded, forbidden=new_prefix)
         self.stats.anchor_changes += 1
         new_pending = frozenset(self._ancestors[new_anchor]) - new_prefix - excluded
-        self._partition(new_anchor, cell, new_prefix, new_pending, excluded,
-                        frozenset())
+        self._partition(new_anchor, cell, new_prefix, new_pending, excluded, frozenset())
 
-    def _handle_greater_than(self, anchor: int, cell: Cell, prefix: frozenset[int],
-                             excluded: frozenset[int]) -> None:
+    def _handle_greater_than(
+        self, anchor: int, cell: Cell, prefix: frozenset[int], excluded: frozenset[int]
+    ) -> None:
         """A partition where the anchor provably falls outside the top-k."""
-        new_excluded = excluded | {anchor} | (frozenset(self._descendants[anchor])
-                                              - prefix)
+        new_excluded = excluded | {anchor} | (frozenset(self._descendants[anchor]) - prefix)
         new_anchor = self._choose_anchor(cell, new_excluded, forbidden=prefix)
         self.stats.anchor_changes += 1
         new_pending = frozenset(self._ancestors[new_anchor]) - prefix - new_excluded
-        self._partition(new_anchor, cell, prefix, new_pending, new_excluded,
-                        frozenset())
+        self._partition(new_anchor, cell, prefix, new_pending, new_excluded, frozenset())
 
     def _finalize(self, cell: Cell, top_k: frozenset[int]) -> None:
         """Record a finalized equal-to partition of the common global arrangement."""

@@ -51,9 +51,7 @@ def expand_weights(reduced) -> np.ndarray:
     u = np.asarray(reduced, dtype=float).reshape(-1)
     last = 1.0 - float(u.sum())
     if last < -1e-9 or np.any(u < -1e-9):
-        raise InvalidQueryError(
-            "reduced weights do not describe a valid point of the simplex"
-        )
+        raise InvalidQueryError("reduced weights do not describe a valid point of the simplex")
     return np.concatenate([u, [max(last, 0.0)]])
 
 

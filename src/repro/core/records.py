@@ -29,9 +29,7 @@ class Dataset:
     def __init__(self, values, labels: Sequence[str] | None = None):
         array = np.array(values, dtype=float)
         if array.ndim != 2:
-            raise InvalidDatasetError(
-                f"dataset must be 2-dimensional, got shape {array.shape}"
-            )
+            raise InvalidDatasetError(f"dataset must be 2-dimensional, got shape {array.shape}")
         n, d = array.shape
         if n == 0:
             raise InvalidDatasetError("dataset must contain at least one record")
@@ -44,9 +42,7 @@ class Dataset:
         if labels is not None:
             labels = list(labels)
             if len(labels) != n:
-                raise InvalidDatasetError(
-                    f"got {len(labels)} labels for {n} records"
-                )
+                raise InvalidDatasetError(f"got {len(labels)} labels for {n} records")
         self._labels = labels
 
     @property
@@ -93,13 +89,13 @@ class Dataset:
         return f"Dataset(n={self.size}, d={self.dimensionality})"
 
     @staticmethod
-    def from_columns(columns: dict[str, Sequence[float]],
-                     labels: Sequence[str] | None = None) -> "Dataset":
+    def from_columns(
+        columns: dict[str, Sequence[float]], labels: Sequence[str] | None = None
+    ) -> "Dataset":
         """Build a dataset from named attribute columns (dict of sequences)."""
         if not columns:
             raise InvalidDatasetError("no columns supplied")
-        matrix = np.column_stack([np.asarray(col, dtype=float)
-                                  for col in columns.values()])
+        matrix = np.column_stack([np.asarray(col, dtype=float) for col in columns.values()])
         return Dataset(matrix, labels)
 
 

@@ -70,9 +70,7 @@ class Region:
             coef = np.zeros(dim)
             coef[axis] = 1.0
             if self.linear_min(coef) < -_SIMPLEX_TOL:
-                raise InvalidRegionError(
-                    f"region allows negative weight on axis {axis}"
-                )
+                raise InvalidRegionError(f"region allows negative weight on axis {axis}")
         if self.linear_max(np.ones(dim)) > 1.0 + _SIMPLEX_TOL:
             raise InvalidRegionError("region exceeds the weight simplex (sum of weights > 1)")
 

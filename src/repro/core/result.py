@@ -127,5 +127,10 @@ class UTK2Result:
                 continue
             for index in partition.top_k:
                 witnesses.setdefault(int(index), point)
-        return UTK1Result(indices=self.result_records, witnesses=witnesses,
-                          region=self.region, k=self.k, stats=dict(self.stats))
+        return UTK1Result(
+            indices=self.result_records,
+            witnesses=witnesses,
+            region=self.region,
+            k=self.k,
+            stats=dict(self.stats),
+        )

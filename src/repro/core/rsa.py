@@ -89,12 +89,18 @@ class RSA:
         Optionally, a pre-computed r-skyband (skips the filtering step).
     """
 
-    def __init__(self, values, region: Region, k: int, *,
-                 tree: RTree | None = None,
-                 use_drill: bool = True,
-                 use_lemma1: bool = True,
-                 candidate_order: str = "count_desc",
-                 skyband: RSkyband | None = None):
+    def __init__(
+        self,
+        values,
+        region: Region,
+        k: int,
+        *,
+        tree: RTree | None = None,
+        use_drill: bool = True,
+        use_lemma1: bool = True,
+        candidate_order: str = "count_desc",
+        skyband: RSkyband | None = None,
+    ):
         self.values = np.asarray(values, dtype=float)
         if self.values.ndim != 2:
             raise InvalidQueryError("values must be an (n, d) matrix")
@@ -121,8 +127,7 @@ class RSA:
         """Execute the query and return the UTK1 result."""
         skyband = self._skyband
         if skyband is None:
-            skyband = compute_r_skyband(self.values, self.region, self.k,
-                                        tree=self.tree)
+            skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
         self._sky = skyband
         self.stats.candidates = skyband.size
         self.stats.filtering_stats = {
@@ -132,15 +137,20 @@ class RSA:
         }
         members = skyband.members()
         if not members:
-            return UTK1Result(indices=[], witnesses={}, region=self.region,
-                              k=self.k, stats=self.stats.as_dict())
+            return UTK1Result(
+                indices=[], witnesses={}, region=self.region, k=self.k, stats=self.stats.as_dict()
+            )
         if len(members) <= self.k:
             # Every candidate is in the top-k set for every weight vector.
             pivot = self.region.pivot
             witnesses = {index: pivot for index in members}
-            return UTK1Result(indices=sorted(members), witnesses=witnesses,
-                              region=self.region, k=self.k,
-                              stats=self.stats.as_dict())
+            return UTK1Result(
+                indices=sorted(members),
+                witnesses=witnesses,
+                region=self.region,
+                k=self.k,
+                stats=self.stats.as_dict(),
+            )
 
         self._rows = {index: skyband.row_of(index) for index in members}
         self._ancestors = skyband.ancestors
@@ -163,8 +173,13 @@ class RSA:
 
         indices = sorted(self._verified)
         witnesses = {index: self._verified[index] for index in indices}
-        return UTK1Result(indices=indices, witnesses=witnesses, region=self.region,
-                          k=self.k, stats=self.stats.as_dict())
+        return UTK1Result(
+            indices=indices,
+            witnesses=witnesses,
+            region=self.region,
+            k=self.k,
+            stats=self.stats.as_dict(),
+        )
 
     # --------------------------------------------------------------- internals
     def _candidate_sequence(self, members: list[int]) -> list[int]:
@@ -172,8 +187,7 @@ class RSA:
         if self.candidate_order == "index":
             return sorted(members)
         reverse = self.candidate_order == "count_desc"
-        return sorted(members, key=lambda idx: (len(self._ancestors[idx]), idx),
-                      reverse=reverse)
+        return sorted(members, key=lambda idx: (len(self._ancestors[idx]), idx), reverse=reverse)
 
     def _confirm(self, candidate: int, witness: np.ndarray) -> None:
         """Mark a candidate (and all its ancestors) as part of the UTK1 result."""
@@ -197,8 +211,9 @@ class RSA:
         """
         return self._sky.restricted_counts(competitors)
 
-    def _verify(self, candidate: int, cell: Cell, quota: int,
-                skip: set[int]) -> tuple[bool, np.ndarray | None]:
+    def _verify(self, candidate: int, cell: Cell, quota: int, skip: set[int]) -> tuple[
+        bool, np.ndarray | None
+    ]:
         """Recursive verification of ``candidate`` inside ``cell`` (Algorithm 2)."""
         self.stats.verify_calls += 1
         if quota <= 0:
@@ -211,8 +226,7 @@ class RSA:
         # Drill: probe the cell at the vector maximizing the candidate's score.
         if self.use_drill:
             probe = drill_vector(cell, self._rows[candidate])
-            if probe is not None and is_in_top_k(pool_rows, probe,
-                                                 candidate_position, self.k):
+            if probe is not None and is_in_top_k(pool_rows, probe, candidate_position, self.k):
                 self.stats.drill_hits += 1
                 return True, probe
 
@@ -230,8 +244,9 @@ class RSA:
 
         arrangement = Arrangement(cell)
         self.stats.arrangements_built += 1
-        for halfspace in halfspaces_against(self._rows[candidate],
-                                            self._sky.subset_values(chosen), chosen):
+        for halfspace in halfspaces_against(
+            self._rows[candidate], self._sky.subset_values(chosen), chosen
+        ):
             arrangement.insert(halfspace)
             self.stats.halfspaces_inserted += 1
 
@@ -241,8 +256,7 @@ class RSA:
         for leaf in promising:
             if self.use_lemma1:
                 disregarded = {
-                    c for c in remaining
-                    if self._ancestors[c] & (chosen_set - leaf.covering)
+                    c for c in remaining if self._ancestors[c] & (chosen_set - leaf.covering)
                 }
             else:
                 disregarded = set()
@@ -255,8 +269,7 @@ class RSA:
                     return True, point
                 continue
             new_skip = skip | chosen_set | disregarded
-            ok, witness = self._verify(candidate, leaf.cell, quota - leaf.count,
-                                       new_skip)
+            ok, witness = self._verify(candidate, leaf.cell, quota - leaf.count, new_skip)
             if ok:
                 return True, witness
         return False, None

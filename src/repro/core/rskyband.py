@@ -90,8 +90,7 @@ class RSkyband:
 
     def positions_of(self, indices) -> np.ndarray:
         """Row positions (into ``values``/``adjacency``) of member indices."""
-        return np.fromiter((self._position[int(i)] for i in indices), dtype=int,
-                           count=len(indices))
+        return np.fromiter((self._position[int(i)] for i in indices), dtype=int, count=len(indices))
 
     def subset_values(self, indices) -> np.ndarray:
         """Attribute rows for a list of member indices (one fancy index)."""
@@ -109,9 +108,14 @@ class RSkyband:
         return self.adjacency[np.ix_(positions, positions)].sum(axis=0)
 
 
-def compute_r_skyband(values: np.ndarray, region: Region, k: int, *,
-                      tree: RTree | None = None,
-                      tol: float = DOMINANCE_TOL) -> RSkyband:
+def compute_r_skyband(
+    values: np.ndarray,
+    region: Region,
+    k: int,
+    *,
+    tree: RTree | None = None,
+    tol: float = DOMINANCE_TOL,
+) -> RSkyband:
     """Compute the r-skyband of ``values`` for ``region`` and parameter ``k``.
 
     Small datasets use a fully vectorized quadratic pass; larger datasets (or
@@ -139,21 +143,26 @@ def compute_r_skyband(values: np.ndarray, region: Region, k: int, *,
         def dominators_of(point: np.ndarray, members: np.ndarray) -> np.ndarray:
             return tester.dominators_of(point, members)
 
-        idx_list, row_list, stats = bbs_candidates(tree, k, key=key,
-                                                   dominators_of=dominators_of)
+        idx_list, row_list, stats = bbs_candidates(tree, k, key=key, dominators_of=dominators_of)
         if not idx_list:
             empty = np.zeros(0, dtype=int)
-            return RSkyband(indices=empty, values=values[:0], ancestors={},
-                            descendants={}, region=region, stats=stats)
+            return RSkyband(
+                indices=empty,
+                values=values[:0],
+                ancestors={},
+                descendants={},
+                region=region,
+                stats=stats,
+            )
         candidate_idx = np.asarray(idx_list, dtype=int)
         candidate_rows = np.vstack(row_list)
 
-    return _finalize_skyband(candidate_idx, candidate_rows, tester, region, k,
-                             stats)
+    return _finalize_skyband(candidate_idx, candidate_rows, tester, region, k, stats)
 
 
-def refilter_r_skyband(skyband: RSkyband, region: Region, k: int, *,
-                       tol: float = DOMINANCE_TOL) -> RSkyband:
+def refilter_r_skyband(
+    skyband: RSkyband, region: Region, k: int, *, tol: float = DOMINANCE_TOL
+) -> RSkyband:
     """Re-filter a cached r-skyband for a contained sub-query.
 
     When ``region`` is contained in ``skyband.region`` and ``k`` does not
@@ -168,13 +177,17 @@ def refilter_r_skyband(skyband: RSkyband, region: Region, k: int, *,
     performs the re-filtering.
     """
     tester = RDominance(region, tol)
-    return _finalize_skyband(skyband.indices, skyband.values, tester, region,
-                             k, BBSStatistics())
+    return _finalize_skyband(skyband.indices, skyband.values, tester, region, k, BBSStatistics())
 
 
-def _finalize_skyband(candidate_idx: np.ndarray, candidate_rows: np.ndarray,
-                      tester: RDominance, region: Region, k: int,
-                      stats: BBSStatistics) -> RSkyband:
+def _finalize_skyband(
+    candidate_idx: np.ndarray,
+    candidate_rows: np.ndarray,
+    tester: RDominance,
+    region: Region,
+    k: int,
+    stats: BBSStatistics,
+) -> RSkyband:
     """Exact quadratic pass turning a candidate superset into the r-skyband."""
     matrix = tester.dominance_matrix(candidate_rows)
     counts = matrix.sum(axis=0)
@@ -198,6 +211,12 @@ def _finalize_skyband(candidate_idx: np.ndarray, candidate_rows: np.ndarray,
         descendants[int(dataset_index)] = desc
 
     stats.candidate_count = int(member_idx.shape[0])
-    return RSkyband(indices=member_idx, values=member_rows, ancestors=ancestors,
-                    descendants=descendants, region=region, stats=stats,
-                    adjacency=sub)
+    return RSkyband(
+        indices=member_idx,
+        values=member_rows,
+        ancestors=ancestors,
+        descendants=descendants,
+        region=region,
+        stats=stats,
+        adjacency=sub,
+    )

@@ -77,8 +77,11 @@ class MonotoneScoring(ScoringFunction):
         ``(low, high)`` range used for the monotonicity spot check.
     """
 
-    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]],
-                 check_range: tuple[float, float] = (0.0, 1.0)):
+    def __init__(
+        self,
+        transforms: Sequence[Callable[[np.ndarray], np.ndarray]],
+        check_range: tuple[float, float] = (0.0, 1.0),
+    ):
         if not transforms:
             raise InvalidQueryError("at least one transform is required")
         self.transforms = list(transforms)
@@ -86,16 +89,13 @@ class MonotoneScoring(ScoringFunction):
         for position, func in enumerate(self.transforms):
             sampled = np.asarray([float(func(np.asarray(value))) for value in grid])
             if np.any(np.diff(sampled) < -1e-12):
-                raise InvalidQueryError(
-                    f"transform {position} is not monotone non-decreasing"
-                )
+                raise InvalidQueryError(f"transform {position} is not monotone non-decreasing")
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.shape[1] != len(self.transforms):
             raise InvalidQueryError(
-                f"{len(self.transforms)} transforms supplied for "
-                f"{values.shape[1]} attributes"
+                f"{len(self.transforms)} transforms supplied for " f"{values.shape[1]} attributes"
             )
         columns = [np.asarray(func(values[:, i]), dtype=float).reshape(-1)
                    for i, func in enumerate(self.transforms)]

@@ -78,6 +78,5 @@ def nba_star_dataset(columns=("rebounds", "points")) -> Dataset:
     """
     positions = [NBA_STAR_COLUMNS.index(column) for column in columns]
     labels = list(NBA_STARS)
-    values = np.array([[NBA_STARS[name][pos] for pos in positions]
-                       for name in labels], dtype=float)
+    values = np.array([[NBA_STARS[name][pos] for pos in positions] for name in labels], dtype=float)
     return Dataset(values, labels)

@@ -40,9 +40,13 @@ def _rng(seed) -> np.random.Generator:
     return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
 
-def _correlated_block(rng: np.random.Generator, cardinality: int,
-                      dimensionality: int, correlation: float,
-                      scale: float) -> np.ndarray:
+def _correlated_block(
+    rng: np.random.Generator,
+    cardinality: int,
+    dimensionality: int,
+    correlation: float,
+    scale: float,
+) -> np.ndarray:
     """Gaussian-copula-style block with a common latent quality factor."""
     latent = rng.normal(size=(cardinality, 1))
     noise = rng.normal(size=(cardinality, dimensionality))
@@ -114,8 +118,9 @@ def nba_league_dataset(cardinality: int | None = None, seed=0) -> Dataset:
     blocks = minutes * (0.2 + 0.7 * role + 0.2 * quality)
     field_goals = points * (0.8 + 0.2 * role)
     free_throws = points * (0.6 + 0.4 * quality)
-    values = np.hstack([points, rebounds, assists, steals, blocks,
-                        field_goals, free_throws, minutes]) + noise
+    values = np.hstack(
+        [points, rebounds, assists, steals, blocks, field_goals, free_throws, minutes]
+    ) + noise
     values = np.clip(values, 0.0, None)
     values = values / values.max(axis=0, keepdims=True)
     return Dataset(values)

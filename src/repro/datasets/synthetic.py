@@ -33,8 +33,7 @@ def independent(cardinality: int, dimensionality: int, seed=0) -> np.ndarray:
     return _rng(seed).random((cardinality, dimensionality))
 
 
-def correlated(cardinality: int, dimensionality: int, seed=0,
-               spread: float = 0.12) -> np.ndarray:
+def correlated(cardinality: int, dimensionality: int, seed=0, spread: float = 0.12) -> np.ndarray:
     """Positively correlated attributes.
 
     Every record is a common base value (its overall quality) plus small
@@ -49,8 +48,9 @@ def correlated(cardinality: int, dimensionality: int, seed=0,
     return np.clip(base + noise, 0.0, 1.0)
 
 
-def anticorrelated(cardinality: int, dimensionality: int, seed=0,
-                   spread: float = 0.25) -> np.ndarray:
+def anticorrelated(
+    cardinality: int, dimensionality: int, seed=0, spread: float = 0.25
+) -> np.ndarray:
     """Anticorrelated attributes.
 
     Records lie close to the hyperplane ``sum(x) = d / 2`` with large
@@ -66,8 +66,7 @@ def anticorrelated(cardinality: int, dimensionality: int, seed=0,
     return np.clip(base + offsets, 0.0, 1.0)
 
 
-def synthetic_dataset(distribution: str, cardinality: int, dimensionality: int,
-                      seed=0) -> Dataset:
+def synthetic_dataset(distribution: str, cardinality: int, dimensionality: int, seed=0) -> Dataset:
     """Build a :class:`~repro.core.records.Dataset` for a named distribution."""
     name = distribution.upper()
     if name == "IND":

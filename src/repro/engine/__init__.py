@@ -6,8 +6,7 @@ through memoized r-skybands, region-containment reuse and a thread-pool batch
 executor.  See :class:`UTKEngine` for the full story.
 """
 
-from repro.engine.batch import (BatchItem, BatchQuery, as_batch_query,
-                                run_batch, summarize_batch)
+from repro.engine.batch import (BatchItem, BatchQuery, as_batch_query, run_batch, summarize_batch)
 from repro.engine.cache import LRUCache, region_contains, region_signature
 from repro.engine.engine import EngineStatistics, UTKEngine, clip_partitioning
 

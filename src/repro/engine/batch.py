@@ -37,9 +37,7 @@ class BatchQuery:
 
     def __post_init__(self):
         if self.version not in VERSIONS:
-            raise InvalidQueryError(
-                f"unknown version {self.version!r}; expected one of {VERSIONS}"
-            )
+            raise InvalidQueryError(f"unknown version {self.version!r}; expected one of {VERSIONS}")
 
 
 @dataclass
@@ -63,21 +61,20 @@ def as_batch_query(query) -> BatchQuery:
     if isinstance(query, BatchQuery):
         return query
     if isinstance(query, dict):
-        return BatchQuery(region=query["region"], k=int(query["k"]),
-                          version=query.get("version", "utk1"))
+        return BatchQuery(
+            region=query["region"], k=int(query["k"]), version=query.get("version", "utk1")
+        )
     if isinstance(query, tuple):
         if len(query) == 2:
             return BatchQuery(region=query[0], k=int(query[1]))
         if len(query) == 3:
-            return BatchQuery(region=query[0], k=int(query[1]),
-                              version=query[2])
+            return BatchQuery(region=query[0], k=int(query[1]), version=query[2])
         raise InvalidQueryError("query tuples must be (region, k[, version])")
     region = getattr(query, "region", None)
     k = getattr(query, "k", None)
     if region is None or k is None:
         raise InvalidQueryError(f"cannot interpret {query!r} as a batch query")
-    return BatchQuery(region=region, k=int(k),
-                      version=getattr(query, "version", "utk1"))
+    return BatchQuery(region=region, k=int(k), version=getattr(query, "version", "utk1"))
 
 
 def _serve_one(engine, query: BatchQuery) -> BatchItem:
@@ -88,8 +85,9 @@ def _serve_one(engine, query: BatchQuery) -> BatchItem:
         second, sources["utk2"] = engine.serve_utk2(query.region, query.k)
     if query.version in ("utk1", "both"):
         first, sources["utk1"] = engine.serve_utk1(query.region, query.k)
-    return BatchItem(query=query, utk1=first, utk2=second, sources=sources,
-                     seconds=time.perf_counter() - started)
+    return BatchItem(
+        query=query, utk1=first, utk2=second, sources=sources, seconds=time.perf_counter() - started
+    )
 
 
 def run_batch(engine, queries, *, workers: int | None = None) -> list[BatchItem]:

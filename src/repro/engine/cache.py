@@ -42,8 +42,7 @@ def region_signature(region: Region, *, decimals: int = SIGNATURE_DECIMALS) -> s
     return digest.hexdigest()
 
 
-def region_contains(outer: Region, inner: Region, *,
-                    tol: float = CONTAINMENT_TOL) -> bool:
+def region_contains(outer: Region, inner: Region, *, tol: float = CONTAINMENT_TOL) -> bool:
     """Whether ``inner`` is contained in ``outer`` (both convex polytopes).
 
     With a vertex representation of ``inner`` the test is a dense constraint

@@ -34,8 +34,9 @@ from repro.core.records import Dataset
 from repro.core.region import Region
 from repro.core.result import UTK1Result, UTK2Result, UTKPartition
 from repro.core.rsa import RSA
-from repro.core.rskyband import (RSkyband, _BRUTE_FORCE_LIMIT,
-                                 compute_r_skyband, refilter_r_skyband)
+from repro.core.rskyband import (
+    RSkyband, _BRUTE_FORCE_LIMIT, compute_r_skyband, refilter_r_skyband
+)
 from repro.core.scoring import LinearScoring, ScoringFunction
 from repro.engine.cache import LRUCache, region_contains, region_signature
 from repro.exceptions import InvalidQueryError
@@ -112,10 +113,8 @@ def clip_partitioning(result: UTK2Result, region: Region) -> UTK2Result:
         cell = Cell(region, extra_a=a, extra_b=b)
         if cell.is_full_dimensional():
             clipped.append(UTKPartition(cell=cell, top_k=partition.top_k))
-    stats = {"reused_partitions": len(result.partitions),
-             "clipped_partitions": len(clipped)}
-    return UTK2Result(partitions=clipped, region=region, k=result.k,
-                      stats=stats)
+    stats = {"reused_partitions": len(result.partitions), "clipped_partitions": len(clipped)}
+    return UTK2Result(partitions=clipped, region=region, k=result.k, stats=stats)
 
 
 class UTKEngine:
@@ -141,9 +140,14 @@ class UTKEngine:
     work (last write wins) but never produce wrong answers.
     """
 
-    def __init__(self, data, *, scoring: ScoringFunction | None = None,
-                 cache_size: int = 128,
-                 index_threshold: int = _BRUTE_FORCE_LIMIT):
+    def __init__(
+        self,
+        data,
+        *,
+        scoring: ScoringFunction | None = None,
+        cache_size: int = 128,
+        index_threshold: int = _BRUTE_FORCE_LIMIT,
+    ):
         self._dataset = data if isinstance(data, Dataset) else None
         matrix = data.values if isinstance(data, Dataset) else np.asarray(data, dtype=float)
         if matrix.ndim != 2:
@@ -284,8 +288,7 @@ class UTKEngine:
             if entry is not None:
                 self.stats.skyband_hits += 1
                 return entry.skyband, SOURCE_SKYBAND_HIT
-            donor = self._find_containing(self._skybands, region, k,
-                                          allow_larger_k=True)
+            donor = self._find_containing(self._skybands, region, k, allow_larger_k=True)
         if donor is not None:
             skyband = refilter_r_skyband(donor.skyband, region, k)
             with self._lock:
@@ -298,8 +301,9 @@ class UTKEngine:
             self._skybands.put(key, _SkybandEntry(region, k, skyband))
         return skyband, SOURCE_COLD
 
-    def _find_containing(self, cache: LRUCache, region: Region, k: int, *,
-                         allow_larger_k: bool = False):
+    def _find_containing(
+        self, cache: LRUCache, region: Region, k: int, *, allow_larger_k: bool = False
+    ):
         """Most recent cache entry whose region contains ``region``.
 
         Result entries must match ``k`` exactly (top-k sets change with

@@ -39,8 +39,7 @@ def _score_difference_rows(points: np.ndarray, idx: int) -> tuple[np.ndarray, np
     return coeffs, consts
 
 
-def is_upper_hull_member(points: np.ndarray, idx: int,
-                         tol: float = UPPER_HULL_TOL) -> bool:
+def is_upper_hull_member(points: np.ndarray, idx: int, tol: float = UPPER_HULL_TOL) -> bool:
     """Whether record ``idx`` can rank first for some non-negative weight vector.
 
     The test maximizes the minimum score margin of the record over all
@@ -78,8 +77,9 @@ def is_upper_hull_member(points: np.ndarray, idx: int,
     return result.value > tol
 
 
-def upper_hull_members(points: np.ndarray, *, method: str = "lp",
-                       tol: float = UPPER_HULL_TOL) -> np.ndarray:
+def upper_hull_members(
+    points: np.ndarray, *, method: str = "lp", tol: float = UPPER_HULL_TOL
+) -> np.ndarray:
     """Indices of records on the upper convex hull (possible top-1 records).
 
     Parameters

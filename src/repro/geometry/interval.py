@@ -76,8 +76,9 @@ class Interval:
         bounding constraints.
         """
         interval = Interval(-np.inf, np.inf)
-        for coeff, bound in zip(np.asarray(coeffs, float).reshape(-1),
-                                np.asarray(rhs, float).reshape(-1)):
+        for coeff, bound in zip(
+            np.asarray(coeffs, float).reshape(-1), np.asarray(rhs, float).reshape(-1)
+        ):
             interval = interval.clip_halfline(float(coeff), float(bound))
             if interval.is_empty:
                 break

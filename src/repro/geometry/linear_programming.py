@@ -78,13 +78,9 @@ def _as_matrix(a_ub, b_ub, dim: int):
     a = np.asarray(a_ub, dtype=float)
     b = np.asarray(b_ub, dtype=float).reshape(-1)
     if a.ndim != 2 or a.shape[0] != b.shape[0]:
-        raise LinearProgramError(
-            f"inconsistent constraint shapes: A is {a.shape}, b is {b.shape}"
-        )
+        raise LinearProgramError(f"inconsistent constraint shapes: A is {a.shape}, b is {b.shape}")
     if a.shape[1] != dim:
-        raise LinearProgramError(
-            f"constraint matrix has {a.shape[1]} columns, expected {dim}"
-        )
+        raise LinearProgramError(f"constraint matrix has {a.shape[1]} columns, expected {dim}")
     return a, b
 
 
@@ -170,8 +166,7 @@ def _solve_bounded(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> LPResult | No
     return LPResult(status="optimal", x=vertices[best], value=float(values[best]))
 
 
-def minimize(c, a_ub=None, b_ub=None, *, bounds=None,
-             assume_bounded: bool = False) -> LPResult:
+def minimize(c, a_ub=None, b_ub=None, *, bounds=None, assume_bounded: bool = False) -> LPResult:
     """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub``.
 
     Parameters
@@ -202,13 +197,13 @@ def minimize(c, a_ub=None, b_ub=None, *, bounds=None,
     if bounds is None:
         bounds = [(None, None)] * dim
     try:
-        res = linprog(c, A_ub=a if a.size else None, b_ub=b if b.size else None,
-                      bounds=bounds, method="highs")
+        res = linprog(
+            c, A_ub=a if a.size else None, b_ub=b if b.size else None, bounds=bounds, method="highs"
+        )
     except ValueError as exc:  # malformed input surfaced by scipy
         raise LinearProgramError(str(exc)) from exc
     if res.status == 0:
-        return LPResult(status="optimal", x=np.asarray(res.x, dtype=float),
-                        value=float(res.fun))
+        return LPResult(status="optimal", x=np.asarray(res.x, dtype=float), value=float(res.fun))
     if res.status == 2:
         return LPResult(status="infeasible")
     if res.status == 3:
@@ -216,8 +211,7 @@ def minimize(c, a_ub=None, b_ub=None, *, bounds=None,
     raise LinearProgramError(f"linear program failed: {res.message}")
 
 
-def maximize(c, a_ub=None, b_ub=None, *, bounds=None,
-             assume_bounded: bool = False) -> LPResult:
+def maximize(c, a_ub=None, b_ub=None, *, bounds=None, assume_bounded: bool = False) -> LPResult:
     """Maximize ``c @ x`` subject to ``a_ub @ x <= b_ub``."""
     c = np.asarray(c, dtype=float).reshape(-1)
     res = minimize(-c, a_ub, b_ub, bounds=bounds, assume_bounded=assume_bounded)
@@ -226,8 +220,9 @@ def maximize(c, a_ub=None, b_ub=None, *, bounds=None,
     return res
 
 
-def chebyshev_center(a_ub, b_ub, dim: int | None = None, *,
-                     assume_bounded: bool = False) -> tuple[np.ndarray | None, float]:
+def chebyshev_center(a_ub, b_ub, dim: int | None = None, *, assume_bounded: bool = False) -> tuple[
+    np.ndarray | None, float
+]:
     """Compute the Chebyshev centre of ``{x : A x <= b}``.
 
     Returns ``(centre, radius)`` where ``radius`` is the largest ball radius
@@ -243,8 +238,9 @@ def chebyshev_center(a_ub, b_ub, dim: int | None = None, *,
     if dim is None:
         a_probe = np.asarray(a_ub, dtype=float)
         if a_probe.ndim != 2 or a_probe.shape[0] == 0:
-            raise LinearProgramError("chebyshev_center needs a non-empty constraint matrix "
-                                     "or an explicit dimension")
+            raise LinearProgramError(
+                "chebyshev_center needs a non-empty constraint matrix " "or an explicit dimension"
+            )
         dim = a_probe.shape[1]
     a, b = _as_matrix(a_ub, b_ub, dim)
     if a.shape[0] == 0:
@@ -301,8 +297,7 @@ def chebyshev_center(a_ub, b_ub, dim: int | None = None, *,
     return x, radius
 
 
-def has_interior(a_ub, b_ub, dim: int | None = None,
-                 tol: float = DEFAULT_INTERIOR_TOL) -> bool:
+def has_interior(a_ub, b_ub, dim: int | None = None, tol: float = DEFAULT_INTERIOR_TOL) -> bool:
     """Whether ``{x : A x <= b}`` is full-dimensional (contains a ball of radius > tol)."""
     _, radius = chebyshev_center(a_ub, b_ub, dim=dim)
     return radius > tol

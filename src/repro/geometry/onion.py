@@ -14,8 +14,7 @@ import numpy as np
 from repro.geometry.convex_hull import upper_hull_members
 
 
-def onion_layers(points: np.ndarray, num_layers: int, *,
-                 method: str = "lp") -> list[np.ndarray]:
+def onion_layers(points: np.ndarray, num_layers: int, *, method: str = "lp") -> list[np.ndarray]:
     """Compute the first ``num_layers`` onion layers of ``points``.
 
     Parameters
@@ -52,8 +51,7 @@ def onion_layers(points: np.ndarray, num_layers: int, *,
     return layers
 
 
-def onion_member_indices(points: np.ndarray, num_layers: int, *,
-                         method: str = "lp") -> np.ndarray:
+def onion_member_indices(points: np.ndarray, num_layers: int, *, method: str = "lp") -> np.ndarray:
     """Union of the first ``num_layers`` onion layers, as sorted original indices."""
     layers = onion_layers(points, num_layers, method=method)
     if not layers:

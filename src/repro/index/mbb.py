@@ -57,8 +57,7 @@ class MBB:
 
     def union(self, other: "MBB") -> "MBB":
         """Smallest box containing both boxes."""
-        return MBB(np.minimum(self.lower, other.lower),
-                   np.maximum(self.upper, other.upper))
+        return MBB(np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper))
 
     def enlargement(self, other: "MBB") -> float:
         """Volume increase needed to also cover ``other``."""
@@ -71,8 +70,9 @@ class MBB:
 
     def intersects(self, other: "MBB", tol: float = 0.0) -> bool:
         """Whether the two boxes overlap (within ``tol``)."""
-        return bool(np.all(self.lower <= other.upper + tol)
-                    and np.all(other.lower <= self.upper + tol))
+        return bool(
+            np.all(self.lower <= other.upper + tol) and np.all(other.lower <= self.upper + tol)
+        )
 
     def copy(self) -> "MBB":
         """Deep copy of the box."""

@@ -71,8 +71,7 @@ class RTree:
         Node capacity; ``min_entries`` defaults to ``ceil(max_entries * 0.4)``.
     """
 
-    def __init__(self, points=None, *, max_entries: int = 16,
-                 min_entries: int | None = None):
+    def __init__(self, points=None, *, max_entries: int = 16, min_entries: int | None = None):
         if max_entries < 4:
             raise InvalidDatasetError("max_entries must be at least 4")
         self.max_entries = max_entries
@@ -111,8 +110,9 @@ class RTree:
             leaves.append(node)
         return leaves
 
-    def _str_partition(self, points: np.ndarray, indices: np.ndarray,
-                       axis: int) -> list[np.ndarray]:
+    def _str_partition(self, points: np.ndarray, indices: np.ndarray, axis: int) -> list[
+        np.ndarray
+    ]:
         """Recursively tile ``indices`` into groups of at most ``max_entries``."""
         capacity = self.max_entries
         count = indices.shape[0]
@@ -140,8 +140,9 @@ class RTree:
             # Order nodes by the first coordinate of their MBB centre so that
             # siblings are spatially close.
             centres = np.array([(node.mbb.lower + node.mbb.upper) / 2.0 for node in nodes])
-            order = np.lexsort(tuple(centres[:, axis] for axis in
-                                     reversed(range(centres.shape[1]))))
+            order = np.lexsort(
+                tuple(centres[:, axis] for axis in reversed(range(centres.shape[1])))
+            )
             ordered = [nodes[i] for i in order]
             for start in range(0, len(ordered), self.max_entries):
                 parent = RTreeNode(is_leaf=False)
@@ -177,8 +178,7 @@ class RTree:
             for child in node.children:
                 cost = child.mbb.enlargement(target)
                 volume = child.mbb.volume
-                if best is None or cost < best_cost or (cost == best_cost
-                                                        and volume < best_volume):
+                if best is None or cost < best_cost or (cost == best_cost and volume < best_volume):
                     best, best_cost, best_volume = child, cost, volume
             node = best
         return node

@@ -53,8 +53,7 @@ class BaselineUTK:
     @property
     def result_indices(self) -> list[int]:
         """Sorted indices of the qualifying records (the UTK1 answer)."""
-        return sorted(index for index, outcome in self.per_candidate.items()
-                      if outcome.qualifies)
+        return sorted(index for index, outcome in self.per_candidate.items() if outcome.qualifies)
 
     @property
     def candidate_count(self) -> int:
@@ -74,20 +73,25 @@ class BaselineUTK:
             "elapsed_filter": self.elapsed_filter,
             "elapsed_refine": self.elapsed_refine,
         }
-        return UTK1Result(indices=self.result_indices, witnesses=witnesses,
-                          region=self.region, k=self.k, stats=stats)
+        return UTK1Result(
+            indices=self.result_indices,
+            witnesses=witnesses,
+            region=self.region,
+            k=self.k,
+            stats=stats,
+        )
 
 
-def _filter_candidates(values: np.ndarray, k: int, variant: str,
-                       tree: RTree | None) -> list[int]:
+def _filter_candidates(values: np.ndarray, k: int, variant: str, tree: RTree | None) -> list[int]:
     """Run the SK / ON filtering step and return candidate indices."""
     if variant == "skyband":
         return [int(i) for i in k_skyband(values, k, tree=tree)]
     return [int(i) for i in onion_candidates(values, k, tree=tree)]
 
 
-def _run_baseline(values, region: Region, k: int, variant: str,
-                  tree: RTree | None, early_terminate: bool) -> BaselineUTK:
+def _run_baseline(
+    values, region: Region, k: int, variant: str, tree: RTree | None, early_terminate: bool
+) -> BaselineUTK:
     if variant not in _VARIANTS:
         raise InvalidQueryError(f"unknown baseline variant: {variant!r}")
     values = np.asarray(values, dtype=float)
@@ -97,15 +101,16 @@ def _run_baseline(values, region: Region, k: int, variant: str,
     outcome = BaselineUTK(variant=variant, k=k, region=region, candidates=candidates)
     for candidate in candidates:
         outcome.per_candidate[candidate] = constrained_reverse_topk(
-            values, candidate, region, k, competitors=candidates,
-            early_terminate=early_terminate)
+            values, candidate, region, k, competitors=candidates, early_terminate=early_terminate
+        )
     outcome.elapsed_filter = filtered_at - started
     outcome.elapsed_refine = time.perf_counter() - filtered_at
     return outcome
 
 
-def baseline_utk1(values, region: Region, k: int, *, variant: str = "skyband",
-                  tree: RTree | None = None) -> BaselineUTK:
+def baseline_utk1(
+    values, region: Region, k: int, *, variant: str = "skyband", tree: RTree | None = None
+) -> BaselineUTK:
     """UTK1 baseline: k-skyband / onion filter followed by per-candidate kSPR.
 
     The kSPR calls stop as soon as the candidate's membership is decided.
@@ -113,8 +118,9 @@ def baseline_utk1(values, region: Region, k: int, *, variant: str = "skyband",
     return _run_baseline(values, region, k, variant, tree, early_terminate=True)
 
 
-def baseline_utk2(values, region: Region, k: int, *, variant: str = "skyband",
-                  tree: RTree | None = None) -> BaselineUTK:
+def baseline_utk2(
+    values, region: Region, k: int, *, variant: str = "skyband", tree: RTree | None = None
+) -> BaselineUTK:
     """UTK2 baseline: as UTK1 but every kSPR call runs to completion.
 
     The per-candidate qualifying cells collectively describe, for every

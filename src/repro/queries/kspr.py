@@ -67,9 +67,15 @@ class KSPRResult:
         return None
 
 
-def constrained_reverse_topk(values: np.ndarray, focal: int, region: Region,
-                             k: int, *, competitors=None,
-                             early_terminate: bool = False) -> KSPRResult:
+def constrained_reverse_topk(
+    values: np.ndarray,
+    focal: int,
+    region: Region,
+    k: int,
+    *,
+    competitors=None,
+    early_terminate: bool = False,
+) -> KSPRResult:
     """Regions of ``region`` where record ``focal`` ranks within the top ``k``.
 
     Parameters

@@ -33,8 +33,7 @@ def top_k_indices(values: np.ndarray, weights, k: int) -> list[int]:
 def top_k(values: np.ndarray, weights, k: int) -> list[tuple[int, float]]:
     """``(index, score)`` pairs of the top-k records, best first."""
     all_scores = scores(np.asarray(values, dtype=float), weights)
-    return [(index, float(all_scores[index]))
-            for index in top_k_indices(values, weights, k)]
+    return [(index, float(all_scores[index])) for index in top_k_indices(values, weights, k)]
 
 
 def top_k_rtree(tree: RTree, weights, k: int) -> list[tuple[int, float]]:
@@ -71,8 +70,7 @@ def top_k_rtree(tree: RTree, weights, k: int) -> list[tuple[int, float]]:
         else:
             for child in node.children:
                 if child.mbb is not None:
-                    heapq.heappush(heap, (-score_of(child.mbb.top_corner),
-                                          next(counter), 0, child))
+                    heapq.heappush(heap, (-score_of(child.mbb.top_corner), next(counter), 0, child))
     return result
 
 

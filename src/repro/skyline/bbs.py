@@ -97,8 +97,7 @@ def bbs_candidates(tree: RTree, k: int, *,
             stats.nodes_visited += 1
             corner = node.mbb.top_corner
             if member_count >= k:
-                dominated_by = int(dominators_of(corner,
-                                                 member_buffer[:member_count]).sum())
+                dominated_by = int(dominators_of(corner, member_buffer[:member_count]).sum())
                 if dominated_by >= k:
                     stats.nodes_pruned += 1
                     continue
@@ -113,8 +112,7 @@ def bbs_candidates(tree: RTree, k: int, *,
             index, point = payload
             stats.records_visited += 1
             if member_count >= k:
-                dominated_by = int(dominators_of(point,
-                                                 member_buffer[:member_count]).sum())
+                dominated_by = int(dominators_of(point, member_buffer[:member_count]).sum())
                 if dominated_by >= k:
                     stats.records_pruned += 1
                     continue

@@ -27,8 +27,7 @@ def skyline_bruteforce(values: np.ndarray, tol: float = DOMINANCE_TOL) -> np.nda
     return np.flatnonzero(counts == 0)
 
 
-def k_skyband_bruteforce(values: np.ndarray, k: int,
-                         tol: float = DOMINANCE_TOL) -> np.ndarray:
+def k_skyband_bruteforce(values: np.ndarray, k: int, tol: float = DOMINANCE_TOL) -> np.ndarray:
     """Indices of the k-skyband (records dominated by fewer than ``k`` others)."""
     matrix = dominance_matrix(values, tol)
     counts = matrix.sum(axis=0)

@@ -20,9 +20,14 @@ from repro.skyline.bbs import BBSStatistics, bbs_candidates
 from repro.skyline.dominance import dominance_matrix, k_skyband_bruteforce
 
 
-def k_skyband(values: np.ndarray, k: int, *, tree: RTree | None = None,
-              tol: float = DOMINANCE_TOL,
-              return_stats: bool = False):
+def k_skyband(
+    values: np.ndarray,
+    k: int,
+    *,
+    tree: RTree | None = None,
+    tol: float = DOMINANCE_TOL,
+    return_stats: bool = False,
+):
     """Indices of the traditional k-skyband of ``values``.
 
     When an R-tree is supplied (or the dataset is large enough to warrant
@@ -46,7 +51,8 @@ def k_skyband(values: np.ndarray, k: int, *, tree: RTree | None = None,
         return dominators_mask(point, members, tol)
 
     candidate_idx, candidate_rows, stats = bbs_candidates(
-        tree, k, key=key, dominators_of=dominators_of)
+        tree, k, key=key, dominators_of=dominators_of
+    )
     if not candidate_idx:
         empty = np.zeros(0, dtype=int)
         return (empty, stats) if return_stats else empty
@@ -58,8 +64,9 @@ def k_skyband(values: np.ndarray, k: int, *, tree: RTree | None = None,
     return (members, stats) if return_stats else members
 
 
-def onion_candidates(values: np.ndarray, k: int, *, tree: RTree | None = None,
-                     tol: float = DOMINANCE_TOL) -> np.ndarray:
+def onion_candidates(
+    values: np.ndarray, k: int, *, tree: RTree | None = None, tol: float = DOMINANCE_TOL
+) -> np.ndarray:
     """Union of the first ``k`` onion layers, computed off the k-skyband.
 
     Following the paper (Section 3.3), onion layers are derived from the

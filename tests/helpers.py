@@ -161,8 +161,9 @@ def oracle_r_dominators_mask(point_scores, pool_scores, tol: float) -> np.ndarra
     return out
 
 
-def oracle_halfspace_values(normals: np.ndarray, offsets: np.ndarray,
-                            points: np.ndarray) -> np.ndarray:
+def oracle_halfspace_values(
+    normals: np.ndarray, offsets: np.ndarray, points: np.ndarray
+) -> np.ndarray:
     """Per-pair signed slack ``normals[i] @ points[j] - offsets[i]``."""
     normals = np.asarray(normals, dtype=float)
     offsets = np.asarray(offsets, dtype=float)

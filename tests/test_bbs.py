@@ -21,8 +21,8 @@ class TestTraversal:
         values = rng.random((600, 3))
         tree = RTree(values)
         indices, rows, stats = bbs_candidates(
-            tree, k, key=lambda p: float(np.sum(p)),
-            dominators_of=traditional_dominators)
+            tree, k, key=lambda p: float(np.sum(p)), dominators_of=traditional_dominators
+        )
         skyband = set(k_skyband_bruteforce(values, k).tolist())
         assert skyband.issubset(set(indices))
         assert stats.candidate_count == len(indices)
@@ -33,16 +33,16 @@ class TestTraversal:
         values = rng.random((2000, 2))
         tree = RTree(values)
         indices, _, stats = bbs_candidates(
-            tree, 2, key=lambda p: float(np.sum(p)),
-            dominators_of=traditional_dominators)
+            tree, 2, key=lambda p: float(np.sum(p)), dominators_of=traditional_dominators
+        )
         assert len(indices) < 200
         assert stats.records_pruned + stats.nodes_pruned > 0
 
     def test_empty_tree(self):
         tree = RTree(np.zeros((0, 3)))
         indices, rows, stats = bbs_candidates(
-            tree, 1, key=lambda p: float(np.sum(p)),
-            dominators_of=traditional_dominators)
+            tree, 1, key=lambda p: float(np.sum(p)), dominators_of=traditional_dominators
+        )
         assert indices == [] and rows == []
         assert stats.candidate_count == 0
 
@@ -51,8 +51,8 @@ class TestTraversal:
         values = rng.random((300, 2))
         tree = RTree(values)
         indices, _, _ = bbs_candidates(
-            tree, 3, key=lambda p: float(np.sum(p)),
-            dominators_of=traditional_dominators)
+            tree, 3, key=lambda p: float(np.sum(p)), dominators_of=traditional_dominators
+        )
         keys = [float(np.sum(values[i])) for i in indices]
         assert all(a >= b - 1e-9 for a, b in zip(keys, keys[1:]))
 
@@ -61,7 +61,7 @@ class TestTraversal:
         values = rng.random((500, 3))
         tree = RTree(values)
         _, _, stats = bbs_candidates(
-            tree, 2, key=lambda p: float(np.sum(p)),
-            dominators_of=traditional_dominators)
+            tree, 2, key=lambda p: float(np.sum(p)), dominators_of=traditional_dominators
+        )
         assert stats.records_visited <= 500
         assert stats.heap_pushes >= stats.records_visited

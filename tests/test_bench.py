@@ -20,8 +20,7 @@ class TestWorkloads:
         for d in (2, 3, 4, 5):
             region = random_region(d, 0.05, rng)
             assert region.dimension == d - 1
-            widths = [region.linear_max(row) - region.linear_min(row)
-                      for row in np.eye(d - 1)]
+            widths = [region.linear_max(row) - region.linear_min(row) for row in np.eye(d - 1)]
             assert np.allclose(widths, 0.05, atol=1e-9)
 
     def test_random_region_inside_simplex(self):
@@ -68,8 +67,7 @@ class TestHarness:
 
     def test_memory_tracking(self, setting):
         values, workload = setting
-        measurement = measure_query("RSA", values, workload[0].region, 2,
-                                    track_memory=True)
+        measurement = measure_query("RSA", values, workload[0].region, 2, track_memory=True)
         assert measurement.peak_memory_bytes > 0
 
     def test_rsa_and_jaa_consistent_outputs(self, setting):
@@ -98,8 +96,7 @@ class TestHarness:
 
 class TestReporting:
     def test_format_table_alignment(self):
-        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]],
-                            title="demo")
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]], title="demo")
         lines = text.splitlines()
         assert lines[0] == "demo"
         assert "name" in lines[1] and "value" in lines[1]

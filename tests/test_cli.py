@@ -70,8 +70,7 @@ class TestBatchCommand:
         assert report["sources"].get("hit") == 1
         assert report["sources"].get("containment") == 2
         assert report["sources"].get("cold") == 1
-        assert set(report["cache"]) == {"engine", "skyband", "utk1", "utk2",
-                                        "k_skyband"}
+        assert set(report["cache"]) == {"engine", "skyband", "utk1", "utk2", "k_skyband"}
         assert report["results"][0]["utk1"]["records"]
         assert report["results"][1]["utk2"]["partitions"] >= 1
 
@@ -79,8 +78,9 @@ class TestBatchCommand:
         queries = tmp_path / "queries.jsonl"
         self._write_queries(queries)
         out = tmp_path / "report.json"
-        code = main(["batch", "--input", str(queries), "--cardinality", "120",
-                     "--output", str(out)])
+        code = main(
+            ["batch", "--input", str(queries), "--cardinality", "120", "--output", str(out)]
+        )
         assert code == 0
         report = json.loads(out.read_text())
         assert report["queries"] == 3

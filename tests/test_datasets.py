@@ -80,8 +80,7 @@ class TestRealSubstitutes:
             assert dataset.values.max() <= 10.0 + 1e-9
 
     def test_reproducible(self):
-        assert np.allclose(hotel_dataset(100, seed=3).values,
-                           hotel_dataset(100, seed=3).values)
+        assert np.allclose(hotel_dataset(100, seed=3).values, hotel_dataset(100, seed=3).values)
 
     def test_hotel_ratings_positively_correlated(self):
         values = hotel_dataset(4000, seed=0).values

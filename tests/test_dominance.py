@@ -133,16 +133,11 @@ class TestRDominanceBatch:
             assert np.array_equal(mask, expected)
 
     def test_dominance_counts(self, region):
-        values = np.array([
-            [9.0, 9.0, 9.0],
-            [8.0, 8.0, 8.0],
-            [1.0, 1.0, 1.0],
-        ])
+        values = np.array([[9.0, 9.0, 9.0], [8.0, 8.0, 8.0], [1.0, 1.0, 1.0],])
         counts = RDominance(region).dominance_counts(values)
         assert counts.tolist() == [0, 1, 2]
 
     def test_empty_pool(self, region):
         helper = RDominance(region)
-        assert helper.dominators_of(np.array([1.0, 1.0, 1.0]),
-                                    np.zeros((0, 3))).size == 0
+        assert helper.dominators_of(np.array([1.0, 1.0, 1.0]), np.zeros((0, 3))).size == 0
         assert helper.dominance_matrix(np.zeros((0, 3))).shape == (0, 0)

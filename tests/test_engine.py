@@ -12,9 +12,16 @@ from repro.core.records import Dataset
 from repro.core.region import hyperrectangle
 from repro.core.rskyband import compute_r_skyband, refilter_r_skyband
 from repro.bench.workloads import engine_query_stream, zipfian_k
-from repro.engine import (BatchQuery, LRUCache, UTKEngine, as_batch_query,
-                          clip_partitioning, region_contains,
-                          region_signature, summarize_batch)
+from repro.engine import (
+    BatchQuery,
+    LRUCache,
+    UTKEngine,
+    as_batch_query,
+    clip_partitioning,
+    region_contains,
+    region_signature,
+    summarize_batch,
+)
 from repro.exceptions import InvalidQueryError
 
 
@@ -45,8 +52,7 @@ class TestCachePrimitives:
         assert cache.get("b") is None
         assert cache.get("c") == 3
         stats = cache.stats()
-        assert stats == {"size": 2, "maxsize": 2, "hits": 2, "misses": 1,
-                         "evictions": 1}
+        assert stats == {"size": 2, "maxsize": 2, "hits": 2, "misses": 1, "evictions": 1}
 
     def test_lru_scan_is_most_recent_first(self):
         cache = LRUCache(3)
@@ -110,8 +116,7 @@ class TestEngineAccounting:
 
     def test_lru_eviction_bounds_engine_caches(self):
         engine = UTKEngine(random_dataset(4), cache_size=2)
-        regions = [hyperrectangle([0.05 + 0.2 * i, 0.05], [0.15 + 0.2 * i, 0.15])
-                   for i in range(3)]
+        regions = [hyperrectangle([0.05 + 0.2 * i, 0.05], [0.15 + 0.2 * i, 0.15]) for i in range(3)]
         for region in regions:
             engine.utk1(region, 2)
         cache = engine.cache_stats()
@@ -231,8 +236,12 @@ class TestBatchExecution:
     def test_batch_matches_serial_and_parallel(self):
         data = random_dataset(61)
         region, sub = random_region_pair(61)
-        queries = [BatchQuery(region, 2, "both"), BatchQuery(sub, 2, "utk1"),
-                   BatchQuery(sub, 2, "utk1"), BatchQuery(sub, 1, "utk2")]
+        queries = [
+            BatchQuery(region, 2, "both"),
+            BatchQuery(sub, 2, "utk1"),
+            BatchQuery(sub, 2, "utk1"),
+            BatchQuery(sub, 1, "utk2"),
+        ]
         serial = UTKEngine(data).run_batch(queries)
         threaded = UTKEngine(data).run_batch(queries, workers=4)
         assert len(serial) == len(threaded) == 4
@@ -247,8 +256,7 @@ class TestBatchExecution:
         data = random_dataset(67)
         region, sub = random_region_pair(67)
         engine = UTKEngine(data)
-        items = engine.run_batch([(region, 2, "utk2"), (region, 2, "utk2"),
-                                  (sub, 2, "utk2")])
+        items = engine.run_batch([(region, 2, "utk2"), (region, 2, "utk2"), (sub, 2, "utk2")])
         assert items[0].sources == {"utk2": "cold"}
         assert items[1].sources == {"utk2": "hit"}
         assert items[2].sources == {"utk2": "containment"}
@@ -262,8 +270,7 @@ class TestBatchExecution:
     def test_query_normalization(self):
         region, _ = random_region_pair(71)
         assert as_batch_query((region, 2)).version == "utk1"
-        assert as_batch_query({"region": region, "k": 2,
-                               "version": "both"}).version == "both"
+        assert as_batch_query({"region": region, "k": 2, "version": "both"}).version == "both"
         spec = engine_query_stream(3, 1, seed=0)[0]
         normalized = as_batch_query(spec)
         assert normalized.k == spec.k and normalized.region is spec.region
@@ -288,8 +295,9 @@ class TestQueryStream:
 
     def test_stream_exercises_reuse(self):
         parents = 3
-        stream = engine_query_stream(3, 40, parents=parents, repeat_prob=0.4,
-                                     subregion_prob=0.5, seed=9)
+        stream = engine_query_stream(
+            3, 40, parents=parents, repeat_prob=0.4, subregion_prob=0.5, seed=9
+        )
         assert len(stream) == 40
         anchors = stream[:parents]
         signatures = {region_signature(spec.region) for spec in stream}

@@ -16,8 +16,9 @@ class TestPaperExample:
     def test_figure1_partitioning(self, paper_hotels, paper_region):
         """Figure 1(b): the top-2 sets across R are exactly four."""
         result = JAA(paper_hotels.values, paper_region, 2).run()
-        names = {frozenset(paper_hotels.label_of(i) for i in top)
-                 for top in result.distinct_top_k_sets}
+        names = {
+            frozenset(paper_hotels.label_of(i) for i in top) for top in result.distinct_top_k_sets
+        }
         assert names == {
             frozenset({"p2", "p4"}),
             frozenset({"p1", "p4"}),

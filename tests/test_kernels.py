@@ -151,12 +151,8 @@ class TestHalfspaceKernels:
         rng = np.random.default_rng(7)
         points = rng.random((5, values.shape[1] - 1))
         kernel = evaluate_halfspaces(normals, offsets, points)
-        assert np.allclose(
-            kernel, evaluate_halfspaces_loop(normals, offsets, points), rtol=1e-12
-        )
-        assert np.allclose(
-            kernel, oracle_halfspace_values(normals, offsets, points), rtol=1e-12
-        )
+        assert np.allclose(kernel, evaluate_halfspaces_loop(normals, offsets, points), rtol=1e-12)
+        assert np.allclose(kernel, oracle_halfspace_values(normals, offsets, points), rtol=1e-12)
 
     @COMMON
     @given(dominance_case())

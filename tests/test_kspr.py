@@ -25,8 +25,7 @@ class TestQualification:
         utk = set(RSA(values, region, k).run().indices)
         candidates = k_skyband_bruteforce(values, k).tolist()
         for candidate in candidates:
-            outcome = constrained_reverse_topk(values, candidate, region, k,
-                                               competitors=candidates)
+            outcome = constrained_reverse_topk(values, candidate, region, k, competitors=candidates)
             assert outcome.qualifies == (candidate in utk)
 
     def test_qualifying_cells_are_genuine(self, region):
@@ -35,8 +34,7 @@ class TestQualification:
         k = 2
         candidates = k_skyband_bruteforce(values, k).tolist()
         for candidate in candidates[:8]:
-            outcome = constrained_reverse_topk(values, candidate, region, k,
-                                               competitors=candidates)
+            outcome = constrained_reverse_topk(values, candidate, region, k, competitors=candidates)
             for leaf in outcome.cells:
                 probe = leaf.cell.interior_point
                 assert probe is not None
@@ -51,8 +49,7 @@ class TestQualification:
                      if constrained_reverse_topk(values, c, region, k,
                                                  competitors=candidates).qualifies]
         assert qualified
-        outcome = constrained_reverse_topk(values, qualified[0], region, k,
-                                           competitors=candidates)
+        outcome = constrained_reverse_topk(values, qualified[0], region, k, competitors=candidates)
         assert region.contains(outcome.witness(), tol=1e-7)
 
     def test_default_competitors_whole_dataset(self, region):
@@ -72,11 +69,10 @@ class TestEarlyTermination:
         k = 2
         candidates = k_skyband_bruteforce(values, k).tolist()
         for candidate in candidates:
-            full = constrained_reverse_topk(values, candidate, region, k,
-                                            competitors=candidates)
-            early = constrained_reverse_topk(values, candidate, region, k,
-                                             competitors=candidates,
-                                             early_terminate=True)
+            full = constrained_reverse_topk(values, candidate, region, k, competitors=candidates)
+            early = constrained_reverse_topk(
+                values, candidate, region, k, competitors=candidates, early_terminate=True
+            )
             assert full.qualifies == early.qualifies
 
     def test_counts_work_performed(self, region):

@@ -23,11 +23,11 @@ record_matrices = arrays(
     elements=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False, width=32),
 )
 
-weight_vectors = st.lists(st.floats(0.01, 1.0, allow_nan=False),
-                          min_size=2, max_size=5)
+weight_vectors = st.lists(st.floats(0.01, 1.0, allow_nan=False), min_size=2, max_size=5)
 
-common_settings = settings(max_examples=25, deadline=None,
-                           suppress_health_check=[HealthCheck.too_slow])
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
 
 
 def region_for(dim: int):

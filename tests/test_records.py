@@ -82,8 +82,7 @@ class TestNormalization:
         assert scaled.max() == pytest.approx(1.0)
 
     def test_inverted_column(self):
-        scaled = normalize_higher_is_better([[0.0, 100.0], [10.0, 50.0]],
-                                            invert_columns=[1])
+        scaled = normalize_higher_is_better([[0.0, 100.0], [10.0, 50.0]], invert_columns=[1])
         # Higher raw price (column 1) becomes a lower normalized value.
         assert scaled[0, 1] == pytest.approx(0.0)
         assert scaled[1, 1] == pytest.approx(1.0)

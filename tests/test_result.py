@@ -17,8 +17,7 @@ def region():
 
 class TestUTK1Result:
     def test_membership_and_iteration(self, region):
-        result = UTK1Result(indices=[1, 4, 7], witnesses={1: np.array([0.2])},
-                            region=region, k=2)
+        result = UTK1Result(indices=[1, 4, 7], witnesses={1: np.array([0.2])}, region=region, k=2)
         assert 4 in result
         assert 3 not in result
         assert list(result) == [1, 4, 7]

@@ -163,8 +163,7 @@ class TestEdgeCases:
         assert result.indices == [0]
 
     def test_duplicate_records(self, paper_region):
-        values = np.vstack([np.full((3, 3), 5.0),
-                            np.random.default_rng(2).random((20, 3))])
+        values = np.vstack([np.full((3, 3), 5.0), np.random.default_rng(2).random((20, 3))])
         result = RSA(values, paper_region, 2).run()
         assert len(result) >= 1
 

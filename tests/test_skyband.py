@@ -22,8 +22,7 @@ class TestBruteForce:
         assert not matrix[1, 0] and not matrix[2, 0]
 
     def test_skyline_of_staircase(self):
-        values = np.array([[4.0, 1.0], [3.0, 2.0], [2.0, 3.0], [1.0, 4.0],
-                           [1.0, 1.0]])
+        values = np.array([[4.0, 1.0], [3.0, 2.0], [2.0, 3.0], [1.0, 4.0], [1.0, 1.0]])
         assert skyline_bruteforce(values).tolist() == [0, 1, 2, 3]
 
     def test_k_skyband_nested(self):

@@ -100,6 +100,5 @@ class TestIncrementalTopK:
 
     def test_max_k_cap(self):
         values = np.random.default_rng(7).random((100, 2))
-        needed, output = incremental_top_k_until(values, np.array([0.5]), 3, {999},
-                                                 max_k=10)
+        needed, output = incremental_top_k_until(values, np.array([0.5]), 3, {999}, max_k=10)
         assert needed == 10 and len(output) == 10
