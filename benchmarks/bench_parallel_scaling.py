@@ -1,0 +1,194 @@
+"""Parallel-executor scaling: serial RSA/JAA vs region-partitioned workers.
+
+Runs the same UTK workload serially and through the parallel executor at
+1/2/4/8 workers, verifies that every configuration reports the identical
+answer (same UTK1 record set, same UTK2 top-k sets), and reports the
+speedup per worker count.  Results are written to ``BENCH_parallel.json``
+via :func:`repro.bench.reporting.write_bench_json`.
+
+The run doubles as the CI parallel smoke gate: it fails (exit code 1) when
+any configuration's answer differs from serial, or when the 4-worker
+speedup falls below the required factor (default 1.5x).  The speedup gate
+needs real cores — on machines with fewer than 4 CPUs it is recorded as
+skipped, while the identity checks always apply.
+
+Usage::
+
+    python benchmarks/bench_parallel_scaling.py [--smoke]
+        [--output BENCH_parallel.json] [--required-speedup 1.5]
+"""
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import print_rows
+
+from repro.bench.reporting import write_bench_json
+from repro.bench.workloads import query_workload
+from repro.core.rskyband import compute_r_skyband
+from repro.datasets.synthetic import synthetic_dataset
+from repro.parallel import parallel_utk_query
+
+#: Required 4-worker speedup over the serial path (the PR's acceptance bar).
+REQUIRED_SPEEDUP = 1.5
+
+#: Worker counts measured (serial baseline is workers=1 with one shard).
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Workload sizes.  Smoke keeps CI fast while leaving enough refinement work
+#: per query for the fan-out to amortize pool startup and shard transfer.
+SETTINGS = {
+    "default": {
+        "cardinality": 3000,
+        "dimensionality": 4,
+        "k": 8,
+        "sigma": 0.16,
+        "queries": 1,
+        "repeats": 2,
+        "seed": 23,
+    },
+    "smoke": {
+        "cardinality": 2000,
+        "dimensionality": 4,
+        "k": 8,
+        "sigma": 0.14,
+        "queries": 1,
+        "repeats": 1,
+        "seed": 23,
+    },
+}
+
+
+def fingerprint(first, second):
+    """Comparable summary of a query answer: record set + distinct top-k sets."""
+    return (
+        tuple(first.indices),
+        tuple(sorted(tuple(sorted(s)) for s in second.distinct_top_k_sets)),
+    )
+
+
+def run_workload(values, specs, skybands, workers):
+    """Answer every query at the given worker count; returns (seconds, fingerprints)."""
+    started = time.perf_counter()
+    answers = []
+    for spec, skyband in zip(specs, skybands):
+        first, second = parallel_utk_query(
+            values, spec.region, spec.k, workers=workers, skyband=skyband
+        )
+        answers.append(fingerprint(first, second))
+    return time.perf_counter() - started, answers
+
+
+def run_benchmark(setting):
+    """Measure every worker count; returns ``(rows, gates)``."""
+    data = synthetic_dataset(
+        "IND", setting["cardinality"], setting["dimensionality"], seed=setting["seed"]
+    )
+    specs = query_workload(
+        setting["dimensionality"],
+        setting["k"],
+        setting["sigma"],
+        setting["queries"],
+        seed=setting["seed"],
+    )
+    # The filtering step is shared by every configuration (as in the serial
+    # utk_query path), so the measurement isolates the refinement fan-out.
+    skybands = [
+        compute_r_skyband(data.values, spec.region, spec.k) for spec in specs
+    ]
+
+    baseline_seconds = None
+    baseline_answers = None
+    rows = []
+    for workers in WORKER_COUNTS:
+        best = float("inf")
+        answers = None
+        for _ in range(setting["repeats"]):
+            seconds, answers = run_workload(data.values, specs, skybands, workers)
+            best = min(best, seconds)
+        if workers == 1:
+            baseline_seconds = best
+            baseline_answers = answers
+        rows.append(
+            {
+                "workers": workers,
+                "queries": len(specs),
+                "skyband_sizes": [s.size for s in skybands],
+                "seconds": round(best, 4),
+                "speedup": round(baseline_seconds / best, 2),
+                "identical": answers == baseline_answers,
+            }
+        )
+
+    cores = os.cpu_count() or 1
+    four = next(row for row in rows if row["workers"] == 4)
+    gates = {
+        "all_answers_identical": all(row["identical"] for row in rows),
+        "cores": cores,
+        "speedup_gate_applicable": cores >= 4,
+        "required_speedup_at_4": REQUIRED_SPEEDUP,
+        "speedup_at_4": four["speedup"],
+    }
+    gates["passed"] = gates["all_answers_identical"] and (
+        not gates["speedup_gate_applicable"] or four["speedup"] >= REQUIRED_SPEEDUP
+    )
+    return rows, gates
+
+
+def test_parallel_scaling_gate():
+    """Pytest entry point: smoke-sized run asserting the smoke gate."""
+    rows, gates = run_benchmark(SETTINGS["smoke"])
+    print_rows("Parallel scaling — serial vs region-partitioned workers", rows)
+    assert gates["all_answers_identical"]
+    assert gates["passed"], gates
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument(
+        "--output",
+        default="BENCH_parallel.json",
+        help="path of the BENCH JSON artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--required-speedup",
+        type=float,
+        default=REQUIRED_SPEEDUP,
+        help="fail when the 4-worker speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "default"
+    rows, gates = run_benchmark(SETTINGS[mode])
+    gates["required_speedup_at_4"] = args.required_speedup
+    gates["passed"] = gates["all_answers_identical"] and (
+        not gates["speedup_gate_applicable"] or gates["speedup_at_4"] >= args.required_speedup
+    )
+    print_rows("Parallel scaling — serial vs region-partitioned workers", rows)
+    write_bench_json(args.output, "parallel_scaling", rows, gates=gates, meta={"mode": mode})
+    print(f"\nwrote {args.output}")
+    if not gates["passed"]:
+        print(f"FAIL: parallel smoke gate not met: {gates}", file=sys.stderr)
+        return 1
+    if gates["speedup_gate_applicable"]:
+        print(
+            f"4-worker speedup {gates['speedup_at_4']}x "
+            f"(required: {args.required_speedup}x on {gates['cores']} cores)"
+        )
+    else:
+        print(
+            f"speedup gate skipped ({gates['cores']} core(s) available); "
+            f"answers identical across all worker counts"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

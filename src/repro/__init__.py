@@ -25,6 +25,7 @@ from repro.core.rsa import RSA
 from repro.core.jaa import JAA
 from repro.core.scoring import LinearScoring, MonotoneScoring, PowerScoring
 from repro.engine import BatchQuery, UTKEngine
+from repro.parallel import parallel_utk1, parallel_utk2, parallel_utk_query, subdivide_region
 from repro.exceptions import (
     GeometryError,
     InvalidDatasetError,
@@ -34,12 +35,16 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "utk1",
     "utk2",
     "utk_query",
+    "parallel_utk1",
+    "parallel_utk2",
+    "parallel_utk_query",
+    "subdivide_region",
     "k_skyband",
     "make_engine",
     "UTKEngine",

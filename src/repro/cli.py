@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.bench import experiments as _experiments
 from repro.bench.reporting import format_table
-from repro.core.api import make_engine, utk1, utk2
+from repro.core.api import make_engine, utk1, utk2, utk_query
 from repro.core.region import hyperrectangle
 from repro.datasets.real import real_dataset
 from repro.datasets.synthetic import DISTRIBUTIONS, synthetic_dataset
@@ -88,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which UTK problem version to answer",
     )
     query.add_argument("--seed", type=int, default=0, help="dataset seed")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the region-partitioned parallel executor "
+             "(default 1 = serial; the answer is identical either way)",
+    )
     query.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     batch = subparsers.add_parser(
@@ -118,6 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--cache-size", type=int, default=128, help="capacity of each engine cache (default 128)"
+    )
+    batch.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        help="worker-process pool for heavy cache-miss queries "
+             "(default 0; values below 2 keep every query serial)",
+    )
+    batch.add_argument(
+        "--parallel-min-candidates",
+        type=int,
+        default=48,
+        help="r-skyband size from which a query is routed to the parallel path (default 48)",
     )
     batch.add_argument(
         "--output", default="-", help="file to write the JSON report to (default stdout)"
@@ -151,15 +171,24 @@ def _run_query(args: argparse.Namespace) -> int:
     payload: dict = {
         "dataset": args.dataset.upper(), "n": data.size, "d": data.dimensionality, "k": args.k
     }
-    if args.version in ("utk1", "both"):
-        result = utk1(data, region, args.k)
+    if args.workers > 1:
+        payload["workers"] = args.workers
+    result = partitioning = None
+    if args.version == "both":
+        # One utk_query call shares the r-skyband filtering (and, with
+        # workers > 1, a single pool pass) across both problem versions.
+        result, partitioning = utk_query(data, region, args.k, workers=args.workers)
+    elif args.version == "utk1":
+        result = utk1(data, region, args.k, workers=args.workers)
+    else:
+        partitioning = utk2(data, region, args.k, workers=args.workers)
+    if result is not None:
         payload["utk1"] = {
             "records": result.indices,
             "witnesses": {str(i): np.round(result.witness_of(i), 6).tolist()
                           for i in result.indices},
         }
-    if args.version in ("utk2", "both"):
-        partitioning = utk2(data, region, args.k)
+    if partitioning is not None:
         payload["utk2"] = {
             "partitions": len(partitioning),
             "distinct_top_k_sets": [sorted(s) for s in partitioning.distinct_top_k_sets],
@@ -228,9 +257,17 @@ def _run_batch(args: argparse.Namespace) -> int:
         print("no queries supplied", file=sys.stderr)
         return 1
     data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
-    engine = make_engine(data, cache_size=args.cache_size)
+    engine = make_engine(
+        data,
+        cache_size=args.cache_size,
+        parallel_workers=args.parallel_workers,
+        parallel_min_candidates=args.parallel_min_candidates,
+    )
     started = time.perf_counter()
-    items = engine.run_batch(queries, workers=args.workers)
+    try:
+        items = engine.run_batch(queries, workers=args.workers)
+    finally:
+        engine.close()
     elapsed = time.perf_counter() - started
     summary = summarize_batch(items)
     report = {
@@ -238,6 +275,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         "n": data.size,
         "d": data.dimensionality,
         "workers": args.workers,
+        "parallel_workers": args.parallel_workers,
         "queries": summary["queries"],
         "wall_seconds": round(elapsed, 6),
         "queries_per_second": round(summary["queries"] / elapsed, 3)

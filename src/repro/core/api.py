@@ -6,6 +6,12 @@ function, and the query region, and they run the paper's RSA / JAA
 algorithms.  ``utk_query`` answers both problem versions while computing the
 shared filtering step only once.
 
+Heavy queries can fan out across worker processes: ``workers=N`` (or
+``parallel=True``) routes the refinement step through the region-partitioned
+executor of :mod:`repro.parallel`, which splits the query region, solves
+each sub-region in parallel, and merges the answers — same record sets,
+same top-k sets as the serial run.
+
 For repeated queries against the same dataset, pass an ``engine`` (built with
 :func:`make_engine`): the call is then served through the persistent
 :class:`~repro.engine.engine.UTKEngine`, which shares the scoring transform
@@ -34,28 +40,71 @@ def _as_matrix(data) -> np.ndarray:
     return np.asarray(data, dtype=float)
 
 
-def _check_engine_call(scoring, tree) -> None:
+def _check_engine_call(scoring, tree, workers=None, parallel=None) -> None:
     """Reject per-call options the engine cannot honour.
 
-    An engine fixes its scoring transform and R-tree at construction; silently
-    ignoring a per-call override would return answers for the wrong query.
+    An engine fixes its scoring transform, R-tree and parallel configuration
+    at construction; silently ignoring a per-call override would return
+    answers for the wrong query (or with the wrong execution plan).
     """
     if scoring is not None or tree is not None:
         raise InvalidQueryError(
             "scoring/tree cannot be overridden per call when engine= is "
             "given; configure them when building the engine (make_engine)"
         )
+    if workers is not None or parallel is not None:
+        raise InvalidQueryError(
+            "workers/parallel cannot be overridden per call when engine= is "
+            "given; configure parallel_workers when building the engine"
+        )
 
 
-def make_engine(data, *, scoring: ScoringFunction | None = None, cache_size: int = 128):
+def _resolve_workers(workers: int | None, parallel: bool | None) -> int:
+    """Worker count from the ``workers``/``parallel`` knob pair.
+
+    ``parallel=False`` forces the serial path regardless of ``workers``;
+    ``parallel=True`` without a count uses one worker per CPU; otherwise the
+    explicit ``workers`` (defaulting to 1, the serial path) wins.
+    """
+    if parallel is False:
+        return 1
+    if workers is None:
+        if parallel:
+            from repro.parallel import default_workers
+
+            return default_workers()
+        return 1
+    return max(1, int(workers))
+
+
+def make_engine(
+    data,
+    *,
+    scoring: ScoringFunction | None = None,
+    cache_size: int = 128,
+    parallel_workers: int = 0,
+    parallel_min_candidates: int | None = None,
+):
     """Bind a persistent :class:`~repro.engine.engine.UTKEngine` to ``data``.
 
     The engine applies the scoring transform and builds the shared R-tree
     once, then serves every subsequent ``utk1``/``utk2``/batch call through
-    its caches.  Imported lazily to keep the one-shot path dependency-free.
+    its caches.  ``parallel_workers`` enables the region-partitioned parallel
+    path for heavy cache-miss queries (see :class:`UTKEngine`).  Imported
+    lazily to keep the one-shot path dependency-free.
     """
     from repro.engine import UTKEngine
-    return UTKEngine(data, scoring=scoring, cache_size=cache_size)
+
+    options: dict = {}
+    if parallel_min_candidates is not None:
+        options["parallel_min_candidates"] = parallel_min_candidates
+    return UTKEngine(
+        data,
+        scoring=scoring,
+        cache_size=cache_size,
+        parallel_workers=parallel_workers,
+        **options,
+    )
 
 
 def k_skyband(
@@ -89,6 +138,7 @@ def k_skyband(
     # Imported lazily (as make_engine does) to keep repro.core importable
     # independently of the skyline package.
     from repro.skyline.skyband import k_skyband as traditional_k_skyband
+
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
     return traditional_k_skyband(values, k, tree=tree)
@@ -102,6 +152,8 @@ def utk1(
     scoring: ScoringFunction | None = None,
     tree: RTree | None = None,
     use_drill: bool | None = None,
+    workers: int | None = None,
+    parallel: bool | None = None,
     engine=None,
 ) -> UTK1Result:
     """Answer a UTK1 query: which records may enter the top-k within ``region``.
@@ -122,23 +174,33 @@ def utk1(
         Optional pre-built R-tree over the (transformed) data.
     use_drill:
         Enable the drill optimization (Section 4.3); defaults to enabled.
+    workers:
+        Fan the refinement out over this many worker processes via the
+        region-partitioned executor (:mod:`repro.parallel`); ``None`` or
+        ``1`` runs serially.  The answer is the same either way.
+    parallel:
+        ``True`` enables the parallel path with one worker per CPU when
+        ``workers`` is not given; ``False`` forces the serial path.
     engine:
         Optional :class:`~repro.engine.engine.UTKEngine`; when given, the
         query is served through the engine's caches (fast path) and the
-        per-call ``scoring``/``tree``/``use_drill`` options are rejected —
-        they are fixed at engine construction.
+        per-call ``scoring``/``tree``/``use_drill``/``workers`` options are
+        rejected — they are fixed at engine construction.
     """
     if engine is not None:
-        _check_engine_call(scoring, tree)
+        _check_engine_call(scoring, tree, workers, parallel)
         if use_drill is not None:
             raise InvalidQueryError("use_drill cannot be overridden per call when engine= is given")
         return engine.utk1(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
-    algorithm = RSA(
-        values, region, k, tree=tree, use_drill=True if use_drill is None else use_drill
-    )
-    return algorithm.run()
+    drill = True if use_drill is None else use_drill
+    worker_count = _resolve_workers(workers, parallel)
+    if worker_count > 1:
+        from repro.parallel import parallel_utk1
+
+        return parallel_utk1(values, region, k, workers=worker_count, tree=tree, use_drill=drill)
+    return RSA(values, region, k, tree=tree, use_drill=drill).run()
 
 
 def utk2(
@@ -148,29 +210,58 @@ def utk2(
     *,
     scoring: ScoringFunction | None = None,
     tree: RTree | None = None,
+    workers: int | None = None,
+    parallel: bool | None = None,
     engine=None,
 ) -> UTK2Result:
-    """Answer a UTK2 query: the exact top-k set for every weight vector in ``region``."""
+    """Answer a UTK2 query: the exact top-k set for every weight vector in ``region``.
+
+    ``workers``/``parallel`` fan the arrangement construction out across
+    worker processes (see :func:`utk1`); the merged partitioning covers the
+    same top-k sets as the serial run.
+    """
     if engine is not None:
-        _check_engine_call(scoring, tree)
+        _check_engine_call(scoring, tree, workers, parallel)
         return engine.utk2(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
-    algorithm = JAA(values, region, k, tree=tree)
-    return algorithm.run()
+    worker_count = _resolve_workers(workers, parallel)
+    if worker_count > 1:
+        from repro.parallel import parallel_utk2
+
+        return parallel_utk2(values, region, k, workers=worker_count, tree=tree)
+    return JAA(values, region, k, tree=tree).run()
 
 
-def utk_query(data, region: Region, k: int, *,
-              scoring: ScoringFunction | None = None,
-              tree: RTree | None = None,
-              engine=None) -> tuple[UTK1Result, UTK2Result]:
-    """Answer both UTK versions, sharing the r-skyband filtering step."""
+def utk_query(
+    data,
+    region: Region,
+    k: int,
+    *,
+    scoring: ScoringFunction | None = None,
+    tree: RTree | None = None,
+    workers: int | None = None,
+    parallel: bool | None = None,
+    engine=None,
+) -> tuple[UTK1Result, UTK2Result]:
+    """Answer both UTK versions, sharing the r-skyband filtering step.
+
+    With ``workers=N`` (or ``parallel=True``) the shared filtering still runs
+    once; the refinement of both problem versions is then solved per
+    sub-region in one pool pass and merged.
+    """
     if engine is not None:
-        _check_engine_call(scoring, tree)
+        _check_engine_call(scoring, tree, workers, parallel)
         return engine.query(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
     skyband = compute_r_skyband(values, region, k, tree=tree)
+    worker_count = _resolve_workers(workers, parallel)
+    if worker_count > 1:
+        from repro.parallel import parallel_utk_query
+
+        first, second = parallel_utk_query(values, region, k, workers=worker_count, skyband=skyband)
+        return first, second
     first = RSA(values, region, k, tree=tree, skyband=skyband).run()
     second = JAA(values, region, k, tree=tree, skyband=skyband).run()
     return first, second

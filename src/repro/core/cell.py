@@ -57,6 +57,34 @@ class Cell:
         self._radius = None
         self._children = {}
 
+    # ---------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle the cell without its memoized children.
+
+        The child memo exists to avoid recomputing Chebyshev data during
+        arrangement construction; for a finished cell (as shipped back from
+        parallel shard workers) it is dead weight that can dwarf the cell
+        itself.  The cached Chebyshev centre is kept — interior-point queries
+        on the unpickled cell stay free.
+        """
+        return {
+            "region": self.region,
+            "extra_a": self._extra_a,
+            "extra_b": self._extra_b,
+            "history": self.history,
+            "chebyshev": self._chebyshev,
+            "radius": self._radius,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.region = state["region"]
+        self._extra_a = state["extra_a"]
+        self._extra_b = state["extra_b"]
+        self.history = state["history"]
+        self._chebyshev = state["chebyshev"]
+        self._radius = state["radius"]
+        self._children = {}
+
     # --------------------------------------------------------------- geometry
     @property
     def dimension(self) -> int:

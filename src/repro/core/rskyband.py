@@ -176,8 +176,31 @@ def refilter_r_skyband(
     Callers are responsible for the containment check; this function only
     performs the re-filtering.
     """
+    return skyband_from_candidates(skyband.indices, skyband.values, region, k, tol=tol)
+
+
+def skyband_from_candidates(
+    candidate_idx: np.ndarray,
+    candidate_rows: np.ndarray,
+    region: Region,
+    k: int,
+    *,
+    tol: float = DOMINANCE_TOL,
+) -> RSkyband:
+    """The exact r-skyband of ``region`` from a candidate superset.
+
+    ``candidate_idx``/``candidate_rows`` must contain every r-skyband member
+    of ``region`` for parameter ``k`` (for example the members of a skyband
+    computed for a containing region, or for a larger ``k``).  One quadratic
+    pass over the candidates produces the exact skyband and its r-dominance
+    graph.  This is the rebuild entry of the parallel shard workers, which
+    ship only the parent skyband slice across the process boundary instead of
+    the full dataset.
+    """
+    candidate_idx = np.asarray(candidate_idx, dtype=int)
+    candidate_rows = np.asarray(candidate_rows, dtype=float)
     tester = RDominance(region, tol)
-    return _finalize_skyband(skyband.indices, skyband.values, tester, region, k, BBSStatistics())
+    return _finalize_skyband(candidate_idx, candidate_rows, tester, region, k, BBSStatistics())
 
 
 def _finalize_skyband(

@@ -2,7 +2,12 @@
 
 :func:`run_batch` fans a list of independent queries over a
 :class:`concurrent.futures.ThreadPoolExecutor` (the engine's caches are
-shared and thread-safe), preserving input order in the returned list.  The
+shared and thread-safe), preserving input order in the returned list.  When
+the engine is configured with ``parallel_workers``, heavy cache-miss
+queries are additionally routed to its shared worker-process pool by the
+region-partitioned executor, while cache hits and light queries stay on the
+thread-served fast path — the batch threads provide concurrency across
+queries, the process pool parallelism within one heavy query.  The
 per-query :class:`BatchItem` records which reuse path served the query and
 its wall-clock time, and :func:`summarize_batch` aggregates a stream into the
 throughput figures the CLI and benchmarks report.

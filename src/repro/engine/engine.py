@@ -61,6 +61,7 @@ class EngineStatistics:
     skyband_hits: int = 0
     skyband_containment_hits: int = 0
     cold_queries: int = 0
+    parallel_queries: int = 0
     batches: int = 0
     batch_queries: int = 0
 
@@ -80,6 +81,7 @@ class EngineStatistics:
             "skyband_hits": self.skyband_hits,
             "skyband_containment_hits": self.skyband_containment_hits,
             "cold_queries": self.cold_queries,
+            "parallel_queries": self.parallel_queries,
             "batches": self.batches,
             "batch_queries": self.batch_queries,
         }
@@ -133,11 +135,28 @@ class UTKEngine:
     index_threshold:
         Datasets larger than this get a bulk-loaded R-tree at bind time (the
         same cut-off the filtering step uses to pick BBS over brute force).
+    parallel_workers:
+        When at least 2, cache-miss queries whose r-skyband has at least
+        ``parallel_min_candidates`` members are routed to the
+        region-partitioned parallel executor (:mod:`repro.parallel`) on a
+        pool of this many worker processes.  Cache hits, containment reuses
+        and light queries stay on the serving fast path — the split Polynesia
+        makes between a transactional fast path and a parallel analytical
+        path.  ``0`` (the default) and ``1`` keep every query serial — a
+        one-worker fan-out could never beat the in-process path.
+    parallel_min_candidates:
+        Heaviness threshold for the parallel route.  The r-skyband size is
+        the best single predictor of refinement cost (it grows with both
+        ``k`` and the region size), so it doubles as the large-σ / large-k
+        detector.
 
     The engine is thread-safe: cache bookkeeping happens under a lock while
     the algorithmic work runs outside it, so :meth:`run_batch` can fan
     queries across a thread pool.  Concurrent identical queries may duplicate
-    work (last write wins) but never produce wrong answers.
+    work (last write wins) but never produce wrong answers.  The process
+    pool is shared across queries (and across batch threads), so concurrent
+    heavy queries queue their shards onto one bounded pool instead of
+    oversubscribing the machine.
     """
 
     def __init__(
@@ -147,6 +166,8 @@ class UTKEngine:
         scoring: ScoringFunction | None = None,
         cache_size: int = 128,
         index_threshold: int = _BRUTE_FORCE_LIMIT,
+        parallel_workers: int = 0,
+        parallel_min_candidates: int = 48,
     ):
         self._dataset = data if isinstance(data, Dataset) else None
         matrix = data.values if isinstance(data, Dataset) else np.asarray(data, dtype=float)
@@ -163,6 +184,11 @@ class UTKEngine:
         self._utk2_cache = LRUCache(cache_size)
         self._traditional_skybands = LRUCache(cache_size)
         self.stats = EngineStatistics()
+        if parallel_workers < 0:
+            raise InvalidQueryError("parallel_workers must be non-negative")
+        self.parallel_workers = int(parallel_workers)
+        self.parallel_min_candidates = int(parallel_min_candidates)
+        self._pool = None
 
     # ------------------------------------------------------------------ basic
     @property
@@ -226,7 +252,10 @@ class UTKEngine:
                 self._utk1_cache.put(key, _ResultEntry(region, k, result))
             return result, SOURCE_CONTAINMENT
         skyband, source = self._skyband_for(region, k, signature)
-        result = RSA(self._values, region, k, skyband=skyband).run()
+        if self._route_parallel(skyband):
+            result = self._run_parallel(region, k, skyband, "rsa")
+        else:
+            result = RSA(self._values, region, k, skyband=skyband).run()
         with self._lock:
             self._utk1_cache.put(key, _ResultEntry(region, k, result))
         return result, source
@@ -253,7 +282,10 @@ class UTKEngine:
                 self._utk2_cache.put(key, _ResultEntry(region, k, result))
             return result, SOURCE_CONTAINMENT
         skyband, source = self._skyband_for(region, k, signature)
-        result = JAA(self._values, region, k, skyband=skyband).run()
+        if self._route_parallel(skyband):
+            result = self._run_parallel(region, k, skyband, "jaa")
+        else:
+            result = JAA(self._values, region, k, skyband=skyband).run()
         with self._lock:
             self._utk2_cache.put(key, _ResultEntry(region, k, result))
         return result, source
@@ -277,6 +309,50 @@ class UTKEngine:
         with self._lock:
             self._traditional_skybands.put(key, result)
         return result
+
+    # ------------------------------------------------------------- parallel
+    def _route_parallel(self, skyband: RSkyband) -> bool:
+        """Whether a cache-miss query is heavy enough for the parallel path."""
+        return self.parallel_workers > 1 and skyband.size >= self.parallel_min_candidates
+
+    def _ensure_pool(self):
+        """The shared worker-process pool, created on first heavy query."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.parallel_workers)
+            return self._pool
+
+    def _run_parallel(self, region: Region, k: int, skyband: RSkyband, algorithm: str):
+        """Solve a heavy query on the shared pool via the parallel executor."""
+        from repro.parallel import parallel_utk_query
+
+        first, second = parallel_utk_query(
+            self._values,
+            region,
+            k,
+            workers=self.parallel_workers,
+            algorithm=algorithm,
+            skyband=skyband,
+            pool=self._ensure_pool(),
+        )
+        with self._lock:
+            self.stats.parallel_queries += 1
+        return first if algorithm == "rsa" else second
+
+    def close(self) -> None:
+        """Shut down the shared worker pool (idempotent; caches survive)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "UTKEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------- filtering
     def _skyband_for(self, region: Region, k: int,

@@ -166,6 +166,30 @@ def _solve_bounded(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> LPResult | No
     return LPResult(status="optimal", x=vertices[best], value=float(values[best]))
 
 
+def polytope_vertices(a_ub, b_ub, *, decimals: int = 12) -> np.ndarray | None:
+    """Vertices of the bounded polytope ``{x : A x <= b}``, or ``None``.
+
+    A deduplicated wrapper around the vertex enumeration used by the bounded
+    LP fast path.  Returns ``None`` when the enumeration is not applicable
+    (too many constraint combinations) — callers keep an H-representation
+    only.  An empty ``(0, dim)`` result means the polytope has no vertex
+    (infeasible, for the pointed polytopes this library builds).
+
+    The region bisection of the parallel executor uses this to preserve the
+    vertex representation across splits, keeping r-dominance tests on the
+    vectorized vertex path instead of per-pair LPs.
+    """
+    a = np.asarray(a_ub, dtype=float)
+    b = np.asarray(b_ub, dtype=float).reshape(-1)
+    vertices = _enumerate_vertices(a, b)
+    if vertices is None:
+        return None
+    if vertices.shape[0] == 0:
+        return vertices
+    _, unique = np.unique(np.round(vertices, decimals), axis=0, return_index=True)
+    return vertices[np.sort(unique)]
+
+
 def minimize(c, a_ub=None, b_ub=None, *, bounds=None, assume_bounded: bool = False) -> LPResult:
     """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub``.
 

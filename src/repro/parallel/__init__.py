@@ -1,0 +1,39 @@
+"""Region-partitioned parallel execution of UTK queries.
+
+The package splits a query region into sub-regions (longest-edge bisection),
+solves RSA / JAA per sub-region in worker processes — each worker rebuilds
+only its shard's r-skyband slice from the filtering step computed once — and
+merges the per-shard answers into a single result that matches the serial
+algorithms: the same UTK1 record set, and a UTK2 partitioning covering the
+same top-k sets.
+
+Entry points: :func:`parallel_utk1`, :func:`parallel_utk2` and
+:func:`parallel_utk_query`; the serving integration lives in
+:class:`repro.engine.engine.UTKEngine` (``parallel_workers=``), and the
+one-shot API exposes the same machinery as ``utk1(..., workers=N)``.
+"""
+
+from repro.parallel.executor import (
+    default_workers,
+    parallel_utk1,
+    parallel_utk2,
+    parallel_utk_query,
+)
+from repro.parallel.merge import merge_utk1_results, merge_utk2_results
+from repro.parallel.partition import axis_extents, bisect_region, subdivide_region
+from repro.parallel.worker import ShardOutcome, ShardTask, run_shard
+
+__all__ = [
+    "parallel_utk1",
+    "parallel_utk2",
+    "parallel_utk_query",
+    "default_workers",
+    "subdivide_region",
+    "bisect_region",
+    "axis_extents",
+    "merge_utk1_results",
+    "merge_utk2_results",
+    "ShardTask",
+    "ShardOutcome",
+    "run_shard",
+]

@@ -1,0 +1,97 @@
+"""Merging per-shard UTK results into one answer for the full region.
+
+Correctness rests on the tiling property of the partitioner: the sub-regions
+cover the query region and overlap only on measure-zero cutting hyperplanes.
+
+* **UTK1** — a record may enter the top-k somewhere in ``R`` iff it does in
+  at least one sub-region, so the merged answer is the (deduplicated, sorted)
+  union of the shard answers; witnesses are taken from the first shard that
+  reported the record.
+* **UTK2** — the shard partitionings are concatenated: each is an exact
+  partitioning of its sub-region, and together the sub-regions tile ``R``.
+  Equal top-k sets from different shards are interned to one shared
+  ``frozenset`` so the merged result deduplicates storage and set-identity
+  checks, exactly as a single JAA run would share them.
+
+Numeric per-shard statistics are summed under their original keys, so the
+merged ``stats`` reads like one big serial run plus shard accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.region import Region
+from repro.core.result import UTK1Result, UTK2Result, UTKPartition
+from repro.exceptions import InvalidQueryError
+
+from repro.parallel.worker import ShardOutcome
+
+
+def _sum_stats(dicts: Sequence[dict]) -> dict:
+    """Sum numeric values key-wise; non-numeric values are dropped."""
+    merged: dict = {}
+    for stats in dicts:
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merge_utk1_results(
+    results: Sequence[UTK1Result], region: Region, k: int, *, extra_stats: dict | None = None
+) -> UTK1Result:
+    """Union of per-shard UTK1 answers, reported against the full region."""
+    if not results:
+        raise InvalidQueryError("cannot merge an empty list of shard results")
+    witnesses: dict = {}
+    for result in results:
+        for index in result.indices:
+            witnesses.setdefault(int(index), result.witnesses[int(index)])
+    stats = _sum_stats([result.stats for result in results])
+    stats["shards"] = len(results)
+    stats.update(extra_stats or {})
+    return UTK1Result(
+        indices=sorted(witnesses), witnesses=witnesses, region=region, k=k, stats=stats
+    )
+
+
+def merge_utk2_results(
+    results: Sequence[UTK2Result], region: Region, k: int, *, extra_stats: dict | None = None
+) -> UTK2Result:
+    """Concatenation of per-shard partitionings with interned top-k sets."""
+    if not results:
+        raise InvalidQueryError("cannot merge an empty list of shard results")
+    interned: dict[frozenset, frozenset] = {}
+    partitions: list[UTKPartition] = []
+    for result in results:
+        for partition in result.partitions:
+            top_k = interned.setdefault(partition.top_k, partition.top_k)
+            partitions.append(UTKPartition(cell=partition.cell, top_k=top_k))
+    stats = _sum_stats([result.stats for result in results])
+    stats["shards"] = len(results)
+    stats["distinct_top_k_sets"] = len(interned)
+    stats.update(extra_stats or {})
+    return UTK2Result(partitions=partitions, region=region, k=k, stats=stats)
+
+
+def merge_outcomes(outcomes: Sequence[ShardOutcome], region: Region, k: int) -> tuple[
+    UTK1Result | None, UTK2Result | None
+]:
+    """Merge shard outcomes (in shard order) into full-region results."""
+    ordered = sorted(outcomes, key=lambda outcome: outcome.shard_id)
+    extra = {
+        "shard_seconds_total": sum(outcome.seconds for outcome in ordered),
+        "shard_skyband_max": max((outcome.skyband_size for outcome in ordered), default=0),
+    }
+    first = second = None
+    if all(outcome.utk1 is not None for outcome in ordered):
+        first = merge_utk1_results(
+            [outcome.utk1 for outcome in ordered], region, k, extra_stats=extra
+        )
+    if all(outcome.utk2 is not None for outcome in ordered):
+        second = merge_utk2_results(
+            [outcome.utk2 for outcome in ordered], region, k, extra_stats=extra
+        )
+    return first, second

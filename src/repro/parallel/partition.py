@@ -1,0 +1,108 @@
+"""Region partitioning for parallel UTK execution.
+
+The parallel executor splits the query region ``R`` into ``p`` sub-regions
+by recursive *longest-edge bisection*: at every step the sub-region with the
+largest axis extent is cut in half perpendicular to that axis.  Because the
+sub-regions tile ``R`` (they overlap only on the cutting hyperplanes, which
+are measure-zero), solving a UTK query per sub-region and merging the
+answers is exact — a record enters some top-k set in ``R`` if and only if it
+does so in at least one sub-region, and every full-dimensional partition of
+the UTK2 arrangement keeps a full-dimensional piece inside at least one
+sub-region.
+
+Splits preserve the vertex representation whenever the vertex enumeration of
+:mod:`repro.geometry.linear_programming` applies, so the per-shard
+r-dominance tests stay on the vectorized vertex path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.region import Region
+from repro.exceptions import InvalidQueryError
+from repro.geometry.linear_programming import polytope_vertices
+
+#: Sub-regions whose longest edge falls below this are not split further
+#: (bisection of a degenerate sliver produces empty-interior pieces).
+_MIN_EDGE = 1e-6
+
+
+def axis_extents(region: Region) -> np.ndarray:
+    """Per-axis extent (max minus min) of the region along each coordinate."""
+    dim = region.dimension
+    vertices = region.vertices
+    if vertices is not None:
+        return vertices.max(axis=0) - vertices.min(axis=0)
+    extents = np.empty(dim, dtype=float)
+    for axis in range(dim):
+        coef = np.zeros(dim)
+        coef[axis] = 1.0
+        extents[axis] = region.linear_max(coef) - region.linear_min(coef)
+    return extents
+
+
+def _axis_midpoint(region: Region, axis: int) -> float:
+    coef = np.zeros(region.dimension)
+    coef[axis] = 1.0
+    return 0.5 * (region.linear_min(coef) + region.linear_max(coef))
+
+
+def _half(region: Region, axis: int, midpoint: float, *, upper: bool) -> Region:
+    """The half of ``region`` on one side of ``u[axis] = midpoint``.
+
+    The half is the parent's H-representation plus one axis-parallel row; its
+    vertex set is re-enumerated so the vectorized r-dominance path survives
+    the split.  Validation is skipped — a subset of a valid region is valid.
+    """
+    dim = region.dimension
+    row = np.zeros((1, dim))
+    row[0, axis] = -1.0 if upper else 1.0
+    rhs = -midpoint if upper else midpoint
+    a, b = region.constraints
+    a = np.vstack([a, row])
+    b = np.concatenate([b, [rhs]])
+    vertices = polytope_vertices(a, b) if region.vertices is not None else None
+    if vertices is not None and vertices.shape[0] == 0:
+        vertices = None
+    return Region(a, b, vertices=vertices, validate=False)
+
+
+def bisect_region(region: Region) -> tuple[Region, Region]:
+    """Split ``region`` in half perpendicular to its longest axis extent."""
+    extents = axis_extents(region)
+    axis = int(np.argmax(extents))
+    midpoint = _axis_midpoint(region, axis)
+    return (
+        _half(region, axis, midpoint, upper=False),
+        _half(region, axis, midpoint, upper=True),
+    )
+
+
+def subdivide_region(region: Region, parts: int) -> list[Region]:
+    """Tile ``region`` with ``parts`` sub-regions by longest-edge bisection.
+
+    Deterministic: the sub-region with the largest longest-edge is always
+    split next (ties broken by creation order), so the same region and
+    ``parts`` produce the same tiling in every process.  Returns fewer than
+    ``parts`` pieces only when further splits would produce degenerate
+    slivers (longest edge below ``1e-6``).
+    """
+    if parts < 1:
+        raise InvalidQueryError("parts must be at least 1")
+    if parts == 1:
+        return [region]
+    # (negative longest edge, creation order) keeps the pop deterministic.
+    pieces: list[tuple[float, int, Region]] = [(-float(axis_extents(region).max()), 0, region)]
+    counter = 1
+    while len(pieces) < parts:
+        pieces.sort(key=lambda item: (item[0], item[1]))
+        edge, _, widest = pieces[0]
+        if -edge < _MIN_EDGE:
+            break
+        pieces.pop(0)
+        for half in bisect_region(widest):
+            pieces.append((-float(axis_extents(half).max()), counter, half))
+            counter += 1
+    pieces.sort(key=lambda item: item[1])
+    return [piece for _, _, piece in pieces]

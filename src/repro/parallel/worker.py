@@ -1,0 +1,92 @@
+"""Spawn-safe shard workers for the parallel executor.
+
+A shard task carries everything a worker process needs: the sub-region, the
+query parameters, and the *parent r-skyband slice* (member indices and
+attribute rows of the skyband computed once for the full query region).  The
+worker rebuilds only the shard's exact r-skyband from that slice — the
+paper's progressiveness property guarantees the parent members are a
+candidate superset for every sub-region — and then runs RSA / JAA with the
+skyband's own rows as the value matrix.  The full dataset never crosses the
+process boundary.
+
+Everything here is module-level and picklable, so the executor works under
+every multiprocessing start method (``fork``, ``forkserver`` and ``spawn``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.jaa import JAA
+from repro.core.region import Region
+from repro.core.result import UTK1Result, UTK2Result
+from repro.core.rsa import RSA
+from repro.core.rskyband import skyband_from_candidates
+from repro.exceptions import InvalidQueryError
+
+#: Problem versions a shard may be asked to solve.
+ALGORITHMS = ("rsa", "jaa", "both")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of parallel work: a sub-region plus the parent skyband slice."""
+
+    shard_id: int
+    algorithm: str
+    region: Region
+    k: int
+    candidate_indices: np.ndarray
+    candidate_rows: np.ndarray
+    use_drill: bool = True
+
+    def __post_init__(self):
+        if self.algorithm not in ALGORITHMS:
+            raise InvalidQueryError(
+                f"unknown shard algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker sends back: per-version results plus shard accounting."""
+
+    shard_id: int
+    utk1: UTK1Result | None = None
+    utk2: UTK2Result | None = None
+    skyband_size: int = 0
+    seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Solve one shard; the module-level entry point executed in the pool.
+
+    Rebuilds the shard's exact r-skyband from the parent slice (one quadratic
+    pass over the slice — no index, no dataset scan), then runs the requested
+    algorithm(s) against the slice rows.  Results carry dataset indices, so
+    they merge directly with the other shards' outcomes.
+    """
+    started = time.perf_counter()
+    skyband = skyband_from_candidates(
+        task.candidate_indices, task.candidate_rows, task.region, task.k
+    )
+    outcome = ShardOutcome(shard_id=task.shard_id, skyband_size=skyband.size)
+    if task.algorithm in ("rsa", "both"):
+        algorithm = RSA(
+            task.candidate_rows,
+            task.region,
+            task.k,
+            skyband=skyband,
+            use_drill=task.use_drill,
+        )
+        outcome.utk1 = algorithm.run()
+    if task.algorithm in ("jaa", "both"):
+        algorithm = JAA(task.candidate_rows, task.region, task.k, skyband=skyband)
+        outcome.utk2 = algorithm.run()
+    outcome.seconds = time.perf_counter() - started
+    outcome.stats = {"shard_skyband_size": skyband.size}
+    return outcome

@@ -1,0 +1,274 @@
+"""Tests of the region-partitioned parallel executor.
+
+The headline property — checked with hypothesis across random datasets,
+regions and ``k`` — is serial/parallel agreement: ``utk_query(workers=4)``
+reports exactly the serial UTK1 record set, and a UTK2 partitioning that
+covers the same top-k sets and answers point queries with the true top-k.
+Most cases run on the in-process ``backend="serial"`` (same partition /
+fan-out / merge code without pool startup); dedicated tests cover the real
+process pool, the engine routing, and pickling.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import utk_query
+from repro.core.cell import Cell
+from repro.core.jaa import JAA
+from repro.core.preference import scores
+from repro.core.region import hyperrectangle
+from repro.core.result import UTK1Result, UTK2Result
+from repro.core.rsa import RSA
+from repro.engine import UTKEngine
+from repro.exceptions import InvalidQueryError
+from repro.parallel import (
+    axis_extents,
+    bisect_region,
+    merge_utk1_results,
+    merge_utk2_results,
+    parallel_utk1,
+    parallel_utk2,
+    parallel_utk_query,
+    subdivide_region,
+)
+from repro.parallel.worker import ShardTask
+
+common_settings = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def random_instance(seed: int, n: int, d: int, sigma: float):
+    """A reproducible dataset + region pair in ``d`` dimensions."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, d)) * 10.0
+    lower = rng.uniform(0.02, 0.9 / (d - 1) - sigma, size=d - 1)
+    region = hyperrectangle(lower, lower + sigma)
+    return values, region
+
+
+def true_top_k(values: np.ndarray, weights: np.ndarray, k: int) -> frozenset:
+    """Ground-truth top-k set at one weight vector (ties broken by index)."""
+    ranked = np.lexsort((np.arange(values.shape[0]), -scores(values, weights)))
+    return frozenset(int(i) for i in ranked[:k])
+
+
+# ---------------------------------------------------------------- partitioning
+class TestPartitioning:
+    def test_bisection_halves_longest_axis(self):
+        region = hyperrectangle([0.1, 0.2], [0.5, 0.3])
+        low, high = bisect_region(region)
+        assert np.allclose(axis_extents(low), [0.2, 0.1])
+        assert np.allclose(axis_extents(high), [0.2, 0.1])
+        assert low.vertices is not None and high.vertices is not None
+
+    def test_subdivision_tiles_the_region(self):
+        region = hyperrectangle([0.05, 0.1, 0.15], [0.25, 0.3, 0.35])
+        pieces = subdivide_region(region, 5)
+        assert len(pieces) == 5
+        rng = np.random.default_rng(0)
+        for point in region.sample(200, rng):
+            assert any(piece.contains(point, tol=1e-9) for piece in pieces)
+        for piece in pieces:
+            assert piece.interior_point is not None
+            assert region.contains(piece.interior_point, tol=1e-9)
+
+    def test_subdivision_is_deterministic(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.2])
+        first = subdivide_region(region, 4)
+        second = subdivide_region(region, 4)
+        for one, two in zip(first, second):
+            a1, b1 = one.constraints
+            a2, b2 = two.constraints
+            assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_single_part_returns_region(self):
+        region = hyperrectangle([0.1], [0.3])
+        assert subdivide_region(region, 1) == [region]
+
+    def test_invalid_parts_rejected(self):
+        region = hyperrectangle([0.1], [0.3])
+        with pytest.raises(InvalidQueryError):
+            subdivide_region(region, 0)
+
+
+# --------------------------------------------------------------------- merging
+class TestMerging:
+    def test_merge_requires_results(self):
+        region = hyperrectangle([0.1], [0.3])
+        with pytest.raises(InvalidQueryError):
+            merge_utk1_results([], region, 2)
+        with pytest.raises(InvalidQueryError):
+            merge_utk2_results([], region, 2)
+
+    def test_merge_interns_equal_top_k_sets(self):
+        region = hyperrectangle([0.1], [0.3])
+        values = np.array([[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]])
+        results = []
+        for piece in subdivide_region(region, 2):
+            results.append(JAA(values, piece, 2).run())
+        merged = merge_utk2_results(results, region, 2)
+        seen: dict = {}
+        for partition in merged.partitions:
+            interned = seen.setdefault(partition.top_k, partition.top_k)
+            assert interned is partition.top_k
+        assert merged.stats["shards"] == 2
+
+    def test_merge_unions_utk1(self):
+        region = hyperrectangle([0.1], [0.3])
+        values = np.random.default_rng(1).random((60, 2)) * 10
+        shards = [RSA(values, piece, 3).run() for piece in subdivide_region(region, 2)]
+        merged = merge_utk1_results(shards, region, 3)
+        expected = sorted(set(shards[0].indices) | set(shards[1].indices))
+        assert merged.indices == expected
+        for index in merged.indices:
+            witness = merged.witnesses[index]
+            assert region.contains(witness, tol=1e-7)
+
+
+# ------------------------------------------------------- serial/parallel match
+class TestSerialParallelAgreement:
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(80, 400),
+        d=st.sampled_from([2, 3, 4]),
+        k=st.integers(1, 8),
+        sigma=st.sampled_from([0.05, 0.1, 0.2]),
+    )
+    def test_utk_query_workers_matches_serial(self, seed, n, d, k, sigma):
+        """`utk_query(workers=4)` reports exactly the serial answer."""
+        values, region = random_instance(seed, n, d, sigma)
+        serial1, serial2 = utk_query(values, region, k)
+        first, second = parallel_utk_query(values, region, k, workers=4, backend="serial")
+        assert first.indices == serial1.indices
+        assert second.distinct_top_k_sets == serial2.distinct_top_k_sets
+        assert second.result_records == serial2.result_records
+        assert second.result_records == serial1.indices
+        # Witnesses are exactness certificates: each reported record is in
+        # the true top-k at its witness vector.
+        for index in first.indices:
+            witness = first.witnesses[index]
+            assert region.contains(witness, tol=1e-7)
+            assert index in true_top_k(values, witness, k)
+
+    @common_settings
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+    def test_partitioning_answers_point_queries(self, seed, k):
+        """The merged partitioning returns the true top-k at sampled vectors."""
+        values, region = random_instance(seed, 250, 3, 0.12)
+        second = parallel_utk2(values, region, k, workers=4, backend="serial")
+        rng = np.random.default_rng(seed + 1)
+        for weights in region.sample(20, rng):
+            reported = second.top_k_at(weights)
+            assert reported is not None
+            assert reported == true_top_k(values, weights, k)
+
+    def test_more_shards_than_workers(self):
+        values, region = random_instance(11, 300, 3, 0.15)
+        serial1, serial2 = utk_query(values, region, 4)
+        first, second = parallel_utk_query(values, region, 4, workers=2, shards=6, backend="serial")
+        assert first.indices == serial1.indices
+        assert second.distinct_top_k_sets == serial2.distinct_top_k_sets
+
+    def test_process_backend_matches_serial(self):
+        """The real process pool produces the identical answer."""
+        values, region = random_instance(5, 400, 3, 0.15)
+        serial1, serial2 = utk_query(values, region, 5)
+        first, second = parallel_utk_query(values, region, 5, workers=2)
+        assert first.indices == serial1.indices
+        assert second.distinct_top_k_sets == serial2.distinct_top_k_sets
+        assert first.stats["shards"] == 2
+        assert first.stats["workers"] == 2
+
+    def test_api_workers_knob(self):
+        values, region = random_instance(21, 300, 3, 0.12)
+        serial1, serial2 = utk_query(values, region, 3)
+        first, second = utk_query(values, region, 3, workers=2)
+        assert first.indices == serial1.indices
+        assert second.distinct_top_k_sets == serial2.distinct_top_k_sets
+
+    def test_workers_one_is_serial(self):
+        values, region = random_instance(2, 150, 3, 0.1)
+        result = parallel_utk1(values, region, 3, workers=1)
+        assert "shards" not in result.stats
+        serial = RSA(values, region, 3).run()
+        assert result.indices == serial.indices
+
+    def test_invalid_options_rejected(self):
+        values, region = random_instance(2, 50, 3, 0.1)
+        with pytest.raises(InvalidQueryError):
+            parallel_utk_query(values, region, 3, algorithm="nope")
+        with pytest.raises(InvalidQueryError):
+            parallel_utk_query(values, region, 3, backend="gpu")
+        with pytest.raises(InvalidQueryError):
+            parallel_utk_query(values, region, 0)
+        with pytest.raises(InvalidQueryError):
+            ShardTask(0, "nope", region, 3, np.arange(1), values[:1])
+
+
+# ------------------------------------------------------------- engine routing
+class TestEngineParallelRouting:
+    def test_heavy_queries_route_to_parallel_path(self):
+        values, region = random_instance(7, 500, 3, 0.2)
+        serial_engine = UTKEngine(values)
+        expected = serial_engine.utk2(region, 5)
+        with UTKEngine(values, parallel_workers=2, parallel_min_candidates=1) as engine:
+            result, source = engine.serve_utk2(region, 5)
+            assert source == "cold"
+            assert engine.stats.parallel_queries == 1
+            assert result.distinct_top_k_sets == expected.distinct_top_k_sets
+            # The repeat is a result-cache hit: no second parallel execution.
+            _, source = engine.serve_utk2(region, 5)
+            assert source == "hit"
+            assert engine.stats.parallel_queries == 1
+
+    def test_light_queries_stay_serial(self):
+        values, region = random_instance(9, 300, 3, 0.05)
+        with UTKEngine(values, parallel_workers=4, parallel_min_candidates=10_000) as engine:
+            engine.utk1(region, 2)
+            assert engine.stats.parallel_queries == 0
+            assert engine.stats.cold_queries == 1
+
+    def test_parallel_disabled_by_default(self):
+        values, region = random_instance(9, 200, 3, 0.1)
+        engine = UTKEngine(values)
+        assert engine.parallel_workers == 0
+        engine.utk1(region, 2)
+        assert engine.stats.parallel_queries == 0
+        engine.close()  # no pool: close is a no-op
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            UTKEngine(np.random.default_rng(0).random((10, 3)), parallel_workers=-1)
+
+    def test_statistics_expose_parallel_counter(self):
+        values, _ = random_instance(1, 50, 3, 0.1)
+        engine = UTKEngine(values)
+        assert engine.statistics()["engine"]["parallel_queries"] == 0
+
+
+# ------------------------------------------------------------------- pickling
+class TestPickling:
+    def test_cell_pickle_drops_children_keeps_interior(self):
+        region = hyperrectangle([0.1, 0.1], [0.3, 0.3])
+        cell = Cell(region)
+        point = cell.interior_point
+        restored = pickle.loads(pickle.dumps(cell))
+        assert np.allclose(restored.interior_point, point)
+        assert restored._children == {}
+        assert restored.is_full_dimensional()
+
+    def test_results_round_trip(self):
+        values, region = random_instance(3, 120, 3, 0.1)
+        first, second = parallel_utk_query(values, region, 3, workers=2, backend="serial")
+        clone1: UTK1Result = pickle.loads(pickle.dumps(first))
+        clone2: UTK2Result = pickle.loads(pickle.dumps(second))
+        assert clone1.indices == first.indices
+        assert clone2.distinct_top_k_sets == second.distinct_top_k_sets
+        point = clone2.partitions[0].interior_point
+        assert point is not None

@@ -135,17 +135,26 @@ class TestUTKProperties:
                   elements=st.floats(0.0, 10.0, allow_nan=False, width=32)),
            st.integers(1, 3), st.integers(0, 10_000))
     def test_utk1_contains_topk_at_random_point_and_witnesses_hold(self, values, k, seed):
+        # Exactness is tolerance-aware: records whose scores tie within the
+        # dominance tolerance are interchangeable top-k members, so only
+        # records that belong to *every* valid top-k set at the sampled
+        # point are required to be reported (fewer than k others score
+        # at least their score minus the tolerance).
+        tol = 1e-9
         region = region_for(2)
         result = RSA(values, region, k).run()
         rng = np.random.default_rng(seed)
         point = region.sample(1, rng)[0]
         row = scores(values, point)
-        order = np.lexsort((np.arange(row.shape[0]), -row))
-        assert set(int(i) for i in order[:k]).issubset(set(result.indices))
+        reported = set(result.indices)
+        for index in range(row.shape[0]):
+            others_at_least = int(np.sum(row >= row[index] - tol)) - 1
+            if others_at_least < k:
+                assert index in reported
         for index in result.indices:
             witness = result.witness_of(index)
             witness_scores = scores(values, witness)
-            strictly_better = int(np.sum(witness_scores > witness_scores[index]))
+            strictly_better = int(np.sum(witness_scores > witness_scores[index] + tol))
             assert strictly_better < k
 
     @common_settings
