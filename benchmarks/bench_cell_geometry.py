@@ -1,0 +1,303 @@
+"""Cell-geometry micro-benchmarks: incremental vertex clips vs the LP path.
+
+Two measurements:
+
+1. **Cell chains** — build a restriction chain of growing constraint count
+   (the path a cell walks down the arrangement tree) and run the hot
+   geometric primitives (``classify`` probes, ``interior_point``,
+   drill-style ``linear_range``) at each depth, once on the cached-vertex
+   path and once with the cache disabled (the LP path re-enumerates
+   ``C(m, d)`` constraint subsets per question).  The per-depth speedup is
+   the figure the arrangement machinery feels as cells accumulate
+   half-spaces.
+2. **End-to-end** — RSA + JAA refinement on a refinement-heavy workload with
+   the vertex cache on and off, asserting *identical* UTK1/UTK2 answers.
+
+The run doubles as a CI gate: it fails (exit code 1) when the vertex path is
+below ``3x`` aggregated over the chain depths >= 8 (total LP time over total
+vertex time — single depths are reported per row but jitter too much at
+tens-of-milliseconds scale to gate individually), when the end-to-end
+answers differ, when the end-to-end speedup misses 3x, or when the
+vertex-path run needed any scipy ``linprog`` fallback.  Results go to ``BENCH_cell_geometry.json``
+via :func:`repro.bench.reporting.write_bench_json`.
+
+Usage::
+
+    python benchmarks/bench_cell_geometry.py [--smoke] [--output BENCH_cell_geometry.json]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+from conftest import best_time, print_rows
+
+from repro.bench.reporting import write_bench_json
+from repro.bench.workloads import query_workload, random_region
+from repro.core.cell import Cell, vertex_cache_disabled
+from repro.core.halfspace import HalfSpace
+from repro.core.jaa import JAA
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.datasets.synthetic import synthetic_dataset
+
+#: Required speedup of the vertex path over the LP path at chain depths >= 8
+#: (the PR's acceptance bar), and of the end-to-end refinement.
+REQUIRED_CHAIN_SPEEDUP = 3.0
+REQUIRED_END_TO_END_SPEEDUP = 3.0
+
+#: Chain depths >= this are gated (shallow cells are cheap either way).
+GATED_DEPTH = 8
+
+#: Workload sizes.  The end-to-end case uses a refinement-heavy setting
+#: (sigma/k above the defaults): at the default sigma=0.01 the r-skyband
+#: barely exceeds k and the refinement — the part this PR accelerates — is a
+#: no-op, so there is nothing to measure.
+SETTINGS = {
+    "default": {
+        "repeats": 3,
+        "chain_dim": 4,
+        "chain_depths": [2, 4, 6, 8, 10, 12],
+        "chain_probes": 12,
+        "e2e_n": 4000,
+        "e2e_d": 4,
+        "e2e_k": 10,
+        "e2e_sigma": 0.05,
+        "e2e_queries": 3,
+        "seed": 11,
+    },
+    "smoke": {
+        "repeats": 3,
+        "chain_dim": 4,
+        "chain_depths": [4, 8, 10, 12],
+        "chain_probes": 16,
+        "e2e_n": 2000,
+        "e2e_d": 4,
+        "e2e_k": 10,
+        "e2e_sigma": 0.05,
+        "e2e_queries": 1,
+        "seed": 11,
+    },
+}
+
+
+def chain_halfspaces(region, depth, probes, rng):
+    """A splitting chain plus probe half-spaces, all crossing their cell.
+
+    The returned plan is replayed identically on both paths: ``(chain,
+    probe-sets)`` where ``chain[i]`` splits the depth-``i`` cell and
+    ``probe_sets[i]`` are classification probes for the depth-``i + 1`` cell.
+    """
+    cell = Cell(region)
+    chain = []
+    probe_sets = []
+    dim = region.dimension
+    for _ in range(depth):
+        normal = rng.normal(size=dim)
+        low, high = cell.linear_range(normal)
+        offset = rng.uniform(low + 0.35 * (high - low), high - 0.35 * (high - low))
+        halfspace = HalfSpace(normal=normal, offset=float(offset))
+        cell = cell.restricted(halfspace, True)
+        chain.append(halfspace)
+        cell_probes = []
+        for _ in range(probes):
+            probe_normal = rng.normal(size=dim)
+            p_low, p_high = cell.linear_range(probe_normal)
+            span = p_high - p_low
+            cell_probes.append(HalfSpace(
+                normal=probe_normal,
+                offset=float(rng.uniform(p_low - 0.2 * span, p_high + 0.2 * span)),
+            ))
+        probe_sets.append(cell_probes)
+    return chain, probe_sets
+
+
+def run_chain(region, chain, probe_sets, record):
+    """Replay the chain and run every primitive; returns the classify tally.
+
+    Fresh cells per call, so each path pays its own geometry: clips on the
+    vertex path, Chebyshev/enumeration LPs on the LP path.  Only the
+    (discrete) classification outcomes feed the agreement check — interior
+    points and drill vectors legitimately differ between the paths (vertex
+    centroid vs Chebyshev centre, tie-broken argmax vertices) and are run
+    for timing alone.
+    """
+    from repro.core.drill import drill_vector
+
+    cell = Cell(region)
+    tally = []
+    for halfspace, cell_probes in zip(chain, probe_sets):
+        cell = cell.restricted(halfspace, True)
+        tally.extend(cell.classify(probe) for probe in cell_probes)
+        cell.interior_point  # noqa: B018 - timed for its geometry work
+        drill_vector(cell, record)
+    return tally
+
+
+def chain_rows(setting, rng):
+    """Per-depth timing of the chain replay on both paths."""
+    dim = setting["chain_dim"]
+    region = random_region(dim, 0.08, rng)
+    record = rng.random(dim)
+    rows = []
+    for depth in setting["chain_depths"]:
+        chain, probe_sets = chain_halfspaces(region, depth, setting["chain_probes"], rng)
+        vertex_seconds, vertex_tally = best_time(
+            lambda: run_chain(region, chain, probe_sets, record), setting["repeats"]
+        )
+        with vertex_cache_disabled():
+            lp_seconds, lp_tally = best_time(
+                lambda: run_chain(region, chain, probe_sets, record), setting["repeats"]
+            )
+        rows.append({
+            "case": "cell_chain",
+            "depth": depth,
+            "constraints": 2 * (dim - 1) + depth,
+            "lp_seconds": round(lp_seconds, 5),
+            "vertex_seconds": round(vertex_seconds, 5),
+            "speedup": round(lp_seconds / vertex_seconds, 2),
+            "identical": vertex_tally == lp_tally,
+        })
+    return rows
+
+
+def utk2_agree(first, second):
+    """Pointwise partitioning agreement, not just equal set inventories.
+
+    Each partition's interior point must be assigned the *same* top-k set by
+    the other partitioning — catching any bug that keeps the inventory of
+    distinct top-k sets intact while assigning them to the wrong cells.
+    """
+    if first.distinct_top_k_sets != second.distinct_top_k_sets:
+        return False
+    for own, other in ((first, second), (second, first)):
+        for partition in own.partitions:
+            point = partition.interior_point
+            if point is None or other.top_k_at(point) != partition.top_k:
+                return False
+    return True
+
+
+def end_to_end_rows(setting, rng):
+    """RSA + JAA refinement with the cache on/off; answers must be identical."""
+    data = synthetic_dataset("IND", setting["e2e_n"], setting["e2e_d"], seed=setting["seed"])
+    specs = query_workload(setting["e2e_d"], setting["e2e_k"], setting["e2e_sigma"],
+                           setting["e2e_queries"], seed=setting["seed"])
+    skybands = [compute_r_skyband(data.values, spec.region, spec.k) for spec in specs]
+
+    def refine():
+        results = []
+        for spec, skyband in zip(specs, skybands):
+            results.append(RSA(data.values, spec.region, spec.k, skyband=skyband).run())
+            results.append(JAA(data.values, spec.region, spec.k, skyband=skyband).run())
+        return results
+
+    vertex_seconds, vertex_results = best_time(refine, setting["repeats"])
+    with vertex_cache_disabled():
+        lp_seconds, lp_results = best_time(refine, setting["repeats"])
+    identical = all(
+        (first.indices == second.indices) if hasattr(first, "indices")
+        else utk2_agree(first, second)
+        for first, second in zip(vertex_results, lp_results)
+    )
+    fallbacks = sum(result.stats["fallback_calls"] for result in vertex_results)
+    lp_calls = sum(result.stats["lp_calls"] for result in vertex_results)
+    enumerations = sum(result.stats["enumeration_calls"] for result in vertex_results)
+    return [{
+        "case": "rsa_jaa_end_to_end",
+        "depth": None,
+        "constraints": None,
+        "lp_seconds": round(lp_seconds, 5),
+        "vertex_seconds": round(vertex_seconds, 5),
+        "speedup": round(lp_seconds / vertex_seconds, 2),
+        "identical": identical,
+    }], fallbacks, lp_calls, enumerations
+
+
+def run_benchmark(setting):
+    """Run every case; returns ``(rows, gates)``."""
+    rng = np.random.default_rng(setting["seed"])
+    rows = chain_rows(setting, rng)
+    e2e, fallbacks, lp_calls, enumerations = end_to_end_rows(setting, rng)
+    rows.extend(e2e)
+
+    gated_chain = [row for row in rows
+                   if row["case"] == "cell_chain" and row["depth"] >= GATED_DEPTH]
+    e2e_row = rows[-1]
+    gated_speedup = (sum(row["lp_seconds"] for row in gated_chain)
+                     / sum(row["vertex_seconds"] for row in gated_chain))
+    gates = {
+        "all_outputs_identical": all(row["identical"] for row in rows),
+        "chain_required_speedup": REQUIRED_CHAIN_SPEEDUP,
+        "chain_gated_depth": GATED_DEPTH,
+        "chain_gated_speedup": round(gated_speedup, 2),
+        "end_to_end_required_speedup": REQUIRED_END_TO_END_SPEEDUP,
+        "end_to_end_speedup": e2e_row["speedup"],
+        "vertex_path_fallback_calls": fallbacks,
+        "vertex_path_lp_calls": lp_calls,
+        "vertex_path_enumeration_calls": enumerations,
+        "zero_scipy_fallbacks": fallbacks == 0,
+    }
+    gates["passed"] = (
+        gates["all_outputs_identical"]
+        and gates["chain_gated_speedup"] >= REQUIRED_CHAIN_SPEEDUP
+        and gates["end_to_end_speedup"] >= REQUIRED_END_TO_END_SPEEDUP
+        and gates["zero_scipy_fallbacks"]
+    )
+    return rows, gates
+
+
+def test_cell_geometry_perf_gate():
+    """Pytest entry point: smoke-sized run asserting the perf gate."""
+    rows, gates = run_benchmark(SETTINGS["smoke"])
+    print_rows("Cell geometry — LP path vs incremental vertex clips", rows)
+    assert gates["all_outputs_identical"]
+    assert gates["passed"], gates
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument(
+        "--output",
+        default="BENCH_cell_geometry.json",
+        help="path of the BENCH JSON artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--required-speedup",
+        type=float,
+        default=REQUIRED_CHAIN_SPEEDUP,
+        help="fail when the vertex path falls below this factor at gated depths",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "default"
+    rows, gates = run_benchmark(SETTINGS[mode])
+    gates["chain_required_speedup"] = args.required_speedup
+    gates["passed"] = (
+        gates["all_outputs_identical"]
+        and gates["chain_gated_speedup"] >= args.required_speedup
+        and gates["end_to_end_speedup"] >= REQUIRED_END_TO_END_SPEEDUP
+        and gates["zero_scipy_fallbacks"]
+    )
+    print_rows("Cell geometry — LP path vs incremental vertex clips", rows)
+    write_bench_json(args.output, "cell_geometry", rows, gates=gates, meta={"mode": mode})
+    print(f"\nwrote {args.output}")
+    if not gates["passed"]:
+        print(f"FAIL: cell-geometry perf gate not met: {gates}", file=sys.stderr)
+        return 1
+    print(
+        f"chain speedup {gates['chain_gated_speedup']}x at depth >= {GATED_DEPTH} "
+        f"(required: {args.required_speedup}x), end-to-end "
+        f"{gates['end_to_end_speedup']}x (required: {REQUIRED_END_TO_END_SPEEDUP}x), "
+        f"scipy fallbacks: {gates['vertex_path_fallback_calls']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,6 @@ Usage::
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 # Make the shared benchmark helpers importable no matter where the
@@ -27,7 +26,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
-from conftest import print_rows
+from conftest import best_time, print_rows
 
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import query_workload, random_region
@@ -81,17 +80,6 @@ SETTINGS = {
         "seed": 11,
     },
 }
-
-
-def best_time(function, repeats):
-    """Best-of-``repeats`` wall time and the (last) return value."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = function()
-        best = min(best, time.perf_counter() - started)
-    return best, result
 
 
 def compare(case, baseline, kernel, repeats, identical, **extra):

@@ -75,3 +75,20 @@ def bench_scale() -> dict:
 # (the sys.path bootstrap each benchmark performs makes this module — and
 # through it the src tree — importable from any working directory).
 from repro.bench.reporting import print_rows  # noqa: E402,F401
+
+import time  # noqa: E402
+
+
+def best_time(function, repeats):
+    """Best-of-``repeats`` wall time and the (last) return value.
+
+    Shared by the gated micro-benchmarks so their timing discipline cannot
+    silently diverge.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result

@@ -35,7 +35,7 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "utk1",

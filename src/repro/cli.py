@@ -95,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the region-partitioned parallel executor "
              "(default 1 = serial; the answer is identical either way)",
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="include per-run algorithm statistics (arrangement counters plus "
+             "the lp_calls/vertex_clip_calls/enumeration_calls/fallback_calls "
+             "geometry telemetry)",
+    )
     query.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     batch = subparsers.add_parser(
@@ -188,11 +195,15 @@ def _run_query(args: argparse.Namespace) -> int:
             "witnesses": {str(i): np.round(result.witness_of(i), 6).tolist()
                           for i in result.indices},
         }
+        if args.stats:
+            payload["utk1"]["stats"] = result.stats
     if partitioning is not None:
         payload["utk2"] = {
             "partitions": len(partitioning),
             "distinct_top_k_sets": [sorted(s) for s in partitioning.distinct_top_k_sets],
         }
+        if args.stats:
+            payload["utk2"]["stats"] = partitioning.stats
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -204,6 +215,11 @@ def _run_query(args: argparse.Namespace) -> int:
               f"{len(payload['utk2']['distinct_top_k_sets'])} distinct top-k sets")
         for top in payload["utk2"]["distinct_top_k_sets"]:
             print(f"  {top}")
+    for version in ("utk1", "utk2"):
+        stats = payload.get(version, {}).get("stats")
+        if stats:
+            print(f"{version.upper()} stats: "
+                  + " ".join(f"{key}={value}" for key, value in stats.items()))
     return 0
 
 
@@ -281,6 +297,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         "queries_per_second": round(summary["queries"] / elapsed, 3)
                               if elapsed > 0 else float("inf"),
         "sources": summary["sources"],
+        "geometry": summary["geometry"],
         "cache": engine.statistics(),
         "results": [_batch_item_payload(item) for item in items],
     }

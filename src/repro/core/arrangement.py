@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.cell import Cell
 from repro.core.halfspace import HalfSpace
+from repro.kernels.vertexops import halfspace_side_bounds
 
 
 @dataclass
@@ -77,12 +78,13 @@ class Arrangement:
             block.
         """
         self.inserted.append(halfspace)
+        bounds = self._leaf_bounds(halfspace)
         new_leaves: list[ArrangementLeaf] = []
-        for leaf in self.leaves:
+        for position, leaf in enumerate(self.leaves):
             if leaf.frozen:
                 new_leaves.append(leaf)
                 continue
-            side = leaf.cell.classify(halfspace)
+            side = leaf.cell.classify(halfspace, bounds=bounds.get(position))
             if side == "inside":
                 leaf.covering.add(halfspace.label)
             elif side == "split":
@@ -103,6 +105,36 @@ class Arrangement:
                 leaf.frozen = True
             new_leaves.append(leaf)
         self.leaves = new_leaves
+
+    def _leaf_bounds(self, halfspace: HalfSpace) -> dict[int, tuple[float, float]]:
+        """Per-leaf ``(min, max)`` of ``normal @ u`` over cached vertices.
+
+        All V-represented unfrozen leaves are classified against the inserted
+        half-space with one stacked matmul
+        (:func:`repro.kernels.vertexops.halfspace_side_bounds`); the bounds
+        are handed to :meth:`Cell.classify`, which resolves clear
+        inside/outside leaves without touching their vertex arrays again.
+        Leaves without a cache are simply absent and classify on their own.
+        """
+        positions: list[int] = []
+        arrays: list[np.ndarray] = []
+        for position, leaf in enumerate(self.leaves):
+            if leaf.frozen:
+                continue
+            cache = leaf.cell.vertex_cache()
+            if cache is None or cache.is_empty:
+                continue
+            positions.append(position)
+            arrays.append(cache.vertices)
+        if len(arrays) < 2:
+            # A single cached leaf gains nothing from stacking.
+            return {}
+        counts = [array.shape[0] for array in arrays]
+        starts = np.concatenate([[0], np.cumsum(counts[:-1])])
+        mins, maxs = halfspace_side_bounds(np.concatenate(arrays, axis=0), starts,
+                                           halfspace.normal)
+        return {position: (float(mins[i]), float(maxs[i]))
+                for i, position in enumerate(positions)}
 
     def insert_many(self, halfspaces, *, freeze_at: int | None = None) -> None:
         """Insert a sequence of half-spaces in order."""

@@ -1,20 +1,28 @@
 """Arrangement cells (partitions of the query region).
 
 Following the arrangement-indexing discussion of the paper (Section 4.5), a
-cell is represented *implicitly* by the half-spaces that define it rather
-than by its explicit geometry: a cell is the base region plus a list of
-signed half-space constraints.  Interior points, full-dimensionality tests
-and half-space classification are answered with small linear programs
-(analytic in one-dimensional preference domains).
+cell is *defined* by half-spaces: the base region plus a list of signed
+half-space constraints.  On top of that H-representation every cell also
+carries its exact V-representation — a cached vertex array maintained
+incrementally by :mod:`repro.geometry.vertex_clip`: the root's vertices are
+seeded from the region (or enumerated once) and each child's are derived from
+its parent's by a single clip.  Interior points, full-dimensionality tests
+and half-space classification are then dot products over the cached vertices;
+the linear-programming route survives only as a fallback for cells whose
+cache is unavailable (enumeration out of budget, or a degenerate clip).
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.core.halfspace import HalfSpace
 from repro.core.region import Region
 from repro.geometry.linear_programming import chebyshev_center, maximize, minimize
+from repro.geometry.telemetry import COUNTERS
+from repro.geometry.vertex_clip import VertexCache, build_cache, clip
 
 #: A cell whose inscribed-ball radius does not exceed this is treated as
 #: lower-dimensional (not a genuine partition).
@@ -22,6 +30,36 @@ CELL_INTERIOR_TOL = 1e-7
 
 #: Tolerance for deciding that a half-space fully covers / misses a cell.
 CELL_SIDE_TOL = 1e-9
+
+#: Vertex sets thinner than this count as measure-zero (mirrors the LP
+#: path's "Chebyshev radius <= 0" emptiness contract for interior points).
+CELL_DEGENERATE_TOL = 1e-12
+
+#: Marker for a vertex cache that has not been built yet (``None`` means the
+#: build was attempted and is not applicable — the cell stays on the LP path).
+_UNSET = object()
+
+#: Module-wide switch for the cached-vertex fast path (see
+#: :func:`vertex_cache_disabled`).
+_VERTEX_CACHE_ENABLED = True
+
+
+@contextmanager
+def vertex_cache_disabled():
+    """Force every :class:`Cell` onto the LP (H-representation) path.
+
+    Used by the A/B property tests and by ``bench_cell_geometry`` to compare
+    the incremental vertex path against the LP path it replaced.  The switch
+    is module-global and therefore not thread-safe; only flip it from
+    single-threaded code.
+    """
+    global _VERTEX_CACHE_ENABLED
+    previous = _VERTEX_CACHE_ENABLED
+    _VERTEX_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _VERTEX_CACHE_ENABLED = previous
 
 
 class Cell:
@@ -40,7 +78,8 @@ class Cell:
         carved out of the base region; useful for reporting and debugging.
     """
 
-    __slots__ = ("region", "_extra_a", "_extra_b", "history", "_chebyshev", "_radius", "_children")
+    __slots__ = ("region", "_extra_a", "_extra_b", "history", "_chebyshev", "_radius",
+                 "_children", "_vcache", "_full_dim")
 
     def __init__(self, region: Region, extra_a: np.ndarray | None = None,
                  extra_b: np.ndarray | None = None,
@@ -56,16 +95,20 @@ class Cell:
         self._chebyshev = None
         self._radius = None
         self._children = {}
+        self._vcache = _UNSET
+        self._full_dim = {}
 
     # ---------------------------------------------------------------- pickling
     def __getstate__(self) -> dict:
         """Pickle the cell without its memoized children.
 
-        The child memo exists to avoid recomputing Chebyshev data during
+        The child memo exists to avoid recomputing split geometry during
         arrangement construction; for a finished cell (as shipped back from
         parallel shard workers) it is dead weight that can dwarf the cell
-        itself.  The cached Chebyshev centre is kept — interior-point queries
-        on the unpickled cell stay free.
+        itself.  The vertex cache *is* shipped, so geometric queries against
+        unpickled cells (and shard results) stay on the vertex fast path; an
+        unbuilt (or inapplicable) cache travels as ``None`` and is simply
+        rebuilt on demand.
         """
         return {
             "region": self.region,
@@ -74,6 +117,7 @@ class Cell:
             "history": self.history,
             "chebyshev": self._chebyshev,
             "radius": self._radius,
+            "vcache": self._vcache if isinstance(self._vcache, VertexCache) else None,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -84,6 +128,9 @@ class Cell:
         self._chebyshev = state["chebyshev"]
         self._radius = state["radius"]
         self._children = {}
+        vcache = state.get("vcache")
+        self._vcache = vcache if vcache is not None else _UNSET
+        self._full_dim = {}
 
     # --------------------------------------------------------------- geometry
     @property
@@ -99,11 +146,42 @@ class Cell:
             return base_a, base_b
         return np.vstack([base_a, self._extra_a]), np.concatenate([base_b, self._extra_b])
 
+    def vertex_cache(self) -> VertexCache | None:
+        """The cell's V-representation, built lazily.
+
+        Root cells seed the build from the region's own vertex set (the same
+        vertices :func:`repro.geometry.linear_programming.polytope_vertices`
+        maintains across the parallel executor's region bisections); cells
+        created with pre-accumulated rows enumerate from the H-representation
+        once.  Children created through :meth:`restricted` inherit a clipped
+        copy of the parent's cache instead.  ``None`` means the cache is not
+        applicable and the cell answers through linear programming.
+        """
+        if not _VERTEX_CACHE_ENABLED:
+            return None
+        if self._vcache is _UNSET:
+            a, b = self.constraints
+            seed = self.region.vertices if self._extra_a.shape[0] == 0 else None
+            self._vcache = build_cache(a, b, vertices=seed)
+        return self._vcache
+
     def _ensure_chebyshev(self) -> None:
         if self._radius is None:
-            a, b = self.constraints
+            cache = self.vertex_cache()
+            if cache is not None and cache.is_empty:
+                # An empty vertex set certifies an empty (pointed) polytope.
+                self._chebyshev = None
+                self._radius = -np.inf
+                return
+            if cache is not None:
+                # The pruned active rows describe the same polytope with far
+                # fewer constraints, keeping the residual LP small.
+                a, b = cache.active_a, cache.active_b
+            else:
+                a, b = self.constraints
             # Cells are subsets of the (bounded) query region, so every LP
             # here may take the vertex-enumeration fast path.
+            COUNTERS.lp_calls += 1
             centre, radius = chebyshev_center(a, b, dim=self.dimension,
                                               assume_bounded=True)
             self._chebyshev = centre
@@ -117,16 +195,47 @@ class Cell:
 
     @property
     def interior_point(self) -> np.ndarray | None:
-        """A point strictly inside the cell, or ``None`` when the cell is empty."""
+        """A point strictly inside the cell, or ``None`` when the cell is empty.
+
+        On the vertex path this is the vertex centroid (interior by
+        convexity); the LP fallback keeps the Chebyshev centre.  Both paths
+        honour the same contract: measure-zero (lower-dimensional) cells
+        report ``None`` exactly like empty ones.
+        """
+        cache = self.vertex_cache()
+        if cache is not None:
+            if cache.is_empty or not self.is_full_dimensional(CELL_DEGENERATE_TOL):
+                return None
+            return cache.centroid()
         self._ensure_chebyshev()
         if self._chebyshev is None or self._radius <= 0.0:
             return None
         return self._chebyshev
 
     def is_full_dimensional(self, tol: float = CELL_INTERIOR_TOL) -> bool:
-        """Whether the cell has a non-empty interior."""
-        self._ensure_chebyshev()
-        return self._radius is not None and self._radius > tol
+        """Whether the cell has a non-empty interior.
+
+        On the vertex path this is an affine-rank/width test over the cached
+        vertices (see :meth:`VertexCache.is_full_dimensional`); its rare
+        uncertain band — slivers whose width is within a dimensional constant
+        of ``tol`` — is resolved by the exact Chebyshev LP over the pruned
+        active rows, so the verdict matches the LP path.  The memo is
+        bypassed under :func:`vertex_cache_disabled` so A/B runs on shared
+        cells never reuse a vertex-path verdict as an LP one.
+        """
+        if not _VERTEX_CACHE_ENABLED:
+            self._ensure_chebyshev()
+            return self._radius is not None and self._radius > tol
+        known = self._full_dim.get(tol)
+        if known is not None:
+            return known
+        cache = self.vertex_cache()
+        result = cache.is_full_dimensional(tol) if cache is not None else None
+        if result is None:
+            self._ensure_chebyshev()
+            result = self._radius is not None and self._radius > tol
+        self._full_dim[tol] = result
+        return result
 
     def contains(self, point, tol: float = 1e-9) -> bool:
         """Whether ``point`` satisfies all the cell's constraints."""
@@ -138,11 +247,11 @@ class Cell:
     def restricted(self, halfspace: HalfSpace, inside: bool) -> "Cell":
         """The sub-cell on the requested side of ``halfspace``.
 
-        Children are memoized per ``(halfspace, side)``: :meth:`classify`
-        builds both sides of a candidate split to test full-dimensionality,
-        and the arrangement then asks for the same children again — without
-        the memo their (LP-computed) Chebyshev data would be thrown away and
-        recomputed.
+        The child's vertex cache is derived from the parent's in one clip —
+        no enumeration, no LP.  Children are memoized per ``(halfspace,
+        side)``: :meth:`classify` builds both sides of a candidate split to
+        test full-dimensionality, and the arrangement then asks for the same
+        children again.
         """
         key = (halfspace, inside)
         child = self._children.get(key)
@@ -155,40 +264,79 @@ class Cell:
         extra_a = np.vstack([self._extra_a, row.reshape(1, -1)])
         extra_b = np.concatenate([self._extra_b, [rhs]])
         child = Cell(self.region, extra_a, extra_b, history=self.history + ((halfspace, inside),))
+        if _VERTEX_CACHE_ENABLED:
+            cache = self.vertex_cache()
+            if cache is None:
+                # From-scratch enumeration already failed for the parent; the
+                # child has strictly more rows, so don't retry per descendant.
+                child._vcache = None
+            else:
+                clipped = clip(cache, row, rhs)
+                if clipped is not None:
+                    child._vcache = clipped
+                # A degenerate clip leaves the child unset: it may still
+                # enumerate its own vertices from scratch on first use.
         self._children[key] = child
         return child
 
-    def classify(self, halfspace: HalfSpace, tol: float = CELL_SIDE_TOL) -> str:
+    def classify(self, halfspace: HalfSpace, tol: float = CELL_SIDE_TOL, *,
+                 bounds: tuple[float, float] | None = None) -> str:
         """Position of the cell relative to ``halfspace``.
 
         Returns ``"inside"`` when the whole cell satisfies
         ``normal @ u >= offset``, ``"outside"`` when no interior point does,
         and ``"split"`` when the half-space properly crosses the cell.
 
-        The (cached) Chebyshev centre is a feasible point, so its slack
-        brackets both linear programs: the minimum cannot exceed it and the
-        maximum cannot fall below it.  Each bound test is therefore only run
-        when the probe leaves it any chance of succeeding, which skips one of
-        the two LPs for every cell the hyperplane clearly crosses.
+        With a vertex cache the test is a min/max dot product over the cached
+        vertices — zero LPs.  ``bounds`` lets the arrangement pass the
+        ``(min, max)`` pair precomputed by its batched one-matmul
+        classification (:func:`repro.kernels.vertexops.halfspace_side_bounds`,
+        equal to the per-cell product within the last ulp).  Cells without a
+        cache keep the LP route, probe-guided by the Chebyshev centre's slack.
         """
+        cache = self.vertex_cache()
+        if cache is not None:
+            if cache.is_empty:
+                # Empty cell: report "outside" so callers simply drop it.
+                return "outside"
+            if bounds is None:
+                values = cache.vertices @ halfspace.normal
+                low_value, high_value = float(values.min()), float(values.max())
+            else:
+                low_value, high_value = bounds
+            if low_value >= halfspace.offset - tol:
+                return "inside"
+            if high_value <= halfspace.offset + tol:
+                return "outside"
+            return self._classify_crossing(halfspace)
         self._ensure_chebyshev()
         if self._chebyshev is None or self._radius <= 0.0:
-            # Empty cell: report "outside" so callers simply drop it.
             return "outside"
         a, b = self.constraints
         probe = halfspace.value(self._chebyshev)
         if probe >= -tol:
+            COUNTERS.lp_calls += 1
             low = minimize(halfspace.normal, a, b, assume_bounded=True)
             if not low.is_optimal:
                 return "outside"
             if low.value >= halfspace.offset - tol:
                 return "inside"
         if probe <= tol:
+            COUNTERS.lp_calls += 1
             high = maximize(halfspace.normal, a, b, assume_bounded=True)
+            if not high.is_optimal:
+                # A numerically-infeasible maximize certifies the same empty
+                # cell the minimize branch reports; never compare its value.
+                return "outside"
             if high.value <= halfspace.offset + tol:
                 return "outside"
-        # The hyperplane crosses the cell's affine hull; only a genuine split
-        # when both sides keep a full-dimensional piece.
+        return self._classify_crossing(halfspace)
+
+    def _classify_crossing(self, halfspace: HalfSpace) -> str:
+        """Resolve a hyperplane that crosses the cell's affine hull.
+
+        Only a genuine split when both sides keep a full-dimensional piece.
+        """
         inside_part = self.restricted(halfspace, True)
         outside_part = self.restricted(halfspace, False)
         inside_full = inside_part.is_full_dimensional()
@@ -201,7 +349,11 @@ class Cell:
 
     def linear_range(self, coef) -> tuple[float, float]:
         """Minimum and maximum of ``coef @ u`` over the cell."""
+        cache = self.vertex_cache()
+        if cache is not None:
+            return cache.linear_bounds(coef)
         a, b = self.constraints
+        COUNTERS.lp_calls += 2
         low = minimize(coef, a, b, assume_bounded=True)
         high = maximize(coef, a, b, assume_bounded=True)
         if not (low.is_optimal and high.is_optimal):

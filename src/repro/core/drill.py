@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.cell import Cell
 from repro.core.preference import score_gradients, scores
 from repro.geometry.linear_programming import maximize
+from repro.geometry.telemetry import COUNTERS
 
 #: Tolerance used when comparing candidate scores at a drill vector.
 SCORE_TOL = 1e-9
@@ -25,11 +26,21 @@ SCORE_TOL = 1e-9
 def drill_vector(cell: Cell, record) -> np.ndarray | None:
     """Weight vector inside ``cell`` maximizing the score of ``record``.
 
-    Falls back to the cell's interior point when the LP fails; returns
-    ``None`` for empty cells.
+    With a vertex cache the drill is an argmax dot product over the cell's
+    cached vertices (the maximum of a linear score over a bounded cell sits
+    at a vertex).  The LP route remains for cache-less cells and falls back
+    to the cell's interior point when it fails; returns ``None`` for empty
+    cells.
     """
     gradients, _ = score_gradients(np.asarray(record, dtype=float).reshape(1, -1))
+    cache = cell.vertex_cache()
+    if cache is not None:
+        if cache.is_empty:
+            return None
+        values = cache.vertices @ gradients[0]
+        return np.array(cache.vertices[int(np.argmax(values))], dtype=float)
     a, b = cell.constraints
+    COUNTERS.lp_calls += 1
     result = maximize(gradients[0], a, b, assume_bounded=True)
     if result.is_optimal:
         return result.x

@@ -47,6 +47,7 @@ from repro.core.region import Region
 from repro.core.result import UTK2Result, UTKPartition
 from repro.core.rskyband import RSkyband, compute_r_skyband
 from repro.exceptions import InvalidQueryError
+from repro.geometry.telemetry import COUNTERS
 from repro.index.rtree import RTree
 
 
@@ -60,6 +61,10 @@ class JAAStatistics:
     halfspaces_inserted: int = 0
     finalized_partitions: int = 0
     anchor_changes: int = 0
+    lp_calls: int = 0
+    vertex_clip_calls: int = 0
+    enumeration_calls: int = 0
+    fallback_calls: int = 0
     filtering_stats: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -71,6 +76,10 @@ class JAAStatistics:
             "halfspaces_inserted": self.halfspaces_inserted,
             "finalized_partitions": self.finalized_partitions,
             "anchor_changes": self.anchor_changes,
+            "lp_calls": self.lp_calls,
+            "vertex_clip_calls": self.vertex_clip_calls,
+            "enumeration_calls": self.enumeration_calls,
+            "fallback_calls": self.fallback_calls,
             **{f"filter_{key}": value for key, value in self.filtering_stats.items()},
         }
 
@@ -111,8 +120,17 @@ class JAA:
         self.stats = JAAStatistics()
 
     # ------------------------------------------------------------------ public
+    def _capture_geometry(self, snapshot: tuple[int, int, int, int]) -> None:
+        """Record the run's geometry-telemetry deltas into the statistics."""
+        delta = COUNTERS.since(snapshot)
+        self.stats.lp_calls = delta["lp_calls"]
+        self.stats.vertex_clip_calls = delta["vertex_clip_calls"]
+        self.stats.enumeration_calls = delta["enumeration_calls"]
+        self.stats.fallback_calls = delta["fallback_calls"]
+
     def run(self) -> UTK2Result:
         """Execute the query and return the UTK2 partitioning."""
+        geometry_snapshot = COUNTERS.snapshot()
         skyband = self._skyband
         if skyband is None:
             skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
@@ -127,11 +145,13 @@ class JAA:
         self._partitions: list[UTKPartition] = []
         root_cell = Cell(self.region)
         if not members:
+            self._capture_geometry(geometry_snapshot)
             return UTK2Result(
                 partitions=[], region=self.region, k=self.k, stats=self.stats.as_dict()
             )
         if len(members) <= self.k:
             partition = UTKPartition(cell=root_cell, top_k=frozenset(members))
+            self._capture_geometry(geometry_snapshot)
             return UTK2Result(
                 partitions=[partition], region=self.region, k=self.k, stats=self.stats.as_dict()
             )
@@ -152,6 +172,7 @@ class JAA:
             skip=frozenset(),
         )
         self.stats.finalized_partitions = len(self._partitions)
+        self._capture_geometry(geometry_snapshot)
         return UTK2Result(
             partitions=list(self._partitions),
             region=self.region,

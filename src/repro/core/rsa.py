@@ -31,6 +31,7 @@ from repro.core.region import Region
 from repro.core.result import UTK1Result
 from repro.core.rskyband import RSkyband, compute_r_skyband
 from repro.exceptions import InvalidQueryError
+from repro.geometry.telemetry import COUNTERS
 from repro.index.rtree import RTree
 
 
@@ -46,6 +47,10 @@ class RSAStatistics:
     lemma1_confirmations: int = 0
     verified_by_ancestry: int = 0
     disqualified: int = 0
+    lp_calls: int = 0
+    vertex_clip_calls: int = 0
+    enumeration_calls: int = 0
+    fallback_calls: int = 0
     filtering_stats: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -59,6 +64,10 @@ class RSAStatistics:
             "lemma1_confirmations": self.lemma1_confirmations,
             "verified_by_ancestry": self.verified_by_ancestry,
             "disqualified": self.disqualified,
+            "lp_calls": self.lp_calls,
+            "vertex_clip_calls": self.vertex_clip_calls,
+            "enumeration_calls": self.enumeration_calls,
+            "fallback_calls": self.fallback_calls,
             **{f"filter_{key}": value for key, value in self.filtering_stats.items()},
         }
 
@@ -123,8 +132,17 @@ class RSA:
         self.stats = RSAStatistics()
 
     # ------------------------------------------------------------------ public
+    def _capture_geometry(self, snapshot: tuple[int, int, int, int]) -> None:
+        """Record the run's geometry-telemetry deltas into the statistics."""
+        delta = COUNTERS.since(snapshot)
+        self.stats.lp_calls = delta["lp_calls"]
+        self.stats.vertex_clip_calls = delta["vertex_clip_calls"]
+        self.stats.enumeration_calls = delta["enumeration_calls"]
+        self.stats.fallback_calls = delta["fallback_calls"]
+
     def run(self) -> UTK1Result:
         """Execute the query and return the UTK1 result."""
+        geometry_snapshot = COUNTERS.snapshot()
         skyband = self._skyband
         if skyband is None:
             skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
@@ -137,6 +155,7 @@ class RSA:
         }
         members = skyband.members()
         if not members:
+            self._capture_geometry(geometry_snapshot)
             return UTK1Result(
                 indices=[], witnesses={}, region=self.region, k=self.k, stats=self.stats.as_dict()
             )
@@ -144,6 +163,7 @@ class RSA:
             # Every candidate is in the top-k set for every weight vector.
             pivot = self.region.pivot
             witnesses = {index: pivot for index in members}
+            self._capture_geometry(geometry_snapshot)
             return UTK1Result(
                 indices=sorted(members),
                 witnesses=witnesses,
@@ -173,6 +193,7 @@ class RSA:
 
         indices = sorted(self._verified)
         witnesses = {index: self._verified[index] for index in indices}
+        self._capture_geometry(geometry_snapshot)
         return UTK1Result(
             indices=indices,
             witnesses=witnesses,

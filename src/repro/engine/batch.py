@@ -31,6 +31,11 @@ from repro.exceptions import InvalidQueryError
 #: Problem versions a batch query may request.
 VERSIONS = ("utk1", "utk2", "both")
 
+#: Geometry-telemetry counters carried by every RSA/JAA result's stats and
+#: aggregated over a served stream by :func:`summarize_batch`.
+GEOMETRY_COUNTER_KEYS = ("lp_calls", "vertex_clip_calls", "enumeration_calls",
+                         "fallback_calls")
+
 
 @dataclass(frozen=True)
 class BatchQuery:
@@ -116,15 +121,30 @@ def run_batch(engine, queries, *, workers: int | None = None) -> list[BatchItem]
 
 
 def summarize_batch(items: list[BatchItem]) -> dict:
-    """Aggregate a served stream: totals, throughput and source histogram."""
+    """Aggregate a served stream: totals, throughput, sources and geometry.
+
+    The ``geometry`` entry sums the ``lp_calls`` / ``vertex_clip_calls`` /
+    ``enumeration_calls`` / ``fallback_calls`` telemetry over every served
+    result.  Cache hits
+    re-serve a stored result, so their (already-counted) run counters repeat
+    in the sum — the figure describes the work behind the *answers served*,
+    not fresh computation.
+    """
     total = sum(item.seconds for item in items)
     histogram: dict[str, int] = {}
+    geometry = dict.fromkeys(GEOMETRY_COUNTER_KEYS, 0)
     for item in items:
         for source in item.sources.values():
             histogram[source] = histogram.get(source, 0) + 1
+        for result in (item.utk1, item.utk2):
+            if result is None:
+                continue
+            for key in GEOMETRY_COUNTER_KEYS:
+                geometry[key] += int(result.stats.get(key, 0))
     return {
         "queries": len(items),
         "seconds": total,
         "queries_per_second": (len(items) / total) if total > 0 else float("inf"),
         "sources": dict(sorted(histogram.items())),
+        "geometry": geometry,
     }

@@ -1,10 +1,12 @@
 """Computational-geometry substrate used by the UTK algorithms.
 
 The subpackage provides a linear-programming toolkit over H-polytopes
-(:mod:`repro.geometry.linear_programming`), exact one-dimensional interval
-helpers (:mod:`repro.geometry.interval`), convex-hull utilities
-(:mod:`repro.geometry.convex_hull`) and onion-layer computation
-(:mod:`repro.geometry.onion`).
+(:mod:`repro.geometry.linear_programming`), incremental V-representation
+maintenance for arrangement cells (:mod:`repro.geometry.vertex_clip`),
+geometry telemetry counters (:mod:`repro.geometry.telemetry`), exact
+one-dimensional interval helpers (:mod:`repro.geometry.interval`),
+convex-hull utilities (:mod:`repro.geometry.convex_hull`) and onion-layer
+computation (:mod:`repro.geometry.onion`).
 """
 
 from repro.geometry.linear_programming import (
@@ -14,7 +16,10 @@ from repro.geometry.linear_programming import (
     has_interior,
     maximize,
     minimize,
+    polytope_vertices,
 )
+from repro.geometry.telemetry import COUNTERS, GeometryCounters
+from repro.geometry.vertex_clip import VertexCache, build_cache, clip
 from repro.geometry.interval import Interval
 from repro.geometry.convex_hull import (
     hull_vertices,
@@ -30,6 +35,12 @@ __all__ = [
     "has_interior",
     "maximize",
     "minimize",
+    "polytope_vertices",
+    "COUNTERS",
+    "GeometryCounters",
+    "VertexCache",
+    "build_cache",
+    "clip",
     "Interval",
     "hull_vertices",
     "upper_hull_members",

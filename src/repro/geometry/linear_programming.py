@@ -33,6 +33,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import LinearProgramError
+from repro.geometry.telemetry import COUNTERS
 
 #: Default radius below which a cell is considered lower-dimensional (empty
 #: interior).  Chosen conservatively for attribute values in [0, 1] x 10.
@@ -220,6 +221,7 @@ def minimize(c, a_ub=None, b_ub=None, *, bounds=None, assume_bounded: bool = Fal
             return solved
     if bounds is None:
         bounds = [(None, None)] * dim
+    COUNTERS.fallback_calls += 1
     try:
         res = linprog(
             c, A_ub=a if a.size else None, b_ub=b if b.size else None, bounds=bounds, method="highs"
@@ -301,6 +303,7 @@ def chebyshev_center(a_ub, b_ub, dim: int | None = None, *, assume_bounded: bool
                 return None, radius
             return np.asarray(solved.x[:dim], dtype=float), radius
     bounds = [(None, None)] * dim + [(None, None)]
+    COUNTERS.fallback_calls += 1
     try:
         res = linprog(c, A_ub=a_aug, b_ub=b, bounds=bounds, method="highs")
     except ValueError as exc:

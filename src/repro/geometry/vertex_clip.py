@@ -1,0 +1,274 @@
+"""Incremental V-representation maintenance for arrangement cells.
+
+The RSA/JAA refinement spends nearly all of its time asking geometric
+questions about arrangement cells — which side of a half-space, interior
+point, drill direction, linear range.  In H-representation each question is a
+linear program whose vertex-enumeration cost grows as ``C(m, d)`` with the
+accumulated constraint count ``m``.  This module maintains the *exact*
+V-representation instead: a cell's vertices are enumerated once at the root,
+and every child derives its vertex set from the parent's by **clipping** with
+the cutting half-space — keep the feasible side and generate the cut-plane
+vertices on crossing edges — the classic incremental construction behind
+Clarkson-style and double-description half-space intersection.  Every
+geometric primitive then becomes a dot product over a small cached array.
+
+Vertices carry their *tight sets* (which constraint rows pass through them).
+Two vertices span an edge exactly when they share at least ``dim - 1`` tight
+rows, which identifies crossing edges without any combinatorial search.
+Tight sets are propagated symbolically through clips (only the new row's
+incidence is measured numerically), so repeated clipping cannot drift a
+genuine edge out of recognition.  In degenerate (non-simple) polytopes the
+shared-tight test may also connect two non-adjacent vertices; the generated
+point then lies on a face rather than at a corner, which is harmless — linear
+minima/maxima and affine ranks are unchanged by extra points inside the
+convex hull, and the centroid (though re-weighted by them) stays strictly
+interior, which is all its callers rely on.  Rows that end up with no tight vertex are provably
+redundant for the cell (and, since children only shrink, for all its
+descendants) and are pruned, keeping any residual LP fallback small.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.linear_programming import polytope_vertices
+from repro.geometry.telemetry import COUNTERS
+
+#: Base tolerance for tight-row incidence and clip side decisions, scaled per
+#: row by ``1 + |b| + ||a||`` exactly like the feasibility slack of the
+#: vertex enumeration in :mod:`repro.geometry.linear_programming`.
+CLIP_TOL = 1e-9
+
+#: Decimals used to merge duplicate vertices (matches ``polytope_vertices``).
+DEDUP_DECIMALS = 12
+
+#: Ceiling on cached vertices per cell; a clip that would exceed it reports
+#: failure and the cell falls back to the H-representation (LP) path.
+MAX_VERTICES = 4096
+
+
+class VertexCache:
+    """Exact V-representation of one cell polytope.
+
+    Attributes
+    ----------
+    vertices:
+        ``(v, dim)`` vertex array.  In degenerate polytopes it may also hold
+        a few points interior to faces (see the module docstring); bounds and
+        ranks are unaffected and the centroid stays interior.
+    tight:
+        ``(v, m)`` boolean incidence between vertices and active rows.
+    active_a, active_b:
+        The non-redundant constraint rows ``active_a @ x <= active_b`` — the
+        subset of the cell's H-representation with at least one tight vertex.
+    """
+
+    __slots__ = ("vertices", "tight", "active_a", "active_b")
+
+    def __init__(self, vertices: np.ndarray, tight: np.ndarray,
+                 active_a: np.ndarray, active_b: np.ndarray):
+        self.vertices = vertices
+        self.tight = tight
+        self.active_a = active_a
+        self.active_b = active_b
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the ambient (preference) space."""
+        return self.vertices.shape[1]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the polytope has no feasible vertex (certifies emptiness)."""
+        return self.vertices.shape[0] == 0
+
+    # ------------------------------------------------------------- primitives
+    def linear_bounds(self, coef) -> tuple[float, float]:
+        """Minimum and maximum of ``coef @ x`` over the polytope.
+
+        The optimum of a linear function over a bounded polytope is attained
+        at a vertex, so this is exact.  Empty polytopes yield ``(nan, nan)``,
+        mirroring the infeasible-LP convention of :meth:`Cell.linear_range`.
+        """
+        if self.is_empty:
+            return np.nan, np.nan
+        values = self.vertices @ np.asarray(coef, dtype=float).reshape(-1)
+        return float(values.min()), float(values.max())
+
+    def centroid(self) -> np.ndarray:
+        """Vertex centroid — strictly interior for full-dimensional cells."""
+        return self.vertices.mean(axis=0)
+
+    def min_width(self) -> float:
+        """Smallest singular value of the centred vertex set.
+
+        A width proxy that never under-reports: along any direction the
+        centred projections reach at least half the polytope's extent, so the
+        smallest singular value is always >= the inscribed-ball radius.
+        ``0.0`` for vertex sets too small to span the space.
+        """
+        count = self.vertices.shape[0]
+        if count < 2:
+            return 0.0
+        centered = self.vertices - self.vertices.mean(axis=0)
+        singular = np.linalg.svd(centered, compute_uv=False)
+        if singular.shape[0] < self.dimension:
+            return 0.0
+        return float(singular[-1])
+
+    def is_full_dimensional(self, tol: float) -> bool | None:
+        """Affine-rank/width test against the Chebyshev criterion ``r > tol``.
+
+        The smallest singular value ``s`` brackets the inscribed-ball radius
+        ``r`` from both sides: ``s >= r`` always (along any direction the
+        centred projections reach the polytope's half-extent), and by
+        Steinhagen's inequality ``r >= s / (2 * sqrt(d * v))`` (half-extent
+        ``>= s / sqrt(v)``, minimal width ``>= 2 * r * sqrt(d)`` up to the
+        dimensional constant).  So ``s <= tol`` certifies *not* full-
+        dimensional, ``s`` clearing the Steinhagen bound certifies full-
+        dimensional, and the narrow band in between returns ``None`` — the
+        caller resolves it with the exact (pruned-row) Chebyshev LP, keeping
+        the verdict identical to the LP path even on degenerate slivers.
+        """
+        count = self.vertices.shape[0]
+        if count <= self.dimension:
+            return False
+        width = self.min_width()
+        if width <= tol:
+            return False
+        if width > tol * 2.0 * math.sqrt(self.dimension * count):
+            return True
+        return None
+
+
+def _row_tolerances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row incidence tolerance, scaled like the enumeration slack."""
+    return CLIP_TOL * (1.0 + np.abs(b) + np.linalg.norm(a, axis=1))
+
+
+def _empty_cache(dim: int) -> VertexCache:
+    return VertexCache(
+        np.zeros((0, dim), dtype=float),
+        np.zeros((0, 0), dtype=bool),
+        np.zeros((0, dim), dtype=float),
+        np.zeros(0, dtype=float),
+    )
+
+
+def _pruned(vertices: np.ndarray, tight: np.ndarray,
+            a: np.ndarray, b: np.ndarray) -> VertexCache:
+    """Drop rows with no tight vertex — they are redundant for the polytope."""
+    keep = tight.any(axis=0)
+    if keep.all():
+        return VertexCache(vertices, tight, a, b)
+    return VertexCache(vertices, tight[:, keep], a[keep], b[keep])
+
+
+def build_cache(a_ub, b_ub, *, vertices=None) -> VertexCache | None:
+    """V-representation of ``{x : a_ub x <= b_ub}`` built from scratch.
+
+    ``vertices`` seeds the cache with a known vertex set (e.g. the query
+    region's corners, or :func:`repro.geometry.linear_programming.polytope_vertices`
+    output preserved across region bisections); otherwise the vertex
+    enumeration runs here.  Returns ``None`` when the enumeration is not
+    applicable — the caller stays on the LP path.
+    """
+    a = np.asarray(a_ub, dtype=float)
+    b = np.asarray(b_ub, dtype=float).reshape(-1)
+    if vertices is None:
+        COUNTERS.enumeration_calls += 1
+        vertices = polytope_vertices(a, b)
+        if vertices is None:
+            return None
+    else:
+        vertices = np.asarray(vertices, dtype=float)
+        if vertices.shape[0]:
+            _, unique = np.unique(np.round(vertices, DEDUP_DECIMALS), axis=0, return_index=True)
+            vertices = vertices[np.sort(unique)]
+    if vertices.shape[0] == 0:
+        return _empty_cache(a.shape[1])
+    if vertices.shape[0] > MAX_VERTICES:
+        return None
+    slack = np.abs(vertices @ a.T - b[None, :])
+    tight = slack <= _row_tolerances(a, b)[None, :]
+    return _pruned(vertices, tight, a, b)
+
+
+def clip(cache: VertexCache, row, rhs: float) -> VertexCache | None:
+    """Child cache for ``cache ∩ {row @ x <= rhs}``.
+
+    Keeps the feasible-side vertices and generates the cut-plane vertices on
+    crossing edges (pairs of strictly-inside / strictly-outside vertices
+    sharing at least ``dim - 1`` tight rows).  Returns the parent unchanged
+    when the cut is redundant, an empty cache when nothing survives, and
+    ``None`` when the clip is degenerate within tolerance (no crossing edge
+    identifiable, or the vertex budget would be exceeded) — the caller then
+    falls back to from-scratch enumeration or the LP path.
+    """
+    COUNTERS.vertex_clip_calls += 1
+    vertices = cache.vertices
+    dim = cache.dimension
+    if vertices.shape[0] == 0:
+        return cache
+    row = np.asarray(row, dtype=float).reshape(-1)
+    rhs = float(rhs)
+    tol = CLIP_TOL * (1.0 + abs(rhs) + float(np.linalg.norm(row)))
+    slack = vertices @ row - rhs
+    outside = slack > tol
+    if not outside.any():
+        # Redundant cut: the child polytope is the parent — the new row gains
+        # no tight vertex, so pruning it away is exactly "don't add it".
+        return cache
+    keep = ~outside
+    if not keep.any():
+        return _empty_cache(dim)
+    inside = slack < -tol
+    in_idx = np.nonzero(inside)[0]
+    out_idx = np.nonzero(outside)[0]
+
+    on_plane = keep & ~inside
+    piece_vertices = [vertices[keep]]
+    piece_tight = [np.hstack([cache.tight[keep], on_plane[keep][:, None]])]
+    if in_idx.size:
+        shared = cache.tight[in_idx].astype(np.int64) @ cache.tight[out_idx].T.astype(np.int64)
+        pair_in, pair_out = np.nonzero(shared >= dim - 1)
+        if pair_in.size == 0 and not on_plane.any():
+            # Genuine crossing edges always share >= dim - 1 tight rows, and
+            # a path from an inside to an outside vertex must pass through a
+            # crossing edge or an on-plane vertex — finding neither means a
+            # tight incidence was lost to tolerance: fall back.
+            return None
+        if pair_in.size + piece_vertices[0].shape[0] > MAX_VERTICES:
+            return None
+        if pair_in.size:
+            lo = vertices[in_idx[pair_in]]
+            hi = vertices[out_idx[pair_out]]
+            s_lo = slack[in_idx[pair_in]][:, None]
+            s_hi = slack[out_idx[pair_out]][:, None]
+            # s_lo < 0 < s_hi, so the interpolation parameter lies in (0, 1).
+            cut_points = lo + (hi - lo) * (s_lo / (s_lo - s_hi))
+            cut_tight = cache.tight[in_idx[pair_in]] & cache.tight[out_idx[pair_out]]
+            piece_vertices.append(cut_points)
+            piece_tight.append(
+                np.hstack([cut_tight, np.ones((cut_points.shape[0], 1), dtype=bool)])
+            )
+    new_vertices = np.vstack(piece_vertices)
+    new_tight = np.vstack(piece_tight)
+
+    # Merge duplicate points (the same corner reached via several edges),
+    # OR-ing their incidence — the same geometric point is tight on the union
+    # of the rows its copies were tight on.
+    rounded = np.round(new_vertices, DEDUP_DECIMALS)
+    _, first, inverse = np.unique(rounded, axis=0, return_index=True, return_inverse=True)
+    if first.shape[0] != new_vertices.shape[0]:
+        merged = np.zeros((first.shape[0], new_tight.shape[1]), dtype=bool)
+        np.logical_or.at(merged, inverse.reshape(-1), new_tight)
+        order = np.argsort(first)
+        new_vertices = new_vertices[first[order]]
+        new_tight = merged[order]
+
+    a = np.vstack([cache.active_a, row[None, :]])
+    b = np.concatenate([cache.active_b, [rhs]])
+    return _pruned(new_vertices, new_tight, a, b)

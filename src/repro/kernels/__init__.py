@@ -13,6 +13,9 @@ provides those primitives as batch kernels over contiguous NumPy arrays:
   half-space coefficient construction, one-matmul evaluation of ``m``
   half-spaces at ``v`` points, and r-dominance matrices/masks derived from
   region-vertex scores.
+* :mod:`repro.kernels.vertexops` — segmented min/max reductions over stacked
+  cell-vertex arrays, the one-matmul batch classification of every
+  arrangement leaf against an inserted half-space.
 
 Every kernel ships with a ``*_loop`` reference implementation — the
 per-record code path the kernel replaced.  The references serve as
@@ -47,6 +50,10 @@ from repro.kernels.halfspace import (
     score_decomposition,
     vertex_scores,
 )
+from repro.kernels.vertexops import (
+    halfspace_side_bounds,
+    halfspace_side_bounds_loop,
+)
 
 __all__ = [
     "DOMINANCE_TOL",
@@ -60,6 +67,8 @@ __all__ = [
     "evaluate_halfspaces_loop",
     "halfspace_coefficients",
     "halfspace_coefficients_loop",
+    "halfspace_side_bounds",
+    "halfspace_side_bounds_loop",
     "r_dominance_matrix",
     "r_dominance_matrix_loop",
     "r_dominators_mask",

@@ -1,0 +1,57 @@
+"""Segmented reductions over stacked cell-vertex arrays.
+
+The arrangement classifies every leaf against each inserted half-space.  With
+V-represented cells that is a min/max of ``normal @ vertex`` per leaf —
+instead of looping, the arrangement concatenates all leaf vertex arrays and
+asks this kernel for every leaf's bounds in one stacked matmul plus two
+``reduceat`` passes.  The results match classifying each leaf on its own up
+to the last floating-point ulp (BLAS may block/FMA the stacked product
+differently than a per-cell one), far inside every classification tolerance.
+
+Like the rest of :mod:`repro.kernels`, this is a leaf layer (NumPy only) and
+the ``*_loop`` reference serves as the property-test oracle and the
+benchmark baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def halfspace_side_bounds(vertices, starts, normal) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment minima and maxima of ``vertices @ normal``.
+
+    Parameters
+    ----------
+    vertices:
+        ``(V, dim)`` row-wise concatenation of per-cell vertex arrays.
+    starts:
+        First row of each segment: ``starts[0] == 0``, strictly increasing,
+        every segment non-empty.
+    normal:
+        The half-space normal (``dim`` coefficients).
+
+    Returns
+    -------
+    ``(mins, maxs)`` arrays with one entry per segment.
+    """
+    vertices = np.asarray(vertices, dtype=float)
+    starts = np.asarray(starts, dtype=np.intp)
+    if vertices.shape[0] == 0 or starts.shape[0] == 0:
+        return np.empty(0, dtype=float), np.empty(0, dtype=float)
+    values = vertices @ np.asarray(normal, dtype=float).reshape(-1)
+    return np.minimum.reduceat(values, starts), np.maximum.reduceat(values, starts)
+
+
+def halfspace_side_bounds_loop(vertices, starts, normal) -> tuple[np.ndarray, np.ndarray]:
+    """Reference implementation: one pass per segment (property-test oracle)."""
+    vertices = np.asarray(vertices, dtype=float)
+    normal = np.asarray(normal, dtype=float).reshape(-1)
+    edges = list(np.asarray(starts, dtype=int)) + [vertices.shape[0]]
+    mins: list[float] = []
+    maxs: list[float] = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        values = vertices[low:high] @ normal
+        mins.append(values.min())
+        maxs.append(values.max())
+    return np.asarray(mins, dtype=float), np.asarray(maxs, dtype=float)

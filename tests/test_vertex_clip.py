@@ -1,0 +1,314 @@
+"""Agreement suite for the incremental V-representation of arrangement cells.
+
+The vertex-clip path (:mod:`repro.geometry.vertex_clip`) must agree with the
+from-scratch oracle — ``polytope_vertices`` over the full H-representation,
+and the LP-backed :class:`Cell` path it replaced — over random half-space
+insertion sequences, including near-tangent cuts and degenerate
+(lower-dimensional) children.  Comparisons near a tolerance boundary allow
+either of the two adjacent outcomes: at that scale the LP and the clip are
+both rounding the same knife-edge.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cell import CELL_SIDE_TOL, Cell, vertex_cache_disabled
+from repro.core.halfspace import HalfSpace
+from repro.core.jaa import JAA
+from repro.core.region import hyperrectangle
+from repro.core.rsa import RSA
+from repro.core.rskyband import compute_r_skyband
+from repro.geometry.linear_programming import polytope_vertices
+from repro.geometry.vertex_clip import clip
+from repro.kernels.vertexops import halfspace_side_bounds, halfspace_side_bounds_loop
+
+common_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Decision margins below this are knife-edge cases where the LP and vertex
+#: paths may legitimately round the same boundary differently.
+MARGIN = 1e-6
+
+dims = st.integers(1, 3)
+seeds = st.integers(0, 10_000)
+
+
+def random_region(dim: int, rng: np.random.Generator):
+    lower = np.round(rng.uniform(0.05, 0.45, size=dim), 3)
+    side = np.round(rng.uniform(0.05, 0.3, size=dim), 3)
+    upper = np.minimum(lower + side, 0.9 / dim)
+    lower = np.minimum(lower, upper - 0.01)
+    return hyperrectangle(lower, upper)
+
+
+def random_halfspace(cell: Cell, rng: np.random.Generator, *, near_tangent: bool) -> HalfSpace:
+    """A random cut, biased to cross the cell (or graze it when requested)."""
+    dim = cell.dimension
+    normal = np.round(rng.normal(size=dim), 3)
+    if not np.any(normal):
+        normal[0] = 1.0
+    low, high = cell.linear_range(normal)
+    if near_tangent:
+        epsilon = rng.choice([0.0, 1e-12, 1e-9, 1e-6])
+        offset = (high if rng.random() < 0.5 else low) - epsilon
+    else:
+        offset = rng.uniform(low + 0.2 * (high - low), high - 0.2 * (high - low))
+    return HalfSpace(normal=normal, offset=float(offset), label=int(rng.integers(1 << 20)))
+
+
+def build_chain(dim: int, rng: np.random.Generator, length: int) -> list[Cell]:
+    """A random restriction chain (the arrangement-tree path the clip walks)."""
+    cells = [Cell(random_region(dim, rng))]
+    for step in range(length):
+        cell = cells[-1]
+        halfspace = random_halfspace(cell, rng, near_tangent=(step % 4 == 3))
+        child = cell.restricted(halfspace, bool(rng.random() < 0.5))
+        if child.vertex_cache() is None or not child.is_full_dimensional():
+            continue
+        cells.append(child)
+    return cells
+
+
+class TestClipAgainstEnumerationOracle:
+    @common_settings
+    @given(dims, seeds)
+    def test_chain_vertices_match_from_scratch_enumeration(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 6):
+            cache = cell.vertex_cache()
+            a, b = cell.constraints
+            oracle = polytope_vertices(a, b)
+            if oracle is None:
+                continue
+            # Every oracle vertex is present in the cache (the clip may add
+            # extra on-face points in degenerate cases, never lose a corner).
+            # Near-tangent chain cuts intersect almost-parallel hyperplanes,
+            # so the interpolated and the dense-solved coordinates can differ
+            # by a conditioning-amplified epsilon — compare at 1e-6.
+            for vertex in oracle:
+                distance = np.abs(cache.vertices - vertex).sum(axis=1).min()
+                assert distance < 1e-6
+            # Every cached point is feasible for the full H-representation.
+            slack = cache.vertices @ a.T - b[None, :]
+            assert slack.max(initial=-np.inf) <= 1e-6
+
+    @common_settings
+    @given(dims, seeds)
+    def test_linear_bounds_match_oracle(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 6):
+            cache = cell.vertex_cache()
+            a, b = cell.constraints
+            oracle = polytope_vertices(a, b)
+            if oracle is None or oracle.shape[0] == 0:
+                continue
+            for _ in range(3):
+                coef = rng.normal(size=dim)
+                low, high = cache.linear_bounds(coef)
+                values = oracle @ coef
+                assert low == pytest.approx(float(values.min()), abs=1e-6)
+                assert high == pytest.approx(float(values.max()), abs=1e-6)
+
+    @common_settings
+    @given(dims, seeds)
+    def test_pruned_rows_are_redundant(self, dim, seed):
+        """Dropping the pruned rows must not change the vertex set."""
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 5):
+            cache = cell.vertex_cache()
+            if cache.is_empty:
+                continue
+            repruned = polytope_vertices(cache.active_a, cache.active_b)
+            if repruned is None:
+                continue
+            for vertex in cache.vertices:
+                assert np.abs(repruned - vertex).sum(axis=1).min() < 1e-6
+
+
+class TestCellAgainstLPPath:
+    @staticmethod
+    def lp_twin(cell: Cell) -> Cell:
+        """A fresh cell with the same H-representation, forced onto LPs."""
+        return Cell(cell.region, cell._extra_a, cell._extra_b)
+
+    @common_settings
+    @given(dims, seeds)
+    def test_classify_agrees(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 5):
+            for near_tangent in (False, True, True):
+                halfspace = random_halfspace(cell, rng, near_tangent=near_tangent)
+                low, high = cell.linear_range(halfspace.normal)
+                vertex_side = cell.classify(halfspace)
+                with vertex_cache_disabled():
+                    lp_side = self.lp_twin(cell).classify(halfspace)
+                if vertex_side == lp_side:
+                    continue
+                # Disagreements are only allowed on knife-edge margins where
+                # the decision flips within MARGIN of the tolerance band.
+                margin = min(abs(low - halfspace.offset), abs(high - halfspace.offset))
+                assert margin <= MARGIN + CELL_SIDE_TOL, (
+                    f"classify mismatch far from the boundary: vertex={vertex_side} "
+                    f"lp={lp_side} margin={margin}"
+                )
+
+    @common_settings
+    @given(dims, seeds)
+    def test_interior_point_is_interior(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 5):
+            point = cell.interior_point
+            assert point is not None
+            assert cell.contains(point, tol=1e-9)
+            with vertex_cache_disabled():
+                lp_point = self.lp_twin(cell).interior_point
+            assert lp_point is not None
+            assert cell.contains(lp_point, tol=1e-9)
+
+    @common_settings
+    @given(dims, seeds)
+    def test_linear_range_agrees(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        for cell in build_chain(dim, rng, 5):
+            coef = rng.normal(size=dim)
+            low, high = cell.linear_range(coef)
+            with vertex_cache_disabled():
+                lp_low, lp_high = self.lp_twin(cell).linear_range(coef)
+            assert low == pytest.approx(lp_low, abs=1e-6)
+            assert high == pytest.approx(lp_high, abs=1e-6)
+
+
+class TestDegenerateCuts:
+    def test_tangent_cut_keeps_parent(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cache = Cell(region).vertex_cache()
+        # u1 <= 0.4 exactly touches the face: redundant, child is the parent.
+        child = clip(cache, np.array([1.0, 0.0]), 0.4)
+        assert child is cache
+
+    def test_cut_beyond_the_cell_is_empty(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cache = Cell(region).vertex_cache()
+        child = clip(cache, np.array([-1.0, 0.0]), -0.9)  # u1 >= 0.9
+        assert child.is_empty
+
+    def test_tangent_keeping_side_collapses_to_face(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cell = Cell(region)
+        halfspace = HalfSpace(np.array([1.0, 0.0]), 0.4)  # u1 >= 0.4: the face
+        child = cell.restricted(halfspace, True)
+        assert not child.is_full_dimensional()
+        cache = child.vertex_cache()
+        assert cache is not None and not cache.is_empty
+        assert np.allclose(cache.vertices[:, 0], 0.4)
+        # Measure-zero cells report no interior point on either path.
+        assert child.interior_point is None
+        with vertex_cache_disabled():
+            assert Cell(child.region, child._extra_a, child._extra_b).interior_point is None
+
+    def test_near_tangent_split_matches_lp(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cell = Cell(region)
+        for epsilon in (1e-12, 1e-10, 1e-8, 1e-6, 1e-4):
+            halfspace = HalfSpace(np.array([1.0, 0.0]), 0.4 - epsilon)
+            vertex_side = cell.classify(halfspace)
+            with vertex_cache_disabled():
+                lp_side = Cell(region).classify(halfspace)
+            # Below the full-dimensionality tolerance both paths must refuse
+            # to split; above it both must split.
+            assert vertex_side == lp_side
+
+    def test_1d_chain(self):
+        region = hyperrectangle([0.2], [0.8])
+        cell = Cell(region)
+        halfspace = HalfSpace(np.array([1.0]), 0.5)
+        assert cell.classify(halfspace) == "split"
+        child = cell.restricted(halfspace, True)
+        assert sorted(child.vertex_cache().vertices[:, 0].tolist()) == pytest.approx([0.5, 0.8])
+
+
+class TestPickling:
+    def test_cell_ships_its_vertex_cache(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cell = Cell(region).restricted(HalfSpace(np.array([1.0, 0.0]), 0.25), True)
+        cache = cell.vertex_cache()
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone._vcache is not None
+        assert np.array_equal(clone._vcache.vertices, cache.vertices)
+        assert np.array_equal(clone._vcache.tight, cache.tight)
+
+    def test_unbuilt_cache_round_trips_as_lazy(self):
+        region = hyperrectangle([0.1, 0.1], [0.4, 0.4])
+        cell = Cell(region)
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone.vertex_cache() is not None
+
+
+class TestVertexOpsKernel:
+    @common_settings
+    @given(seeds)
+    def test_kernel_matches_loop_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        segments = [rng.random((int(rng.integers(1, 9)), 3)) for _ in range(int(rng.integers(1, 6)))]
+        stacked = np.concatenate(segments, axis=0)
+        starts = np.concatenate([[0], np.cumsum([s.shape[0] for s in segments[:-1]])])
+        normal = rng.normal(size=3)
+        mins, maxs = halfspace_side_bounds(stacked, starts, normal)
+        loop_mins, loop_maxs = halfspace_side_bounds_loop(stacked, starts, normal)
+        # Equal up to the last ulp: BLAS may block the stacked matmul
+        # differently than the per-segment products.
+        assert np.allclose(mins, loop_mins, rtol=1e-12, atol=1e-14)
+        assert np.allclose(maxs, loop_maxs, rtol=1e-12, atol=1e-14)
+
+    def test_empty_input(self):
+        mins, maxs = halfspace_side_bounds(np.zeros((0, 2)), np.zeros(0, dtype=int), [1.0, 0.0])
+        assert mins.shape == (0,) and maxs.shape == (0,)
+
+
+class TestEndToEndAgreement:
+    """Acceptance property: identical UTK answers with the cache on and off."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000), st.integers(3, 4), st.integers(1, 5))
+    def test_rsa_jaa_identical_with_and_without_vertex_cache(self, seed, d, k):
+        rng = np.random.default_rng(seed)
+        values = np.round(rng.random((40, d)), 3)
+        region = random_region(d - 1, rng)
+        skyband = compute_r_skyband(values, region, k)
+        utk1_on = RSA(values, region, k, skyband=skyband).run()
+        utk2_on = JAA(values, region, k, skyband=skyband).run()
+        with vertex_cache_disabled():
+            utk1_off = RSA(values, region, k, skyband=skyband).run()
+            utk2_off = JAA(values, region, k, skyband=skyband).run()
+        assert utk1_on.indices == utk1_off.indices
+        assert utk2_on.distinct_top_k_sets == utk2_off.distinct_top_k_sets
+        # Pointwise cross-check: the partitionings must assign the same
+        # top-k set to each other's representative points, not just share
+        # the inventory of distinct sets.
+        for own, other in ((utk2_on, utk2_off), (utk2_off, utk2_on)):
+            for partition in own.partitions:
+                point = partition.interior_point
+                assert point is not None
+                assert other.top_k_at(point) == partition.top_k
+        # The LP path never clips; the vertex path never needs scipy (its
+        # rare gray-zone Chebyshev LPs stay on the enumeration fast path).
+        assert utk1_off.stats["vertex_clip_calls"] == 0
+        assert utk1_on.stats["fallback_calls"] == 0
+
+    def test_default_workload_runs_without_scipy_fallback(self):
+        rng = np.random.default_rng(11)
+        values = rng.random((400, 4))
+        region = hyperrectangle([0.1, 0.1, 0.1], [0.15, 0.15, 0.15])
+        skyband = compute_r_skyband(values, region, 5)
+        utk1 = RSA(values, region, 5, skyband=skyband).run()
+        utk2 = JAA(values, region, 5, skyband=skyband).run()
+        assert utk1.stats["fallback_calls"] == 0
+        assert utk2.stats["fallback_calls"] == 0
+        assert utk1.stats["lp_calls"] == 0
+        assert utk2.stats["lp_calls"] == 0
