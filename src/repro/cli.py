@@ -9,6 +9,10 @@ any code:
 * ``batch`` — serve a JSON-lines file of queries through a persistent
   :class:`~repro.engine.engine.UTKEngine` and report results plus cache
   statistics;
+* ``stream`` — serve a JSON-lines stream of interleaved
+  ``insert``/``delete``/``query`` events through a
+  :class:`~repro.dynamic.engine.DynamicUTKEngine`, whose caches are repaired
+  per update instead of cleared;
 * ``experiment`` — run one of the per-figure experiment generators and print
   the rows the paper's figure plots.
 """
@@ -150,6 +154,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="-", help="file to write the JSON report to (default stdout)"
     )
 
+    stream = subparsers.add_parser(
+        "stream", help="serve an interleaved insert/delete/query event stream"
+    )
+    stream.add_argument(
+        "--input", required=True,
+        help="JSON-lines event file, or '-' for stdin; each line is "
+             "{\"op\": \"insert\", \"values\": [...]}, "
+             "{\"op\": \"delete\", \"id\": int} or "
+             "{\"op\": \"query\", \"lower\": [...], \"upper\": [...], "
+             "\"k\": int, \"version\": \"utk1\"|\"utk2\"|\"both\"}"
+    )
+    stream.add_argument(
+        "--dataset", default="IND", help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)"
+    )
+    stream.add_argument(
+        "--cardinality", type=int, default=2000,
+        help="initial number of records (default 2000; ids 0..n-1)",
+    )
+    stream.add_argument(
+        "--dimensionality",
+        type=int,
+        default=3,
+        help="attributes for synthetic datasets (default 3)",
+    )
+    stream.add_argument("--seed", type=int, default=0, help="dataset seed")
+    stream.add_argument(
+        "--cache-size", type=int, default=128, help="capacity of each engine cache (default 128)"
+    )
+    stream.add_argument(
+        "--output", default="-", help="file to write the JSON report to (default stdout)"
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments"
     )
@@ -223,12 +259,8 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_batch_line(line: str, number: int) -> BatchQuery:
+def _parse_batch_line(payload: dict, number: int) -> BatchQuery:
     """One JSON-lines query: corners + k (+ optional problem version)."""
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise InvalidQueryError(f"line {number}: invalid JSON ({exc})") from exc
     missing = {"lower", "upper", "k"} - set(payload)
     if missing:
         raise InvalidQueryError(f"line {number}: missing field(s) {sorted(missing)}")
@@ -236,17 +268,37 @@ def _parse_batch_line(line: str, number: int) -> BatchQuery:
     return BatchQuery(region=region, k=int(payload["k"]), version=payload.get("version", "utk1"))
 
 
-def _read_batch_queries(source: str) -> list[BatchQuery]:
+def _read_jsonl(source: str) -> list[tuple[int, dict]]:
+    """Parse a JSON-lines file (or stdin for ``-``) into numbered objects."""
     if source == "-":
         lines = sys.stdin.read().splitlines()
     else:
         with open(source, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
-    queries = []
+    objects = []
     for number, line in enumerate(lines, start=1):
-        if line.strip():
-            queries.append(_parse_batch_line(line, number))
-    return queries
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidQueryError(f"line {number}: invalid JSON ({exc})") from exc
+        objects.append((number, payload))
+    return objects
+
+
+def _read_batch_queries(source: str) -> list[BatchQuery]:
+    return [_parse_batch_line(payload, number) for number, payload in _read_jsonl(source)]
+
+
+def _write_report(report: dict, output: str) -> None:
+    """Serialize a JSON report to stdout (``-``) or a file."""
+    text = json.dumps(report, indent=2)
+    if output == "-":
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 def _batch_item_payload(item) -> dict:
@@ -301,12 +353,59 @@ def _run_batch(args: argparse.Namespace) -> int:
         "cache": engine.statistics(),
         "results": [_batch_item_payload(item) for item in items],
     }
-    text = json.dumps(report, indent=2)
-    if args.output == "-":
-        print(text)
-    else:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+    _write_report(report, args.output)
+    return 0
+
+
+def _read_stream_events(source: str) -> list[dict]:
+    """Parse a JSON-lines event file into the ``serve_events`` shape."""
+    events = []
+    for number, event in _read_jsonl(source):
+        if not isinstance(event, dict) or "op" not in event:
+            raise InvalidQueryError(f"line {number}: events must be objects with an \"op\" field")
+        events.append(event)
+    return events
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicUTKEngine, serve_events
+
+    events = _read_stream_events(args.input)
+    if not events:
+        print("no events supplied", file=sys.stderr)
+        return 1
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+    engine = DynamicUTKEngine(data, cache_size=args.cache_size)
+    started = time.perf_counter()
+    try:
+        results = serve_events(engine, events)
+    finally:
+        engine.close()
+    elapsed = time.perf_counter() - started
+    statistics = engine.statistics()
+    # The maintenance counters get their own top-level key; keep the cache
+    # block free of a second copy.
+    dynamic = statistics.pop("dynamic")
+    queries = sum(1 for event in events if event.get("op") == "query")
+    sources: dict[str, int] = {}
+    for record in results:
+        for source in record.get("sources", {}).values():
+            sources[source] = sources.get(source, 0) + 1
+    report = {
+        "dataset": args.dataset.upper(),
+        "n_initial": data.size,
+        "n_final": len(engine.store),
+        "events": len(events),
+        "queries": queries,
+        "updates": len(events) - queries,
+        "wall_seconds": round(elapsed, 6),
+        "events_per_second": round(len(events) / elapsed, 3) if elapsed > 0 else float("inf"),
+        "sources": dict(sorted(sources.items())),
+        "dynamic": dynamic,
+        "cache": statistics,
+        "results": results,
+    }
+    _write_report(report, args.output)
     return 0
 
 
@@ -329,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "stream":
+        return _run_stream(args)
     return _run_experiment(args)
 
 

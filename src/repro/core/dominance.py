@@ -111,6 +111,25 @@ class RDominance:
         scores = self._vertex_scores(stacked)
         return _kernel_r_dominators_mask(scores[:, 0], scores[:, 1:], self.tol)
 
+    def dominated_by(self, point, pool: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``pool`` marking records that ``point`` r-dominates.
+
+        The converse of :meth:`dominators_of`: the incremental-maintenance
+        layer uses it to scope a deleted record's influence to exactly the
+        records it r-dominated.
+        """
+        pool = np.asarray(pool, dtype=float)
+        if pool.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        if self._vertices is None:
+            return np.array(
+                [r_dominates(point, row, self.region, self.tol) for row in pool], dtype=bool
+            )
+        stacked = np.vstack([np.asarray(point, dtype=float).reshape(1, -1), pool])
+        scores = self._vertex_scores(stacked)
+        diff = scores[:, 0][:, None] - scores[:, 1:]
+        return np.all(diff >= -self.tol, axis=0) & np.any(diff > self.tol, axis=0)
+
     def dominance_matrix(self, values: np.ndarray) -> np.ndarray:
         """Full pairwise matrix ``M[i, j] = True`` iff record ``i`` r-dominates ``j``.
 

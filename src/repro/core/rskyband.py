@@ -88,6 +88,10 @@ class RSkyband:
         """Member indices as a plain list."""
         return [int(i) for i in self.indices]
 
+    def has_member(self, index: int) -> bool:
+        """Whether dataset record ``index`` is an r-skyband member."""
+        return int(index) in self._position
+
     def positions_of(self, indices) -> np.ndarray:
         """Row positions (into ``values``/``adjacency``) of member indices."""
         return np.fromiter((self._position[int(i)] for i in indices), dtype=int, count=len(indices))

@@ -10,6 +10,7 @@ from repro.datasets.synthetic import (
     correlated,
     anticorrelated,
     synthetic_dataset,
+    update_stream,
 )
 from repro.datasets.real import hotel_dataset, house_dataset, nba_league_dataset
 from repro.datasets.nba import nba_star_dataset, NBA_STAR_COLUMNS
@@ -19,6 +20,7 @@ __all__ = [
     "correlated",
     "anticorrelated",
     "synthetic_dataset",
+    "update_stream",
     "hotel_dataset",
     "house_dataset",
     "nba_league_dataset",

@@ -66,6 +66,121 @@ def anticorrelated(
     return np.clip(base + offsets, 0.0, 1.0)
 
 
+# -------------------------------------------------------------- update streams
+def update_stream(
+    initial,
+    count: int,
+    *,
+    insert_prob: float = 0.2,
+    delete_prob: float = 0.2,
+    k_choices=(1, 2, 5),
+    zipf_exponent: float = 1.2,
+    sigma: float = 0.08,
+    hot_regions: int = 3,
+    hot_prob: float = 0.65,
+    churn_exponent: float = 1.1,
+    jitter: float = 0.05,
+    seed=0,
+) -> list[dict]:
+    """A reproducible interleaved stream of insert/delete/query events.
+
+    This is the workload of the dynamic-data serving path: a dataset under
+    churn while queries keep arriving.  Each event is a JSON-able mapping in
+    the shape :func:`repro.dynamic.serve_events` and the ``repro stream`` CLI
+    consume: ``{"op": "insert", "values": [...]}``,
+    ``{"op": "delete", "id": ...}`` or ``{"op": "query", "lower": [...],
+    "upper": [...], "k": ..., "version": ...}``.
+
+    Parameters
+    ----------
+    initial:
+        The dataset the stream starts from (a
+        :class:`~repro.core.records.Dataset` or an ``(n, d)`` matrix); its
+        records are assumed to hold ids ``0..n-1``, as a
+        :class:`~repro.dynamic.engine.DynamicUTKEngine` assigns them.
+    count:
+        Number of events to generate.
+    insert_prob, delete_prob:
+        Update mix; the remainder are queries.  A delete drawn while fewer
+        than two records are live degrades to an insert.
+    k_choices, zipf_exponent:
+        Query ``k`` values with Zipf-distributed popularity (as in
+        :func:`repro.bench.workloads.engine_query_stream`).
+    sigma, hot_regions, hot_prob:
+        Query regions are hyper-cubes of side ``sigma``; with probability
+        ``hot_prob`` a query revisits one of ``hot_regions`` fixed hot cubes
+        (the cache-friendly serving pattern), otherwise a fresh random cube.
+    churn_exponent:
+        Skew of the key churn: deletes (and insert templates) pick live
+        records rank-weighted by recency, ``1 / rank ** churn_exponent`` with
+        the newest record at rank 1 — hot keys churn the most, as in real
+        update streams.
+    jitter:
+        Inserted records perturb a recency-sampled template row by this
+        Gaussian spread (clipped to ``[0, 1]``), so the data distribution
+        drifts slowly instead of resetting.
+    """
+    # Imported lazily: repro.bench pulls in the experiment generators, which
+    # in turn import this module.
+    from repro.bench.workloads import _random_cube, zipfian_k
+
+    if count < 0:
+        raise InvalidDatasetError("count must be non-negative")
+    if insert_prob < 0 or delete_prob < 0 or insert_prob + delete_prob > 1.0:
+        raise InvalidDatasetError("insert_prob/delete_prob must be a sub-probability pair")
+    values = initial.values if isinstance(initial, Dataset) else np.asarray(initial, dtype=float)
+    if values.ndim != 2:
+        raise InvalidDatasetError("initial dataset must be an (n, d) matrix")
+    n, d = values.shape
+    if n == 0 or d < 2:
+        raise InvalidDatasetError("need a non-empty initial dataset with d >= 2")
+    rng = _rng(seed)
+    corners = [_random_cube(d - 1, sigma, rng) for _ in range(max(1, hot_regions))]
+
+    rows = {i: values[i] for i in range(n)}
+    live: list[int] = list(range(n))  # insertion order: newest last
+    next_id = n
+
+    def churn_pick() -> int:
+        """Position into ``live``, recency-skewed (newest = rank 1)."""
+        ranks = np.arange(1, len(live) + 1, dtype=float)
+        weights = ranks ** (-float(churn_exponent))
+        probabilities = weights / weights.sum()
+        rank = int(rng.choice(len(live), p=probabilities))
+        return len(live) - 1 - rank
+
+    events: list[dict] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < insert_prob or (roll < insert_prob + delete_prob and len(live) < 2):
+            template = rows[live[churn_pick()]]
+            row = np.clip(template + rng.normal(scale=jitter, size=d), 0.0, 1.0)
+            rows[next_id] = row
+            live.append(next_id)
+            events.append({"op": "insert", "values": [float(v) for v in row]})
+            next_id += 1
+        elif roll < insert_prob + delete_prob:
+            position = churn_pick()
+            victim = live.pop(position)
+            rows.pop(victim)
+            events.append({"op": "delete", "id": int(victim)})
+        else:
+            if rng.random() < hot_prob:
+                lower, upper = corners[int(rng.integers(len(corners)))]
+            else:
+                lower, upper = _random_cube(d - 1, sigma, rng)
+            events.append(
+                {
+                    "op": "query",
+                    "lower": [float(v) for v in lower],
+                    "upper": [float(v) for v in upper],
+                    "k": zipfian_k(k_choices, zipf_exponent, rng),
+                    "version": str(rng.choice(["utk1", "utk2", "both"], p=[0.5, 0.3, 0.2])),
+                }
+            )
+    return events
+
+
 def synthetic_dataset(distribution: str, cardinality: int, dimensionality: int, seed=0) -> Dataset:
     """Build a :class:`~repro.core.records.Dataset` for a named distribution."""
     name = distribution.upper()

@@ -1,0 +1,39 @@
+"""repro.dynamic — streaming insert/delete maintenance for the UTK stack.
+
+The static stack assumes an immutable dataset: any record change forces a
+full rebuild (re-bulk-load the R-tree, recompute every r-skyband, drop every
+engine cache).  This subsystem makes the whole stack update-aware:
+
+* :class:`RecordStore` — a growable record buffer with stable ids and
+  tombstoned deletes (:mod:`repro.dynamic.store`);
+* :func:`repair_insert` / :func:`repair_delete` — exact incremental
+  r-skyband maintenance (:mod:`repro.dynamic.maintenance`);
+* :class:`DynamicUTKEngine` — a serving engine whose caches are surgically
+  repaired or evicted per update instead of cleared
+  (:mod:`repro.dynamic.engine`), plus :func:`serve_events` for interleaved
+  update/query event streams (the ``repro stream`` CLI mode).
+"""
+
+from repro.dynamic.engine import DynamicUTKEngine, UpdateStatistics, serve_events
+from repro.dynamic.maintenance import (
+    KIND_NOOP,
+    KIND_PATCHED,
+    KIND_REFILTERED,
+    SkybandRepair,
+    repair_delete,
+    repair_insert,
+)
+from repro.dynamic.store import RecordStore
+
+__all__ = [
+    "DynamicUTKEngine",
+    "UpdateStatistics",
+    "serve_events",
+    "RecordStore",
+    "SkybandRepair",
+    "repair_insert",
+    "repair_delete",
+    "KIND_NOOP",
+    "KIND_PATCHED",
+    "KIND_REFILTERED",
+]

@@ -1,0 +1,135 @@
+"""Mutable record storage with stable identifiers.
+
+The static stack identifies a record by its row position in an immutable
+``(n, d)`` matrix.  Under insertions and deletions positions shift, so the
+dynamic subsystem stores records in a :class:`RecordStore`: an
+amortized-growth buffer in which every record keeps the id it was assigned at
+insertion for its whole lifetime.  Deletion tombstones the row (ids are never
+reused), so cached answers, r-skyband graphs and R-tree entries all keep
+referring to stable ids across any update sequence.
+
+The store deliberately exposes the raw buffer prefix (:attr:`matrix`): the
+serving engine hands it to the algorithm layer, whose index-driven filtering
+only ever reads rows that are reachable through the R-tree — tombstoned rows
+are physically present but unreachable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidDatasetError
+
+
+class RecordStore:
+    """A growable ``(n, d)`` record buffer with stable ids and tombstones.
+
+    Parameters
+    ----------
+    values:
+        Initial ``(n, d)`` matrix; record ``i`` of it receives id ``i``.
+    capacity:
+        Optional initial buffer capacity (grows by doubling when exceeded).
+    """
+
+    def __init__(self, values, *, capacity: int | None = None):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise InvalidDatasetError("record store expects an (n, d) matrix")
+        n, d = values.shape
+        size = max(capacity or 0, 2 * n, 16)
+        self._buffer = np.zeros((size, d), dtype=float)
+        self._buffer[:n] = values
+        self._active = np.zeros(size, dtype=bool)
+        self._active[:n] = True
+        self._count = n
+        self._n_active = n
+
+    # ------------------------------------------------------------------ views
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes ``d``."""
+        return self._buffer.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The buffer prefix holding every id ever assigned (incl. tombstones)."""
+        return self._buffer[: self._count]
+
+    @property
+    def high_water(self) -> int:
+        """One past the largest id ever assigned."""
+        return self._count
+
+    def __len__(self) -> int:
+        """Number of *active* (not deleted) records."""
+        return self._n_active
+
+    def is_active(self, record_id: int) -> bool:
+        """Whether ``record_id`` exists and has not been deleted."""
+        record_id = int(record_id)
+        return 0 <= record_id < self._count and bool(self._active[record_id])
+
+    def row(self, record_id: int) -> np.ndarray:
+        """Attribute row of an active record (copy)."""
+        if not self.is_active(record_id):
+            raise KeyError(f"record {record_id} is not active")
+        return self._buffer[int(record_id)].copy()
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of all active records, ascending."""
+        return np.flatnonzero(self._active[: self._count])
+
+    def active_values(self) -> np.ndarray:
+        """Rows of all active records, in :meth:`active_ids` order (copy)."""
+        return self._buffer[self.active_ids()].copy()
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, values)`` of the active records — the rebuild reference.
+
+        A static engine built from ``values`` answers in row positions;
+        ``ids[position]`` maps those back into this store's stable id space.
+        """
+        ids = self.active_ids()
+        return ids, self._buffer[ids].copy()
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, row) -> int:
+        """Append a record and return its freshly assigned id."""
+        row = np.asarray(row, dtype=float).reshape(-1)
+        if row.shape[0] != self.dimensionality:
+            raise InvalidDatasetError(
+                f"record has {row.shape[0]} attributes, store holds {self.dimensionality}"
+            )
+        if not np.all(np.isfinite(row)):
+            raise InvalidDatasetError("record contains NaN or infinite values")
+        if self._count == self._buffer.shape[0]:
+            self._grow()
+        record_id = self._count
+        self._buffer[record_id] = row
+        self._active[record_id] = True
+        self._count += 1
+        self._n_active += 1
+        return record_id
+
+    def delete(self, record_id: int) -> np.ndarray:
+        """Tombstone a record; returns its row (the id is never reused)."""
+        if not self.is_active(record_id):
+            raise KeyError(f"record {record_id} is not active")
+        record_id = int(record_id)
+        self._active[record_id] = False
+        self._n_active -= 1
+        return self._buffer[record_id].copy()
+
+    def _grow(self) -> None:
+        size, d = self._buffer.shape
+        buffer = np.zeros((2 * size, d), dtype=float)
+        buffer[:size] = self._buffer
+        active = np.zeros(2 * size, dtype=bool)
+        active[:size] = self._active
+        self._buffer = buffer
+        self._active = active
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RecordStore(active={self._n_active}, high_water={self._count}, "
+                f"d={self.dimensionality})")

@@ -107,9 +107,36 @@ class LRUCache:
         if key in self._entries:
             self._entries.move_to_end(key)
 
+    def replace(self, key, value) -> bool:
+        """Swap the value of an existing key; recency and counters untouched.
+
+        Returns whether the key was present.  This is the in-place update
+        the maintenance layer uses when it repairs a cached object: the
+        entry's position in the recency order still reflects *query*
+        traffic, and no phantom hit is recorded.
+        """
+        if key not in self._entries:
+            return False
+        self._entries[key] = value
+        return True
+
     def scan(self) -> Iterator[tuple]:
         """Iterate ``(key, value)`` pairs, most recently used first."""
         return iter(list(reversed(self._entries.items())))
+
+    def evict_where(self, predicate) -> int:
+        """Drop every entry for which ``predicate(key, value)`` is true.
+
+        Returns the number of entries removed; each counts as an eviction.
+        This is the fine-grained alternative to :meth:`clear` — callers that
+        know which entries an event invalidated (a data update, a schema
+        change) evict exactly those and keep the rest of the cache warm.
+        """
+        doomed = [key for key, value in self._entries.items() if predicate(key, value)]
+        for key in doomed:
+            del self._entries[key]
+        self.evictions += len(doomed)
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

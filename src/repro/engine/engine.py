@@ -179,6 +179,12 @@ class UTKEngine:
         if self._values.shape[0] > index_threshold:
             self._tree = RTree(self._values)
         self._lock = threading.RLock()
+        # Dataset generation: bumped by update-aware subclasses whenever the
+        # bound data changes.  Query paths capture it at cache-lookup time
+        # and skip their cache writes when it moved, so an answer computed
+        # from pre-update state is still returned (it was correct when the
+        # query arrived) but can never poison the caches.
+        self._generation = 0
         self._skybands = LRUCache(cache_size)
         self._utk1_cache = LRUCache(cache_size)
         self._utk2_cache = LRUCache(cache_size)
@@ -239,6 +245,7 @@ class UTKEngine:
         signature = region_signature(region)
         key = (signature, k)
         with self._lock:
+            generation = self._generation
             self.stats.utk1_queries += 1
             entry = self._utk1_cache.get(key)
             if entry is not None:
@@ -249,7 +256,8 @@ class UTKEngine:
             result = clip_partitioning(donor.result, region).to_utk1()
             with self._lock:
                 self.stats.containment_hits += 1
-                self._utk1_cache.put(key, _ResultEntry(region, k, result))
+                self._put_current(self._utk1_cache, key, _ResultEntry(region, k, result),
+                                  generation)
             return result, SOURCE_CONTAINMENT
         skyband, source = self._skyband_for(region, k, signature)
         if self._route_parallel(skyband):
@@ -257,7 +265,7 @@ class UTKEngine:
         else:
             result = RSA(self._values, region, k, skyband=skyband).run()
         with self._lock:
-            self._utk1_cache.put(key, _ResultEntry(region, k, result))
+            self._put_current(self._utk1_cache, key, _ResultEntry(region, k, result), generation)
         return result, source
 
     def serve_utk2(self, region: Region, k: int) -> tuple[UTK2Result, str]:
@@ -269,6 +277,7 @@ class UTKEngine:
         signature = region_signature(region)
         key = (signature, k)
         with self._lock:
+            generation = self._generation
             self.stats.utk2_queries += 1
             entry = self._utk2_cache.get(key)
             if entry is not None:
@@ -279,7 +288,8 @@ class UTKEngine:
             result = clip_partitioning(donor.result, region)
             with self._lock:
                 self.stats.containment_hits += 1
-                self._utk2_cache.put(key, _ResultEntry(region, k, result))
+                self._put_current(self._utk2_cache, key, _ResultEntry(region, k, result),
+                                  generation)
             return result, SOURCE_CONTAINMENT
         skyband, source = self._skyband_for(region, k, signature)
         if self._route_parallel(skyband):
@@ -287,7 +297,7 @@ class UTKEngine:
         else:
             result = JAA(self._values, region, k, skyband=skyband).run()
         with self._lock:
-            self._utk2_cache.put(key, _ResultEntry(region, k, result))
+            self._put_current(self._utk2_cache, key, _ResultEntry(region, k, result), generation)
         return result, source
 
     def k_skyband(self, k: int) -> np.ndarray:
@@ -301,13 +311,14 @@ class UTKEngine:
             raise InvalidQueryError("k must be positive")
         key = int(k)
         with self._lock:
+            generation = self._generation
             cached = self._traditional_skybands.get(key)
             if cached is not None:
                 return cached
         from repro.skyline.skyband import k_skyband as traditional_k_skyband
         result = traditional_k_skyband(self._values, key, tree=self._tree)
         with self._lock:
-            self._traditional_skybands.put(key, result)
+            self._put_current(self._traditional_skybands, key, result, generation)
         return result
 
     # ------------------------------------------------------------- parallel
@@ -355,11 +366,21 @@ class UTKEngine:
         self.close()
 
     # ------------------------------------------------------------- filtering
+    def _put_current(self, cache: LRUCache, key, value, generation: int) -> None:
+        """Cache ``value`` unless the dataset changed while it was computed.
+
+        Must be called under the engine lock.  A stale write would otherwise
+        survive the update's eviction sweep and be served as a "hit" forever.
+        """
+        if generation == self._generation:
+            cache.put(key, value)
+
     def _skyband_for(self, region: Region, k: int,
                      signature: str) -> tuple[RSkyband, str]:
         """The r-skyband for a query, reusing cached filterings when possible."""
         key = (signature, k)
         with self._lock:
+            generation = self._generation
             entry = self._skybands.get(key)
             if entry is not None:
                 self.stats.skyband_hits += 1
@@ -369,12 +390,13 @@ class UTKEngine:
             skyband = refilter_r_skyband(donor.skyband, region, k)
             with self._lock:
                 self.stats.skyband_containment_hits += 1
-                self._skybands.put(key, _SkybandEntry(region, k, skyband))
+                self._put_current(self._skybands, key, _SkybandEntry(region, k, skyband),
+                                  generation)
             return skyband, SOURCE_SKYBAND_CONTAINMENT
         skyband = compute_r_skyband(self._values, region, k, tree=self._tree)
         with self._lock:
             self.stats.cold_queries += 1
-            self._skybands.put(key, _SkybandEntry(region, k, skyband))
+            self._put_current(self._skybands, key, _SkybandEntry(region, k, skyband), generation)
         return skyband, SOURCE_COLD
 
     def _find_containing(
@@ -420,6 +442,49 @@ class UTKEngine:
             merged = {"engine": self.stats.as_dict()}
         merged.update(self.cache_stats())
         return merged
+
+    def evict(self, *, region: Region | None = None, k: int | None = None,
+              predicate=None) -> dict:
+        """Fine-grained cache eviction; returns per-cache eviction counts.
+
+        Drops the cached skybands and results matching *all* supplied
+        filters, leaving everything else warm — the surgical alternative to
+        :meth:`clear_caches`:
+
+        * ``k`` — only entries computed for exactly this ``k``;
+        * ``region`` — only entries whose region is contained in ``region``
+          (an umbrella region: everything answering queries inside it goes);
+        * ``predicate`` — custom ``predicate(key, entry)`` over the skyband/
+          result entries, combined (AND) with the filters above.
+
+        The traditional per-``k`` skyband memo has no region, so it honours
+        only the ``k`` filter (and is left untouched by region-or-predicate
+        scoped evictions).  With no arguments every entry is evicted, like
+        :meth:`clear_caches` but counted in the eviction statistics.
+        """
+
+        def matches(key, entry) -> bool:
+            if k is not None and entry.k != k:
+                return False
+            if region is not None and not region_contains(region, entry.region):
+                return False
+            if predicate is not None and not predicate(key, entry):
+                return False
+            return True
+
+        with self._lock:
+            counts = {
+                "skyband": self._skybands.evict_where(matches),
+                "utk1": self._utk1_cache.evict_where(matches),
+                "utk2": self._utk2_cache.evict_where(matches),
+            }
+            if region is None and predicate is None:
+                counts["k_skyband"] = self._traditional_skybands.evict_where(
+                    lambda key, _value: k is None or key == k
+                )
+            else:
+                counts["k_skyband"] = 0
+        return counts
 
     def clear_caches(self) -> None:
         """Drop every cached skyband and result (counters are preserved)."""

@@ -6,7 +6,9 @@ The tree supports two construction modes:
   which produces well-shaped nodes for static datasets such as the benchmark
   workloads in the paper;
 * **incremental insertion** with the classical least-enlargement descent and
-  quadratic split, so dynamic workloads are also covered.
+  quadratic split, plus **deletion** with the classical condense-tree step
+  (underfull nodes are dissolved and their records re-inserted), so dynamic
+  workloads are also covered.
 
 Traversal-oriented consumers (BBS, branch-and-bound top-k) only need the
 public node API: :attr:`RTreeNode.is_leaf`, :attr:`RTreeNode.children`,
@@ -76,6 +78,13 @@ class RTree:
             raise InvalidDatasetError("max_entries must be at least 4")
         self.max_entries = max_entries
         self.min_entries = min_entries or max(2, math.ceil(max_entries * 0.4))
+        if not 2 <= self.min_entries <= (max_entries + 1) // 2:
+            # An overflowing node holds max_entries + 1 items; both split
+            # groups can only reach the minimum fill when 2 * min <= max + 1.
+            raise InvalidDatasetError(
+                f"min_entries must be in [2, {(max_entries + 1) // 2}] "
+                f"for max_entries={max_entries}"
+            )
         self.dimension: int | None = None
         self.size = 0
         self.root = RTreeNode(is_leaf=True)
@@ -110,10 +119,22 @@ class RTree:
             leaves.append(node)
         return leaves
 
+    @staticmethod
+    def _even_sizes(count: int, parts: int) -> list[int]:
+        """Split ``count`` items into ``parts`` near-equal group sizes."""
+        base, remainder = divmod(count, parts)
+        return [base + 1] * remainder + [base] * (parts - remainder)
+
     def _str_partition(self, points: np.ndarray, indices: np.ndarray, axis: int) -> list[
         np.ndarray
     ]:
-        """Recursively tile ``indices`` into groups of at most ``max_entries``."""
+        """Recursively tile ``indices`` into groups of at most ``max_entries``.
+
+        Groups (and slabs) are sized near-evenly rather than greedily: a
+        greedy cut leaves a remainder group that can fall below
+        ``min_entries``, and such an underfull node makes a single later
+        ``delete`` dissolve (and re-insert) a whole subtree.
+        """
         capacity = self.max_entries
         count = indices.shape[0]
         if count <= capacity:
@@ -122,15 +143,19 @@ class RTree:
         leaf_count = math.ceil(count / capacity)
         slabs = math.ceil(leaf_count ** (1.0 / (d - axis))) if axis < d - 1 else leaf_count
         ordered = indices[np.argsort(points[indices, axis], kind="stable")]
-        slab_size = math.ceil(count / slabs)
         groups: list[np.ndarray] = []
-        for start in range(0, count, slab_size):
-            chunk = ordered[start:start + slab_size]
-            if axis + 1 < d:
+        start = 0
+        for size in self._even_sizes(count, slabs):
+            chunk = ordered[start:start + size]
+            start += size
+            if axis + 1 < d and chunk.shape[0] > capacity:
                 groups.extend(self._str_partition(points, chunk, axis + 1))
             else:
-                for inner in range(0, chunk.shape[0], capacity):
-                    groups.append(chunk[inner:inner + capacity])
+                inner_start = 0
+                for inner in self._even_sizes(chunk.shape[0], math.ceil(
+                        chunk.shape[0] / capacity)):
+                    groups.append(chunk[inner_start:inner_start + inner])
+                    inner_start += inner
         return groups
 
     def _pack_upwards(self, nodes: list[RTreeNode]) -> RTreeNode:
@@ -144,9 +169,13 @@ class RTree:
                 tuple(centres[:, axis] for axis in reversed(range(centres.shape[1])))
             )
             ordered = [nodes[i] for i in order]
-            for start in range(0, len(ordered), self.max_entries):
+            start = 0
+            for size in self._even_sizes(
+                len(ordered), math.ceil(len(ordered) / self.max_entries)
+            ):
                 parent = RTreeNode(is_leaf=False)
-                parent.children = ordered[start:start + self.max_entries]
+                parent.children = ordered[start:start + size]
+                start += size
                 for child in parent.children:
                     child.parent = parent
                 parent.recompute_mbb()
@@ -165,8 +194,12 @@ class RTree:
         elif point.shape[0] != self.dimension:
             raise InvalidDatasetError("point dimensionality does not match the tree")
         self.size += 1
+        self._insert_entry(int(index), point)
+
+    def _insert_entry(self, index: int, point: np.ndarray) -> None:
+        """Place one already-validated entry (shared by insert and reinsertion)."""
         leaf = self._choose_leaf(self.root, point)
-        leaf.entries.append((int(index), point))
+        leaf.entries.append((index, point))
         leaf.recompute_mbb()
         self._handle_overflow(leaf)
         self._adjust_upwards(leaf.parent)
@@ -215,14 +248,22 @@ class RTree:
         group_a, group_b = [seed_a], [seed_b]
         box_a, box_b = boxes[seed_a].copy(), boxes[seed_b].copy()
         remaining = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
-        for position in remaining:
-            if len(group_a) + (len(remaining)) < self.min_entries:
+        for handed_out, position in enumerate(remaining):
+            unassigned = len(remaining) - handed_out
+            # Forced assignment: when a group needs every item still unassigned
+            # to reach the minimum fill, it gets them all (Guttman's stopping
+            # rule, evaluated against the *current* unassigned count).
+            if len(group_a) + unassigned <= self.min_entries:
                 group_a.append(position)
                 box_a = box_a.union(boxes[position])
                 continue
+            if len(group_b) + unassigned <= self.min_entries:
+                group_b.append(position)
+                box_b = box_b.union(boxes[position])
+                continue
             cost_a = box_a.enlargement(boxes[position])
             cost_b = box_b.enlargement(boxes[position])
-            if cost_a <= cost_b and len(group_a) < len(items) - self.min_entries:
+            if cost_a < cost_b or (cost_a == cost_b and len(group_a) <= len(group_b)):
                 group_a.append(position)
                 box_a = box_a.union(boxes[position])
             else:
@@ -257,6 +298,83 @@ class RTree:
         while node is not None:
             node.recompute_mbb()
             node = node.parent
+
+    # -------------------------------------------------------------- deletion
+    def delete(self, index: int, point=None) -> None:
+        """Remove record ``index`` from the tree.
+
+        ``point`` is an optional location hint: when given, only subtrees
+        whose MBB contains it are searched (the common case for callers that
+        know the record's coordinates); a failed hinted search falls back to
+        a full traversal, so a slightly off hint degrades to a scan instead
+        of a spurious ``KeyError``.  Underflowing nodes are dissolved and
+        their surviving records re-inserted (the classical condense-tree
+        step), which keeps every MBB tight.  Raises :class:`KeyError` when
+        the record is not in the tree.
+        """
+        index = int(index)
+        hint = None if point is None else np.asarray(point, dtype=float).reshape(-1)
+        leaf = self._find_leaf(index, hint)
+        if leaf is None and hint is not None:
+            leaf = self._find_leaf(index, None)
+        if leaf is None:
+            raise KeyError(f"record {index} is not in the tree")
+        leaf.entries = [entry for entry in leaf.entries if entry[0] != index]
+        self.size -= 1
+        self._condense(leaf)
+
+    def _find_leaf(self, index: int, point: np.ndarray | None) -> RTreeNode | None:
+        """The leaf holding record ``index`` (pruned by ``point`` when given)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if point is not None and (
+                node.mbb is None or not node.mbb.contains_point(point, tol=1e-12)
+            ):
+                continue
+            if node.is_leaf:
+                if any(entry_index == index for entry_index, _ in node.entries):
+                    return node
+            else:
+                stack.extend(node.children)
+        return None
+
+    def _condense(self, leaf: RTreeNode) -> None:
+        """Dissolve underfull ancestors of ``leaf`` and re-insert their records."""
+        orphans: list[tuple[int, np.ndarray]] = []
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            count = len(node.entries) if node.is_leaf else len(node.children)
+            if count < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_mbb()
+            node = parent
+        node.recompute_mbb()
+        # Shrink the root: an internal root with a single child is replaced by
+        # that child; one left with no children becomes an empty leaf again.
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+            self.root.parent = None
+        if not self.root.is_leaf and not self.root.children:
+            self.root = RTreeNode(is_leaf=True)
+        for orphan_index, orphan_point in orphans:
+            self._insert_entry(orphan_index, orphan_point)
+
+    @staticmethod
+    def _collect_entries(node: RTreeNode) -> list[tuple[int, np.ndarray]]:
+        """All leaf entries stored beneath ``node``."""
+        entries: list[tuple[int, np.ndarray]] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                entries.extend(current.entries)
+            else:
+                stack.extend(current.children)
+        return entries
 
     # ---------------------------------------------------------------- queries
     def range_search(self, lower, upper) -> list[int]:

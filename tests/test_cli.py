@@ -97,6 +97,59 @@ class TestBatchCommand:
             main(["batch", "--input", str(queries), "--cardinality", "100"])
 
 
+class TestStreamCommand:
+    def _write_events(self, path):
+        lines = [
+            {"op": "query", "lower": [0.1, 0.1], "upper": [0.3, 0.3], "k": 2,
+             "version": "both"},
+            {"op": "insert", "values": [0.9, 0.9, 0.9]},
+            {"op": "query", "lower": [0.1, 0.1], "upper": [0.3, 0.3], "k": 2},
+            {"op": "delete", "id": 0},
+            {"op": "query", "lower": [0.1, 0.1], "upper": [0.3, 0.3], "k": 2,
+             "version": "utk2"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+
+    def test_stream_report(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        self._write_events(events)
+        code = main(["stream", "--input", str(events), "--dataset", "IND",
+                     "--cardinality", "150", "--dimensionality", "3"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["events"] == 5
+        assert report["queries"] == 3 and report["updates"] == 2
+        assert report["n_initial"] == 150 and report["n_final"] == 150
+        assert report["dynamic"]["updates_applied"] == 2
+        assert "dynamic" not in report["cache"]  # counters appear exactly once
+        query_records = [item for item in report["results"] if item["op"] == "query"]
+        assert len(query_records) == 3
+        assert "utk1" in query_records[0] and "utk2" in query_records[0]
+        insert_record = next(item for item in report["results"] if item["op"] == "insert")
+        assert insert_record["id"] == 150  # fresh stable id after the initial 0..149
+
+    def test_stream_output_file(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        self._write_events(events)
+        out = tmp_path / "report.json"
+        code = main(["stream", "--input", str(events), "--cardinality", "120",
+                     "--output", str(out)])
+        assert code == 0
+        assert json.loads(out.read_text())["events"] == 5
+        assert capsys.readouterr().out == ""
+
+    def test_stream_empty_input_fails(self, tmp_path):
+        events = tmp_path / "empty.jsonl"
+        events.write_text("\n")
+        assert main(["stream", "--input", str(events)]) == 1
+
+    def test_stream_malformed_line_rejected(self, tmp_path):
+        events = tmp_path / "bad.jsonl"
+        events.write_text('{"lower": [0.1, 0.1]}\n')
+        with pytest.raises(Exception):
+            main(["stream", "--input", str(events), "--cardinality", "50"])
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         code = main(["experiment", "table1"])

@@ -136,6 +136,65 @@ class TestEngineAccounting:
         _, source = engine.serve_utk1(region, 2)
         assert source == "cold"
 
+    def test_lru_replace_keeps_recency_and_counters(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        hits_before = cache.stats()["hits"]
+        assert cache.replace("a", 10)
+        assert not cache.replace("missing", 0)
+        assert cache.stats()["hits"] == hits_before  # no phantom hit recorded
+        assert [key for key, _ in cache.scan()] == ["b", "a"]  # recency untouched
+        assert cache.get("a") == 10
+
+    def test_lru_evict_where(self):
+        cache = LRUCache(8)
+        for number in range(5):
+            cache.put(number, number * 10)
+        removed = cache.evict_where(lambda key, value: key % 2 == 0)
+        assert removed == 3
+        assert len(cache) == 2 and 1 in cache and 3 in cache
+        assert cache.stats()["evictions"] == 3
+
+    def test_evict_by_k_keeps_other_entries(self):
+        engine = UTKEngine(random_dataset(8))
+        region, _ = random_region_pair(8)
+        engine.utk1(region, 2)
+        engine.utk1(region, 3)
+        counts = engine.evict(k=2)
+        assert counts["utk1"] == 1 and counts["skyband"] == 1
+        _, source_evicted = engine.serve_utk1(region, 2)
+        _, source_kept = engine.serve_utk1(region, 3)
+        assert source_evicted != "hit"
+        assert source_kept == "hit"
+
+    def test_evict_by_region_containment(self):
+        engine = UTKEngine(random_dataset(9))
+        region, sub = random_region_pair(9)
+        disjoint = hyperrectangle([0.55, 0.05], [0.65, 0.1])
+        engine.utk1(sub, 2)
+        engine.utk1(disjoint, 2)
+        counts = engine.evict(region=region)  # contains sub, not disjoint
+        assert counts["utk1"] == 1
+        assert counts["k_skyband"] == 0  # region-scoped: per-k memo untouched
+        _, source = engine.serve_utk1(disjoint, 2)
+        assert source == "hit"
+
+    def test_evict_with_predicate_and_counters(self):
+        engine = UTKEngine(random_dataset(10))
+        region, _ = random_region_pair(10)
+        engine.utk2(region, 2)
+        counts = engine.evict(predicate=lambda key, entry: True)
+        assert counts["utk2"] == 1
+        assert engine.cache_stats()["utk2"]["evictions"] >= 1
+
+    def test_evict_everything_includes_k_skyband_memo(self):
+        engine = UTKEngine(random_dataset(11))
+        engine.k_skyband(2)
+        counts = engine.evict()
+        assert counts["k_skyband"] == 1
+        assert engine.cache_stats()["k_skyband"]["size"] == 0
+
     def test_statistics_shape(self):
         engine = UTKEngine(random_dataset(6))
         merged = engine.statistics()

@@ -1,10 +1,23 @@
-"""Unit tests for the R-tree."""
+"""Unit and property tests for the R-tree.
+
+The hypothesis suites check the structural invariants across random insert /
+delete workloads: every node's MBB is *tight* (exactly the bounds of the
+points beneath it, not merely covering), every non-root node respects the
+``min_entries``/``max_entries`` fill bounds, ``range_search`` agrees with
+brute force, and ``__len__``/``all_indices`` stay consistent.
+"""
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import InvalidDatasetError
 from repro.index.rtree import RTree
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
 
 
 def brute_force_range(points, lower, upper):
@@ -12,6 +25,38 @@ def brute_force_range(points, lower, upper):
     upper = np.asarray(upper)
     mask = np.all((points >= lower) & (points <= upper), axis=1)
     return sorted(np.flatnonzero(mask).tolist())
+
+
+def assert_invariants(tree: RTree, expected: dict[int, np.ndarray]):
+    """Structural invariants against the expected ``{index: point}`` content."""
+    assert len(tree) == len(expected)
+    assert tree.all_indices() == sorted(expected)
+    if not expected:
+        assert tree.root.mbb is None
+        return
+    stack = [(tree.root, True)]
+    seen: list[int] = []
+    while stack:
+        node, is_root = stack.pop()
+        count = len(node.entries) if node.is_leaf else len(node.children)
+        assert count <= tree.max_entries
+        if not is_root:
+            assert count >= tree.min_entries, "non-root node below the minimum fill"
+        if node.is_leaf:
+            points = np.array([point for _, point in node.entries])
+            seen.extend(index for index, _ in node.entries)
+            for index, point in node.entries:
+                assert np.array_equal(point, expected[index])
+        else:
+            assert all(child.parent is node for child in node.children)
+            points = np.array(
+                [bound for child in node.children for bound in (child.mbb.lower, child.mbb.upper)]
+            )
+            stack.extend((child, False) for child in node.children)
+        # Tight MBB: exactly the bounds of the contents, not merely covering.
+        assert np.allclose(node.mbb.lower, points.min(axis=0), atol=1e-12)
+        assert np.allclose(node.mbb.upper, points.max(axis=0), atol=1e-12)
+    assert sorted(seen) == sorted(expected)
 
 
 class TestBulkLoad:
@@ -108,6 +153,132 @@ class TestInsertion:
                     assert np.all(node.mbb.lower <= child.mbb.lower + 1e-12)
                     assert np.all(node.mbb.upper >= child.mbb.upper - 1e-12)
                     stack.append(child)
+
+
+class TestDelete:
+    def test_delete_and_reinsert_roundtrip(self):
+        rng = np.random.default_rng(10)
+        points = rng.random((120, 3))
+        tree = RTree(points, max_entries=6)
+        for index in range(0, 120, 2):
+            tree.delete(index, points[index])
+        assert_invariants(tree, {i: points[i] for i in range(1, 120, 2)})
+        for index in range(0, 120, 2):
+            tree.insert(index, points[index])
+        assert_invariants(tree, {i: points[i] for i in range(120)})
+
+    def test_delete_without_point_hint(self):
+        rng = np.random.default_rng(11)
+        points = rng.random((50, 2))
+        tree = RTree(points, max_entries=5)
+        tree.delete(17)
+        assert 17 not in tree.all_indices()
+        assert len(tree) == 49
+
+    def test_delete_missing_raises(self):
+        tree = RTree(np.random.default_rng(0).random((20, 2)))
+        with pytest.raises(KeyError):
+            tree.delete(99)
+        tree.delete(5)
+        with pytest.raises(KeyError):  # already gone
+            tree.delete(5)
+
+    def test_wrong_point_hint_still_deletes(self):
+        rng = np.random.default_rng(12)
+        points = rng.random((40, 2))
+        tree = RTree(points, max_entries=5)
+        tree.delete(3, np.array([99.0, 99.0]))  # hint misses; falls back to a scan
+        assert 3 not in tree.all_indices()
+
+    def test_delete_everything_leaves_an_empty_tree(self):
+        rng = np.random.default_rng(13)
+        points = rng.random((64, 2))
+        tree = RTree(points, max_entries=5)
+        for index in rng.permutation(64):
+            tree.delete(int(index), points[index])
+        assert len(tree) == 0
+        assert tree.all_indices() == []
+        assert tree.root.is_leaf and tree.root.mbb is None
+        tree.insert(7, points[0])  # the empty tree accepts new records again
+        assert tree.all_indices() == [7]
+
+    def test_range_search_after_deletes(self):
+        rng = np.random.default_rng(14)
+        points = rng.random((200, 3))
+        tree = RTree(points, max_entries=8)
+        removed = set(range(0, 200, 3))
+        for index in removed:
+            tree.delete(index, points[index])
+        keep = np.array(sorted(set(range(200)) - removed))
+        for _ in range(10):
+            lower = rng.random(3) * 0.5
+            upper = lower + rng.random(3) * 0.5
+            mask = np.all((points[keep] >= lower) & (points[keep] <= upper), axis=1)
+            assert tree.range_search(lower, upper) == sorted(keep[mask].tolist())
+
+
+class TestInvariantProperties:
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 120),
+        max_entries=st.sampled_from([4, 5, 8, 16]),
+        dim=st.integers(2, 4),
+    )
+    def test_incremental_insert_invariants(self, seed, count, max_entries, dim):
+        rng = np.random.default_rng(seed)
+        points = rng.random((count, dim))
+        tree = RTree(max_entries=max_entries)
+        for index, point in enumerate(points):
+            tree.insert(index, point)
+        assert_invariants(tree, {i: points[i] for i in range(count)})
+
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 200),
+        max_entries=st.sampled_from([4, 5, 8, 16]),
+    )
+    def test_bulk_load_invariants(self, seed, count, max_entries):
+        rng = np.random.default_rng(seed)
+        points = rng.random((count, 3))
+        tree = RTree(points, max_entries=max_entries)
+        assert_invariants(tree, {i: points[i] for i in range(count)})
+
+    @common_settings
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(4, 120),
+        max_entries=st.sampled_from([4, 8, 16]),
+        hint=st.booleans(),
+    )
+    def test_interleaved_insert_delete_invariants(self, seed, count, max_entries, hint):
+        rng = np.random.default_rng(seed)
+        points = rng.random((count, 3))
+        split = count // 2
+        tree = RTree(points[:split], max_entries=max_entries) if split else RTree(
+            max_entries=max_entries
+        )
+        alive = {i: points[i] for i in range(split)}
+        next_index = split
+        for _ in range(count):
+            if alive and rng.random() < 0.45:
+                victim = int(rng.choice(list(alive)))
+                point = alive.pop(victim)
+                tree.delete(victim, point if hint else None)
+            elif next_index < count:
+                tree.insert(next_index, points[next_index])
+                alive[next_index] = points[next_index]
+                next_index += 1
+        assert_invariants(tree, alive)
+        lower = rng.random(3) * 0.5
+        upper = lower + rng.random(3) * 0.5
+        expected = sorted(
+            index
+            for index, point in alive.items()
+            if np.all(point >= lower) and np.all(point <= upper)
+        )
+        assert tree.range_search(lower, upper) == expected
 
 
 class TestRangeSearch:
