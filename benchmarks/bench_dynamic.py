@@ -33,10 +33,11 @@ from pathlib import Path
 # benchmark is launched from (pytest, CI smoke step, or repo root).
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import print_rows
+from conftest import emit_metrics_artifact, print_rows
 
 import numpy as np
 
+from repro import obs
 from repro.bench.reporting import write_bench_json
 from repro.core.region import hyperrectangle
 from repro.datasets.synthetic import synthetic_dataset, update_stream
@@ -242,10 +243,13 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     mode = "smoke" if args.smoke else "default"
-    rows, gates = run_benchmark(SETTINGS[mode], required_speedup=args.required_speedup)
+    obs.REGISTRY.reset()
+    with obs.activated():
+        rows, gates = run_benchmark(SETTINGS[mode], required_speedup=args.required_speedup)
     print_rows("Dynamic maintenance — rebuild-per-update vs DynamicUTKEngine", rows)
     write_bench_json(args.output, "dynamic_maintenance", rows, gates=gates, meta={"mode": mode})
     print(f"\nwrote {args.output}")
+    print(f"wrote {emit_metrics_artifact(args.output, 'dynamic_maintenance', mode)}")
     if not gates["passed"]:
         print(f"FAIL: dynamic smoke gate not met: {gates}", file=sys.stderr)
         return 1

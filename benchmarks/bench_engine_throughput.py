@@ -31,8 +31,9 @@ from pathlib import Path
 # benchmark is launched from (pytest, CI smoke step, or repo root).
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import print_rows
+from conftest import emit_metrics_artifact, print_rows
 
+from repro import obs
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import engine_query_stream
 from repro.core.api import make_engine, utk1, utk2, utk_query
@@ -166,7 +167,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     mode = "smoke" if args.smoke else "default"
     setting = SETTINGS[mode]
-    rows = run_benchmark(setting, args.workers)
+    obs.REGISTRY.reset()
+    with obs.activated():
+        rows = run_benchmark(setting, args.workers)
     print_rows("Engine serving — warm cache vs cold per-query path", rows)
     speedup = rows[0]["speedup"]
     if args.output:
@@ -179,6 +182,7 @@ def main(argv=None) -> int:
             args.output, "engine_throughput", rows, gates=gates, meta={"mode": mode, **setting}
         )
         print(f"wrote {args.output}")
+        print(f"wrote {emit_metrics_artifact(args.output, 'engine_throughput', mode)}")
     if speedup < args.required_speedup:
         print(f"FAIL: warm-cache speedup {speedup}x is below the required "
               f"{args.required_speedup}x", file=sys.stderr)

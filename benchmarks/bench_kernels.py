@@ -26,8 +26,9 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
-from conftest import best_time, print_rows
+from conftest import best_time, emit_metrics_artifact, print_rows
 
+from repro import obs
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import query_workload, random_region
 from repro.core.rsa import RSA
@@ -312,7 +313,9 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     mode = "smoke" if args.smoke else "default"
-    rows, gates = run_benchmark(SETTINGS[mode])
+    obs.REGISTRY.reset()
+    with obs.activated():
+        rows, gates = run_benchmark(SETTINGS[mode])
     gates["dominance_matrix_required_speedup"] = args.required_speedup
     gates["passed"] = (
         gates["all_outputs_identical"]
@@ -322,6 +325,7 @@ def main(argv=None):
     print_rows("Kernel micro-benchmarks — loop path vs vectorized kernels", rows)
     write_bench_json(args.output, "kernels", rows, gates=gates, meta={"mode": mode})
     print(f"\nwrote {args.output}")
+    print(f"wrote {emit_metrics_artifact(args.output, 'kernels', mode)}")
     if not gates["passed"]:
         print(f"FAIL: kernel perf gate not met: {gates}", file=sys.stderr)
         return 1

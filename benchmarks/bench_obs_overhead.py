@@ -1,0 +1,224 @@
+"""Observability overhead gate: dormant instrumentation must stay free.
+
+The whole query/update pipeline is instrumented with spans and registry
+metrics (:mod:`repro.obs`), gated by one module-level flag.  This benchmark
+verifies the zero-overhead-when-off contract: with observability *disabled*,
+every instrumented call site reduces to a single flag check, so the total
+dormant cost of a run is (number of instrumentation calls) x (per-call no-op
+cost).  The gate bounds that product at <= 3% of the run's wall time.
+
+Methodology — direct A/B timing of enabled-vs-disabled is too noisy at smoke
+scale (the instrumentation costs far less than the run-to-run jitter of the
+LP/geometry work it wraps), so the gate is computed from three stable
+measurements instead:
+
+1. ``disabled_seconds`` — wall time of a representative query workload with
+   observability off (the shipping configuration);
+2. ``span_count`` / ``metric_count`` — how many instrumentation calls that
+   same workload performs, counted from one *enabled* run's span tree and
+   registry snapshot;
+3. ``noop_span_ns`` / ``noop_inc_ns`` — the per-call cost of a disabled
+   ``span()`` and a disabled ``Counter.inc()``, micro-benchmarked over many
+   iterations.
+
+``overhead_fraction = (span_count * noop_span + metric_count * noop_inc)
+/ disabled_seconds`` then over-counts the true dormant cost (the workload
+timed in step 1 already *includes* the no-op checks) and must still stay
+under :data:`REQUIRED_MAX_OVERHEAD`.  Results are written to
+``BENCH_obs_overhead.json`` via :func:`repro.bench.reporting.write_bench_json`.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py [--smoke] [--output BENCH_obs_overhead.json]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import best_time, print_rows
+
+from repro import obs
+from repro.bench.reporting import write_bench_json
+from repro.bench.workloads import query_workload
+from repro.core.api import utk_query
+from repro.datasets.synthetic import synthetic_dataset
+from repro.obs.metrics import MetricsRegistry
+
+#: Maximum tolerated dormant-instrumentation overhead (fraction of run time).
+REQUIRED_MAX_OVERHEAD = 0.03
+
+#: Workload sizes: a handful of one-shot UTK queries covering the api ->
+#: RSA/JAA phase -> cell/LP instrumentation levels.  Smoke trims everything.
+SETTINGS = {
+    "default": {
+        "cardinality": 1_200,
+        "dimensionality": 3,
+        "k": 3,
+        "sigma": 0.06,
+        "queries": 4,
+        "repeats": 3,
+        "noop_calls": 200_000,
+        "seed": 13,
+    },
+    "smoke": {
+        "cardinality": 600,
+        "dimensionality": 3,
+        "k": 3,
+        "sigma": 0.06,
+        "queries": 2,
+        "repeats": 2,
+        "noop_calls": 100_000,
+        "seed": 13,
+    },
+}
+
+
+def _noop_span_cost(calls: int, repeats: int) -> float:
+    """Best-of per-call seconds of a disabled ``span()`` enter/exit."""
+    assert not obs.enabled()
+    span = obs.span
+
+    def loop():
+        for _ in range(calls):
+            with span("noop"):
+                pass
+
+    seconds, _ = best_time(loop, repeats)
+    return seconds / calls
+
+
+def _noop_inc_cost(calls: int, repeats: int) -> float:
+    """Best-of per-call seconds of a disabled ``Counter.inc()``."""
+    assert not obs.enabled()
+    # A private registry keeps the micro-bench instrument out of the global
+    # schema; the flag check being measured is identical either way.
+    counter = MetricsRegistry().counter(
+        "bench_noop_total", "overhead micro-bench counter", ("kind",)
+    )
+
+    def loop():
+        for _ in range(calls):
+            counter.inc(kind="noop")
+
+    seconds, _ = best_time(loop, repeats)
+    return seconds / calls
+
+
+def _count_metric_calls(registry_snapshot: list[dict]) -> int:
+    """Total recorded events across the registry (counter sums + histogram counts)."""
+    total = 0
+    for record in registry_snapshot:
+        for sample in record["samples"]:
+            if record["kind"] == "histogram":
+                total += int(sample["count"])
+            else:
+                total += int(sample["value"])
+    return total
+
+
+def run_benchmark(setting):
+    """Run the gate measurements; returns ``(rows, gates)``."""
+    data = synthetic_dataset(
+        "IND", setting["cardinality"], setting["dimensionality"], setting["seed"]
+    )
+    specs = query_workload(
+        setting["dimensionality"], setting["k"], setting["sigma"],
+        setting["queries"], seed=setting["seed"],
+    )
+
+    def serve():
+        return [utk_query(data, spec.region, spec.k) for spec in specs]
+
+    obs.disable()
+    disabled_seconds, _ = best_time(serve, setting["repeats"])
+
+    obs.REGISTRY.reset()
+    with obs.activated():
+        with obs.capture() as spans:
+            serve()
+        snapshot = obs.REGISTRY.snapshot()
+    span_count = sum(root.span_count() for root in spans)
+    metric_count = _count_metric_calls(snapshot)
+
+    noop_span = _noop_span_cost(setting["noop_calls"], setting["repeats"])
+    noop_inc = _noop_inc_cost(setting["noop_calls"], setting["repeats"])
+
+    dormant_seconds = span_count * noop_span + metric_count * noop_inc
+    overhead = dormant_seconds / disabled_seconds if disabled_seconds > 0 else 0.0
+
+    rows = [
+        {
+            "case": "dormant_overhead",
+            "queries": setting["queries"],
+            "n": setting["cardinality"],
+            "disabled_seconds": round(disabled_seconds, 5),
+            "span_count": span_count,
+            "metric_count": metric_count,
+            "noop_span_ns": round(noop_span * 1e9, 1),
+            "noop_inc_ns": round(noop_inc * 1e9, 1),
+            "dormant_seconds": round(dormant_seconds, 7),
+            "overhead_fraction": round(overhead, 5),
+        },
+    ]
+    gates = {
+        "required_max_overhead": REQUIRED_MAX_OVERHEAD,
+        "overhead_fraction": round(overhead, 5),
+        "span_count": span_count,
+        "metric_count": metric_count,
+        "instrumentation_reached": span_count > 0 and metric_count > 0,
+        "passed": overhead <= REQUIRED_MAX_OVERHEAD and span_count > 0 and metric_count > 0,
+    }
+    return rows, gates
+
+
+def test_obs_overhead_gate():
+    """Pytest entry point: smoke-sized run asserting the dormant-cost gate."""
+    rows, gates = run_benchmark(SETTINGS["smoke"])
+    print_rows("Observability overhead — dormant instrumentation cost", rows)
+    assert gates["instrumentation_reached"], gates
+    assert gates["passed"], gates
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument(
+        "--output",
+        default="BENCH_obs_overhead.json",
+        help="path of the BENCH JSON artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--required-max-overhead",
+        type=float,
+        default=REQUIRED_MAX_OVERHEAD,
+        help="fail when the estimated dormant overhead exceeds this fraction",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "default"
+    rows, gates = run_benchmark(SETTINGS[mode])
+    gates["required_max_overhead"] = args.required_max_overhead
+    gates["passed"] = (
+        gates["instrumentation_reached"]
+        and gates["overhead_fraction"] <= args.required_max_overhead
+    )
+    print_rows("Observability overhead — dormant instrumentation cost", rows)
+    write_bench_json(args.output, "obs_overhead", rows, gates=gates, meta={"mode": mode})
+    print(f"\nwrote {args.output}")
+    if not gates["passed"]:
+        print(f"FAIL: observability overhead gate not met: {gates}", file=sys.stderr)
+        return 1
+    print(
+        f"dormant instrumentation overhead {gates['overhead_fraction'] * 100:.2f}% "
+        f"(limit: {args.required_max_overhead * 100:.0f}%) over "
+        f"{gates['span_count']} spans and {gates['metric_count']} metric events"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

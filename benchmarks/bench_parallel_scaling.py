@@ -28,8 +28,9 @@ from pathlib import Path
 # benchmark is launched from (pytest, CI smoke step, or repo root).
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import print_rows
+from conftest import emit_metrics_artifact, print_rows
 
+from repro import obs
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import query_workload
 from repro.core.rskyband import compute_r_skyband
@@ -166,13 +167,16 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     mode = "smoke" if args.smoke else "default"
-    rows, gates = run_benchmark(SETTINGS[mode])
+    obs.REGISTRY.reset()
+    with obs.activated():
+        rows, gates = run_benchmark(SETTINGS[mode])
     gates["required_speedup_at_4"] = args.required_speedup
     gates["passed"] = gates["all_answers_identical"] and (
         not gates["speedup_gate_applicable"] or gates["speedup_at_4"] >= args.required_speedup
     )
     print_rows("Parallel scaling — serial vs region-partitioned workers", rows)
     write_bench_json(args.output, "parallel_scaling", rows, gates=gates, meta={"mode": mode})
+    print(f"wrote {emit_metrics_artifact(args.output, 'parallel_scaling', mode)}")
     print(f"\nwrote {args.output}")
     if not gates["passed"]:
         print(f"FAIL: parallel smoke gate not met: {gates}", file=sys.stderr)

@@ -92,3 +92,21 @@ def best_time(function, repeats):
         result = function()
         best = min(best, time.perf_counter() - started)
     return best, result
+
+
+def emit_metrics_artifact(bench_output, benchmark: str, mode: str) -> str:
+    """Write the ``METRICS_*.jsonl`` sibling of a ``BENCH_*.json`` artifact.
+
+    The path is derived from the BENCH artifact: ``BENCH_x.json`` →
+    ``METRICS_x.jsonl`` in the same directory.  Snapshot content is whatever
+    the observability registry accumulated during the run (callers enable the
+    registry around their measured section via ``repro.obs``).
+    """
+    from repro.bench.reporting import write_bench_metrics
+
+    bench_path = Path(bench_output)
+    name = bench_path.name
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_"):]
+    metrics_path = bench_path.with_name("METRICS_" + Path(name).stem + ".jsonl")
+    return write_bench_metrics(metrics_path, benchmark, meta={"mode": mode})

@@ -4,9 +4,12 @@ Every benchmark prints the same rows/series the corresponding paper figure
 plots; these helpers format them as aligned text tables so the shape of the
 result (who wins, by what factor, where trends bend) is readable directly
 from the benchmark output.  :func:`write_bench_json` additionally persists
-rows (plus gate outcomes and environment metadata) as a ``BENCH_*.json``
-artifact, which is what CI uploads and what makes every PR's speed claim
-checkable after the fact.
+rows (plus gate outcomes, provenance and environment metadata) as a
+``BENCH_*.json`` artifact, which is what CI uploads and what makes every
+PR's speed claim checkable after the fact.  :func:`write_bench_metrics`
+snapshots the observability registry as a sibling ``METRICS_*.jsonl``
+artifact, so a benchmark run's internal counters (cache events, geometry
+calls, phase timings) ride along with its headline numbers.
 """
 
 from __future__ import annotations
@@ -16,6 +19,9 @@ import platform
 import time
 from collections.abc import Mapping, Sequence
 from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.provenance import provenance as _provenance
 
 
 def format_table(
@@ -91,6 +97,7 @@ def write_bench_json(
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "provenance": _provenance(),
         "meta": dict(meta or {}),
         "gates": dict(gates or {}),
         "rows": [dict(row) for row in rows],
@@ -98,6 +105,26 @@ def write_bench_json(
     text = json.dumps(payload, indent=2, default=_json_default)
     Path(path).write_text(text + "\n", encoding="utf-8")
     return payload
+
+
+def write_bench_metrics(path, benchmark: str, *, meta: Mapping | None = None) -> str:
+    """Snapshot the observability registry as a ``METRICS_*.jsonl`` artifact.
+
+    The header line carries the benchmark name, run metadata and provenance;
+    each following line is one metric record (see
+    :meth:`repro.obs.metrics.MetricsRegistry.write_jsonl`).  Returns ``path``
+    so callers can log where the artifact went.  The snapshot reflects
+    whatever the registry accumulated — benchmarks that want a clean capture
+    reset the registry and enable observability around the measured section.
+    """
+    header = {
+        "benchmark": benchmark,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **_provenance(),
+        "meta": dict(meta or {}),
+    }
+    REGISTRY.write_jsonl(path, header=header)
+    return str(path)
 
 
 def _json_default(value):

@@ -14,7 +14,16 @@ any code:
   :class:`~repro.dynamic.engine.DynamicUTKEngine`, whose caches are repaired
   per update instead of cleared;
 * ``experiment`` — run one of the per-figure experiment generators and print
-  the rows the paper's figure plots.
+  the rows the paper's figure plots;
+* ``metrics`` — print the observability metric schema, or summarize a
+  metrics JSONL snapshot written by ``--metrics``.
+
+Observability flags: ``query --trace out.json`` records a span tree of the
+whole run and writes it as Chrome ``trace_event`` JSON (load it in
+``chrome://tracing`` or https://ui.perfetto.dev); ``--metrics out.prom`` (or
+``out.jsonl``) on ``query``/``batch``/``stream`` enables the metrics registry
+for the run and writes a snapshot in Prometheus text or JSONL form.  Both
+exports carry a provenance header (tool version + git describe).
 """
 
 from __future__ import annotations
@@ -34,6 +43,11 @@ from repro.datasets.real import real_dataset
 from repro.datasets.synthetic import DISTRIBUTIONS, synthetic_dataset
 from repro.engine.batch import BatchQuery, summarize_batch
 from repro.exceptions import InvalidQueryError
+import repro.obs.provenance as _provenance
+from repro.obs import runtime as _obs_runtime
+from repro.obs import trace as _obs_trace
+from repro.obs.metrics import REGISTRY
+from repro.obs.names import schema as _metrics_schema
 
 #: Experiment names accepted by ``python -m repro experiment``.
 EXPERIMENTS = {
@@ -54,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Uncertain top-k (UTK) queries — reproduction of Mouratidis & Tang, PVLDB 2018",
+    )
+    parser.add_argument(
+        "--version", action="version", version=_provenance.version_string(),
+        help="print the tool version (with git describe when available) and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -107,6 +125,16 @@ def _build_parser() -> argparse.ArgumentParser:
              "geometry telemetry)",
     )
     query.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    query.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run and write it as Chrome "
+             "trace_event JSON to PATH (open in chrome://tracing or Perfetto)",
+    )
+    query.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable the metrics registry for the run and write a snapshot "
+             "to PATH (.prom = Prometheus text, anything else = JSONL)",
+    )
 
     batch = subparsers.add_parser(
         "batch", help="serve a JSON-lines query file through a persistent engine"
@@ -153,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--output", default="-", help="file to write the JSON report to (default stdout)"
     )
+    batch.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable the metrics registry for the run and write a snapshot "
+             "to PATH (.prom = Prometheus text, anything else = JSONL)",
+    )
 
     stream = subparsers.add_parser(
         "stream", help="serve an interleaved insert/delete/query event stream"
@@ -185,6 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--output", default="-", help="file to write the JSON report to (default stdout)"
     )
+    stream.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable the metrics registry for the run and write a snapshot "
+             "to PATH (.prom = Prometheus text, anything else = JSONL)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments"
@@ -198,7 +236,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON dict overriding the quick-scale parameters",
     )
+
+    metrics = subparsers.add_parser(
+        "metrics", help="print the metric schema or summarize a metrics snapshot"
+    )
+    metrics.add_argument(
+        "--input", default=None,
+        help="metrics JSONL snapshot (written by --metrics) to summarize; "
+             "omitted: print the registry's metric schema",
+    )
     return parser
+
+
+def _obs_start() -> None:
+    """Enable observability for this process with clean trace/metric state."""
+    REGISTRY.reset()
+    _obs_trace.reset()
+    _obs_runtime.enable()
+
+
+def _write_metrics(path: str) -> None:
+    """Export the registry snapshot: ``.prom`` → Prometheus text, else JSONL."""
+    header = _provenance.provenance()
+    if path.endswith(".prom"):
+        REGISTRY.write_prometheus(path, header=header)
+    else:
+        REGISTRY.write_jsonl(path, header=header)
+    print(f"metrics written to {path}", file=sys.stderr)
 
 
 def _load_dataset(name: str, cardinality: int, dimensionality: int, seed: int):
@@ -217,14 +281,27 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.workers > 1:
         payload["workers"] = args.workers
     result = partitioning = None
-    if args.version == "both":
-        # One utk_query call shares the r-skyband filtering (and, with
-        # workers > 1, a single pool pass) across both problem versions.
-        result, partitioning = utk_query(data, region, args.k, workers=args.workers)
-    elif args.version == "utk1":
-        result = utk1(data, region, args.k, workers=args.workers)
-    else:
-        partitioning = utk2(data, region, args.k, workers=args.workers)
+    observing = args.trace is not None or args.metrics is not None
+    if observing:
+        _obs_start()
+    try:
+        with _obs_trace.capture() as captured:
+            if args.version == "both":
+                # One utk_query call shares the r-skyband filtering (and, with
+                # workers > 1, a single pool pass) across both problem versions.
+                result, partitioning = utk_query(data, region, args.k, workers=args.workers)
+            elif args.version == "utk1":
+                result = utk1(data, region, args.k, workers=args.workers)
+            else:
+                partitioning = utk2(data, region, args.k, workers=args.workers)
+    finally:
+        if observing:
+            _obs_runtime.disable()
+    if args.trace is not None:
+        _obs_trace.write_chrome_trace(args.trace, captured, metadata=_provenance.provenance())
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics is not None:
+        _write_metrics(args.metrics)
     if result is not None:
         payload["utk1"] = {
             "records": result.indices,
@@ -331,12 +408,18 @@ def _run_batch(args: argparse.Namespace) -> int:
         parallel_workers=args.parallel_workers,
         parallel_min_candidates=args.parallel_min_candidates,
     )
+    if args.metrics is not None:
+        _obs_start()
     started = time.perf_counter()
     try:
         items = engine.run_batch(queries, workers=args.workers)
     finally:
         engine.close()
+        if args.metrics is not None:
+            _obs_runtime.disable()
     elapsed = time.perf_counter() - started
+    if args.metrics is not None:
+        _write_metrics(args.metrics)
     summary = summarize_batch(items)
     report = {
         "dataset": args.dataset.upper(),
@@ -376,12 +459,18 @@ def _run_stream(args: argparse.Namespace) -> int:
         return 1
     data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
     engine = DynamicUTKEngine(data, cache_size=args.cache_size)
+    if args.metrics is not None:
+        _obs_start()
     started = time.perf_counter()
     try:
         results = serve_events(engine, events)
     finally:
         engine.close()
+        if args.metrics is not None:
+            _obs_runtime.disable()
     elapsed = time.perf_counter() - started
+    if args.metrics is not None:
+        _write_metrics(args.metrics)
     statistics = engine.statistics()
     # The maintenance counters get their own top-level key; keep the cache
     # block free of a second copy.
@@ -409,6 +498,50 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarize_metric_record(record: dict) -> list[list]:
+    """Table rows (labels / value) for one JSONL metric record."""
+    rows = []
+    for sample in record.get("samples", []):
+        labels = ",".join(f"{key}={value}" for key, value in sorted(sample["labels"].items()))
+        if record.get("kind") == "histogram":
+            count = sample.get("count", 0)
+            total = sample.get("sum", 0.0)
+            mean = (total / count) if count else 0.0
+            value = f"count={count} sum={round(total, 6)} mean={round(mean, 6)}"
+        else:
+            value = sample.get("value", 0)
+        rows.append([record["name"], record.get("kind", "?"), labels or "-", value])
+    return rows
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    if args.input is None:
+        rows = [[entry["name"], entry["kind"], entry["labels"], entry["help"]]
+                for entry in _metrics_schema()]
+        print(format_table(["name", "kind", "labels", "help"], rows,
+                           title="observability metric schema"))
+        return 0
+    header: dict = {}
+    rows = []
+    for number, record in _read_jsonl(args.input):
+        if not isinstance(record, dict) or "record" not in record:
+            raise InvalidQueryError(
+                f"line {number}: not a metrics snapshot record (missing \"record\")"
+            )
+        if record["record"] == "header":
+            header = {key: value for key, value in record.items() if key != "record"}
+        elif record["record"] == "metric":
+            rows.extend(_summarize_metric_record(record))
+    for key, value in header.items():
+        print(f"# {key}: {value}")
+    if rows:
+        print(format_table(["name", "kind", "labels", "value"], rows,
+                           title=f"metrics snapshot {args.input}"))
+    else:
+        print("no metric records in snapshot")
+    return 0
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     rows = EXPERIMENTS[args.name](args.scale)
     if not rows:
@@ -430,6 +563,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_batch(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     return _run_experiment(args)
 
 

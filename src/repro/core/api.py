@@ -31,6 +31,7 @@ from repro.core.rskyband import compute_r_skyband
 from repro.core.scoring import LinearScoring, ScoringFunction
 from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
+from repro.obs.trace import span
 
 
 def _as_matrix(data) -> np.ndarray:
@@ -196,11 +197,14 @@ def utk1(
     values = scoring.transform(_as_matrix(data))
     drill = True if use_drill is None else use_drill
     worker_count = _resolve_workers(workers, parallel)
-    if worker_count > 1:
-        from repro.parallel import parallel_utk1
+    with span("query.utk1", k=int(k), workers=worker_count):
+        if worker_count > 1:
+            from repro.parallel import parallel_utk1
 
-        return parallel_utk1(values, region, k, workers=worker_count, tree=tree, use_drill=drill)
-    return RSA(values, region, k, tree=tree, use_drill=drill).run()
+            return parallel_utk1(
+                values, region, k, workers=worker_count, tree=tree, use_drill=drill
+            )
+        return RSA(values, region, k, tree=tree, use_drill=drill).run()
 
 
 def utk2(
@@ -226,11 +230,12 @@ def utk2(
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
     worker_count = _resolve_workers(workers, parallel)
-    if worker_count > 1:
-        from repro.parallel import parallel_utk2
+    with span("query.utk2", k=int(k), workers=worker_count):
+        if worker_count > 1:
+            from repro.parallel import parallel_utk2
 
-        return parallel_utk2(values, region, k, workers=worker_count, tree=tree)
-    return JAA(values, region, k, tree=tree).run()
+            return parallel_utk2(values, region, k, workers=worker_count, tree=tree)
+        return JAA(values, region, k, tree=tree).run()
 
 
 def utk_query(
@@ -255,13 +260,17 @@ def utk_query(
         return engine.query(region, k)
     scoring = scoring or LinearScoring()
     values = scoring.transform(_as_matrix(data))
-    skyband = compute_r_skyband(values, region, k, tree=tree)
     worker_count = _resolve_workers(workers, parallel)
-    if worker_count > 1:
-        from repro.parallel import parallel_utk_query
+    with span("query.utk_query", k=int(k), workers=worker_count):
+        with span("query.filter"):
+            skyband = compute_r_skyband(values, region, k, tree=tree)
+        if worker_count > 1:
+            from repro.parallel import parallel_utk_query
 
-        first, second = parallel_utk_query(values, region, k, workers=worker_count, skyband=skyband)
+            first, second = parallel_utk_query(
+                values, region, k, workers=worker_count, skyband=skyband
+            )
+            return first, second
+        first = RSA(values, region, k, tree=tree, skyband=skyband).run()
+        second = JAA(values, region, k, tree=tree, skyband=skyband).run()
         return first, second
-    first = RSA(values, region, k, tree=tree, skyband=skyband).run()
-    second = JAA(values, region, k, tree=tree, skyband=skyband).run()
-    return first, second

@@ -21,7 +21,8 @@ import numpy as np
 from repro.core.halfspace import HalfSpace
 from repro.core.region import Region
 from repro.geometry.linear_programming import chebyshev_center, maximize, minimize
-from repro.geometry.telemetry import COUNTERS
+from repro.obs.geometry import COUNTERS
+from repro.obs.trace import span
 from repro.geometry.vertex_clip import VertexCache, build_cache, clip
 
 #: A cell whose inscribed-ball radius does not exceed this is treated as
@@ -162,7 +163,8 @@ class Cell:
         if self._vcache is _UNSET:
             a, b = self.constraints
             seed = self.region.vertices if self._extra_a.shape[0] == 0 else None
-            self._vcache = build_cache(a, b, vertices=seed)
+            with span("cell.build_cache", rows=int(a.shape[0]), seeded=seed is not None):
+                self._vcache = build_cache(a, b, vertices=seed)
         return self._vcache
 
     def _ensure_chebyshev(self) -> None:
@@ -182,8 +184,9 @@ class Cell:
             # Cells are subsets of the (bounded) query region, so every LP
             # here may take the vertex-enumeration fast path.
             COUNTERS.lp_calls += 1
-            centre, radius = chebyshev_center(a, b, dim=self.dimension,
-                                              assume_bounded=True)
+            with span("cell.lp", op="chebyshev"):
+                centre, radius = chebyshev_center(a, b, dim=self.dimension,
+                                                  assume_bounded=True)
             self._chebyshev = centre
             self._radius = radius
 
@@ -316,14 +319,16 @@ class Cell:
         probe = halfspace.value(self._chebyshev)
         if probe >= -tol:
             COUNTERS.lp_calls += 1
-            low = minimize(halfspace.normal, a, b, assume_bounded=True)
+            with span("cell.lp", op="classify-min"):
+                low = minimize(halfspace.normal, a, b, assume_bounded=True)
             if not low.is_optimal:
                 return "outside"
             if low.value >= halfspace.offset - tol:
                 return "inside"
         if probe <= tol:
             COUNTERS.lp_calls += 1
-            high = maximize(halfspace.normal, a, b, assume_bounded=True)
+            with span("cell.lp", op="classify-max"):
+                high = maximize(halfspace.normal, a, b, assume_bounded=True)
             if not high.is_optimal:
                 # A numerically-infeasible maximize certifies the same empty
                 # cell the minimize branch reports; never compare its value.
@@ -354,8 +359,9 @@ class Cell:
             return cache.linear_bounds(coef)
         a, b = self.constraints
         COUNTERS.lp_calls += 2
-        low = minimize(coef, a, b, assume_bounded=True)
-        high = maximize(coef, a, b, assume_bounded=True)
+        with span("cell.lp", op="linear-range"):
+            low = minimize(coef, a, b, assume_bounded=True)
+            high = maximize(coef, a, b, assume_bounded=True)
         if not (low.is_optimal and high.is_optimal):
             return np.nan, np.nan
         return float(low.value), float(high.value)

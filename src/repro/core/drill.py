@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.cell import Cell
 from repro.core.preference import score_gradients, scores
 from repro.geometry.linear_programming import maximize
-from repro.geometry.telemetry import COUNTERS
+from repro.obs.geometry import COUNTERS
 
 #: Tolerance used when comparing candidate scores at a drill vector.
 SCORE_TOL = 1e-9

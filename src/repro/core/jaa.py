@@ -47,8 +47,10 @@ from repro.core.region import Region
 from repro.core.result import UTK2Result, UTKPartition
 from repro.core.rskyband import RSkyband, compute_r_skyband
 from repro.exceptions import InvalidQueryError
-from repro.geometry.telemetry import COUNTERS
 from repro.index.rtree import RTree
+from repro.obs.geometry import COUNTERS, publish_delta
+from repro.obs.names import observe_phase as _observe_phase
+from repro.obs.trace import span
 
 
 @dataclass
@@ -127,14 +129,23 @@ class JAA:
         self.stats.vertex_clip_calls = delta["vertex_clip_calls"]
         self.stats.enumeration_calls = delta["enumeration_calls"]
         self.stats.fallback_calls = delta["fallback_calls"]
+        publish_delta(delta)
 
     def run(self) -> UTK2Result:
         """Execute the query and return the UTK2 partitioning."""
+        with span("jaa.run", k=self.k) as run_span:
+            result = self._run(run_span)
+        return result
+
+    def _run(self, run_span) -> UTK2Result:
         geometry_snapshot = COUNTERS.snapshot()
         skyband = self._skyband
         if skyband is None:
-            skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
+            with span("jaa.skyband") as phase:
+                skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
+            _observe_phase("jaa.skyband", phase)
         self._sky = skyband
+        run_span.set(candidates=skyband.size)
         self.stats.candidates = skyband.size
         self.stats.filtering_stats = {
             "bbs_nodes_visited": skyband.stats.nodes_visited,
@@ -163,14 +174,16 @@ class JAA:
 
         anchor = self._choose_anchor(root_cell, excluded=frozenset())
         pending = frozenset(self._ancestors[anchor])
-        self._partition(
-            anchor,
-            root_cell,
-            prefix=frozenset(),
-            pending=pending,
-            excluded=frozenset(),
-            skip=frozenset(),
-        )
+        with span("jaa.refine") as phase:
+            self._partition(
+                anchor,
+                root_cell,
+                prefix=frozenset(),
+                pending=pending,
+                excluded=frozenset(),
+                skip=frozenset(),
+            )
+        _observe_phase("jaa.refine", phase)
         self.stats.finalized_partitions = len(self._partitions)
         self._capture_geometry(geometry_snapshot)
         return UTK2Result(
@@ -239,11 +252,14 @@ class JAA:
             counts = self._sky.restricted_counts(competitors)
             minimum = counts.min()
             chosen = [c for c, count in zip(competitors, counts) if count == minimum]
-            for halfspace in halfspaces_against(
-                self._rows[anchor], self._sky.subset_values(chosen), chosen
-            ):
-                arrangement.insert(halfspace)
-                self.stats.halfspaces_inserted += 1
+            with span("jaa.halfspace_build", competitors=len(chosen)):
+                halfspaces = halfspaces_against(
+                    self._rows[anchor], self._sky.subset_values(chosen), chosen
+                )
+            with span("jaa.arrangement", halfspaces=len(halfspaces)):
+                for halfspace in halfspaces:
+                    arrangement.insert(halfspace)
+                    self.stats.halfspaces_inserted += 1
         remaining = [c for c in competitors if c not in set(chosen)]
         chosen_set = set(chosen)
 

@@ -31,8 +31,10 @@ from repro.core.region import Region
 from repro.core.result import UTK1Result
 from repro.core.rskyband import RSkyband, compute_r_skyband
 from repro.exceptions import InvalidQueryError
-from repro.geometry.telemetry import COUNTERS
 from repro.index.rtree import RTree
+from repro.obs.geometry import COUNTERS, publish_delta
+from repro.obs.names import observe_phase as _observe_phase
+from repro.obs.trace import span
 
 
 @dataclass
@@ -139,14 +141,23 @@ class RSA:
         self.stats.vertex_clip_calls = delta["vertex_clip_calls"]
         self.stats.enumeration_calls = delta["enumeration_calls"]
         self.stats.fallback_calls = delta["fallback_calls"]
+        publish_delta(delta)
 
     def run(self) -> UTK1Result:
         """Execute the query and return the UTK1 result."""
+        with span("rsa.run", k=self.k) as run_span:
+            result = self._run(run_span)
+        return result
+
+    def _run(self, run_span) -> UTK1Result:
         geometry_snapshot = COUNTERS.snapshot()
         skyband = self._skyband
         if skyband is None:
-            skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
+            with span("rsa.skyband") as phase:
+                skyband = compute_r_skyband(self.values, self.region, self.k, tree=self.tree)
+            _observe_phase("rsa.skyband", phase)
         self._sky = skyband
+        run_span.set(candidates=skyband.size)
         self.stats.candidates = skyband.size
         self.stats.filtering_stats = {
             "bbs_nodes_visited": skyband.stats.nodes_visited,
@@ -178,18 +189,20 @@ class RSA:
         self._alive: set[int] = set(members)
         self._verified: dict[int, np.ndarray] = {}
 
-        for candidate in self._candidate_sequence(members):
-            if candidate in self._verified or candidate not in self._alive:
-                continue
-            ancestors = self._ancestors[candidate]
-            quota = self.k - len(ancestors)
-            skip = set(ancestors) | {candidate} | set(self._descendants[candidate])
-            ok, witness = self._verify(candidate, Cell(self.region), quota, skip)
-            if ok:
-                self._confirm(candidate, witness)
-            else:
-                self._alive.discard(candidate)
-                self.stats.disqualified += 1
+        with span("rsa.refine") as phase:
+            for candidate in self._candidate_sequence(members):
+                if candidate in self._verified or candidate not in self._alive:
+                    continue
+                ancestors = self._ancestors[candidate]
+                quota = self.k - len(ancestors)
+                skip = set(ancestors) | {candidate} | set(self._descendants[candidate])
+                ok, witness = self._verify(candidate, Cell(self.region), quota, skip)
+                if ok:
+                    self._confirm(candidate, witness)
+                else:
+                    self._alive.discard(candidate)
+                    self.stats.disqualified += 1
+        _observe_phase("rsa.refine", phase)
 
         indices = sorted(self._verified)
         witnesses = {index: self._verified[index] for index in indices}
@@ -265,13 +278,15 @@ class RSA:
 
         arrangement = Arrangement(cell)
         self.stats.arrangements_built += 1
-        for halfspace in halfspaces_against(
-            self._rows[candidate], self._sky.subset_values(chosen), chosen
-        ):
-            arrangement.insert(halfspace)
-            self.stats.halfspaces_inserted += 1
-
-        promising = [leaf for leaf in arrangement.partitions() if leaf.count < quota]
+        with span("rsa.halfspace_build", competitors=len(chosen)):
+            halfspaces = list(halfspaces_against(
+                self._rows[candidate], self._sky.subset_values(chosen), chosen
+            ))
+        with span("rsa.arrangement", halfspaces=len(halfspaces)):
+            for halfspace in halfspaces:
+                arrangement.insert(halfspace)
+                self.stats.halfspaces_inserted += 1
+            promising = [leaf for leaf in arrangement.partitions() if leaf.count < quota]
         promising.sort(key=lambda leaf: leaf.count)
         chosen_set = set(chosen)
         for leaf in promising:

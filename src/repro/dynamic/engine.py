@@ -49,6 +49,9 @@ from repro.engine.engine import UTKEngine, _SkybandEntry
 from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
 from repro.kernels.dominance import dominators_mask
+from repro.obs import runtime as _obs
+from repro.obs import names as _metric_names
+from repro.obs.trace import span
 
 #: Update operations accepted by :meth:`DynamicUTKEngine.apply_updates`.
 OP_INSERT = "insert"
@@ -168,7 +171,7 @@ class DynamicUTKEngine(UTKEngine):
         normalized = [self._normalize_update(update) for update in updates]
         batch = UpdateStatistics()
         inserted_ids: list[int] = []
-        with self._lock:
+        with span("dynamic.apply_updates", updates=len(normalized)), self._lock:
             self._validate_batch(normalized)
             # Any in-flight query that began against the pre-update state
             # must not write its (possibly stale) results into the caches.
@@ -188,7 +191,26 @@ class DynamicUTKEngine(UTKEngine):
                 for field in dataclasses.fields(UpdateStatistics):
                     setattr(self.update_stats, field.name,
                             getattr(self.update_stats, field.name) + getattr(batch, field.name))
+                self._publish_maintenance(batch)
         return {**batch.as_dict(), "inserted_ids": inserted_ids}
+
+    @staticmethod
+    def _publish_maintenance(batch: UpdateStatistics) -> None:
+        """Fold one batch's maintenance tallies into the registry schema.
+
+        The legacy ``UpdateStatistics`` keys map onto two labeled series:
+        ``inserts``/``deletes`` ↔ ``repro_maintenance_updates_total{op}`` and
+        ``entries_repaired``/``entries_noop``/``entries_evicted``/
+        ``results_retained`` ↔ ``repro_maintenance_outcomes_total{kind}``.
+        """
+        if not _obs._ENABLED:
+            return
+        _metric_names.MAINTENANCE_UPDATES.inc(batch.inserts, op="insert")
+        _metric_names.MAINTENANCE_UPDATES.inc(batch.deletes, op="delete")
+        _metric_names.MAINTENANCE_OUTCOMES.inc(batch.entries_repaired, kind="repaired")
+        _metric_names.MAINTENANCE_OUTCOMES.inc(batch.entries_noop, kind="noop")
+        _metric_names.MAINTENANCE_OUTCOMES.inc(batch.entries_evicted, kind="evicted")
+        _metric_names.MAINTENANCE_OUTCOMES.inc(batch.results_retained, kind="retained")
 
     def _validate_batch(self, normalized: list[tuple[str, object]]) -> None:
         """Reject a batch up front if any update could not be applied.

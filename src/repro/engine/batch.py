@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.core.region import Region
 from repro.core.result import UTK1Result, UTK2Result
 from repro.exceptions import InvalidQueryError
+from repro.obs import names as _metric_names
 
 #: Problem versions a batch query may request.
 VERSIONS = ("utk1", "utk2", "both")
@@ -112,6 +113,8 @@ def run_batch(engine, queries, *, workers: int | None = None) -> list[BatchItem]
     with engine._lock:
         engine.stats.batches += 1
         engine.stats.batch_queries += len(specs)
+    _metric_names.BATCHES.inc()
+    _metric_names.BATCH_QUERIES.inc(len(specs))
     if not specs:
         return []
     if workers is None or workers <= 1:
@@ -125,7 +128,11 @@ def summarize_batch(items: list[BatchItem]) -> dict:
 
     The ``geometry`` entry sums the ``lp_calls`` / ``vertex_clip_calls`` /
     ``enumeration_calls`` / ``fallback_calls`` telemetry over every served
-    result.  Cache hits
+    result.  The keys are legacy views of the registry schema
+    (:mod:`repro.obs.names`): ``queries`` ↔ ``repro_batch_queries_total``,
+    ``sources`` ↔ the ``source`` label of ``repro_queries_total``, and
+    ``geometry`` ↔ ``repro_geometry_calls_total{kind=...}`` (the label drops
+    the ``_calls`` suffix).  Cache hits
     re-serve a stored result, so their (already-counted) run counters repeat
     in the sum — the figure describes the work behind the *answers served*,
     not fresh computation.

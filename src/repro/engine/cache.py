@@ -24,6 +24,8 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.region import Region
+from repro.obs import runtime as _obs
+from repro.obs import names as _metric_names
 
 #: Decimal places kept when fingerprinting region constraints.
 SIGNATURE_DECIMALS = 10
@@ -66,16 +68,26 @@ class LRUCache:
     ``scan`` iterates entries most-recent-first, which the engine uses for its
     containment lookups (recently touched regions are the most likely parents
     of the next query in a clustered stream).
+
+    A ``name`` makes the cache *observable*: while the observability layer is
+    enabled, hits, misses and evictions are additionally published to the
+    ``repro_cache_events_total{cache=<name>,event=...}`` registry series.
+    Anonymous caches keep only their local counters.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int, *, name: str | None = None):
         if maxsize <= 0:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = int(maxsize)
+        self.name = name
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _publish(self, event: str, count: int = 1) -> None:
+        if self.name is not None and _obs._ENABLED and count:
+            _metric_names.CACHE_EVENTS.inc(count, cache=self.name, event=event)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -89,9 +101,11 @@ class LRUCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            self._publish("miss")
             return default
         self._entries.move_to_end(key)
         self.hits += 1
+        self._publish("hit")
         return value
 
     def put(self, key, value) -> None:
@@ -101,6 +115,7 @@ class LRUCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._publish("eviction")
 
     def touch(self, key) -> None:
         """Refresh recency without affecting hit/miss counters."""
@@ -136,6 +151,7 @@ class LRUCache:
         for key in doomed:
             del self._entries[key]
         self.evictions += len(doomed)
+        self._publish("eviction", len(doomed))
         return len(doomed)
 
     def clear(self) -> None:

@@ -24,6 +24,7 @@ Batch workloads fan out over a thread pool via :meth:`UTKEngine.run_batch`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +42,9 @@ from repro.core.scoring import LinearScoring, ScoringFunction
 from repro.engine.cache import LRUCache, region_contains, region_signature
 from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
+from repro.obs import runtime as _obs
+from repro.obs import names as _metric_names
+from repro.obs.trace import span
 
 #: How a query was answered; recorded per query and tallied in the stats.
 SOURCE_RESULT_HIT = "hit"
@@ -185,10 +189,10 @@ class UTKEngine:
         # from pre-update state is still returned (it was correct when the
         # query arrived) but can never poison the caches.
         self._generation = 0
-        self._skybands = LRUCache(cache_size)
-        self._utk1_cache = LRUCache(cache_size)
-        self._utk2_cache = LRUCache(cache_size)
-        self._traditional_skybands = LRUCache(cache_size)
+        self._skybands = LRUCache(cache_size, name="skyband")
+        self._utk1_cache = LRUCache(cache_size, name="utk1")
+        self._utk2_cache = LRUCache(cache_size, name="utk2")
+        self._traditional_skybands = LRUCache(cache_size, name="k_skyband")
         self.stats = EngineStatistics()
         if parallel_workers < 0:
             raise InvalidQueryError("parallel_workers must be non-negative")
@@ -238,6 +242,27 @@ class UTKEngine:
 
     def serve_utk1(self, region: Region, k: int) -> tuple[UTK1Result, str]:
         """Answer a UTK1 query and report which reuse path served it."""
+        if not _obs._ENABLED:
+            return self._serve_utk1(region, k)
+        return self._serve_observed("utk1", self._serve_utk1, region, k)
+
+    def serve_utk2(self, region: Region, k: int) -> tuple[UTK2Result, str]:
+        """Answer a UTK2 query and report which reuse path served it."""
+        if not _obs._ENABLED:
+            return self._serve_utk2(region, k)
+        return self._serve_observed("utk2", self._serve_utk2, region, k)
+
+    def _serve_observed(self, version: str, serve, region: Region, k: int):
+        """Serve one query under a span, publishing latency and source."""
+        started = time.perf_counter()
+        with span(f"engine.{version}", k=int(k)) as scope:
+            result, source = serve(region, k)
+            scope.set(source=source)
+        _metric_names.QUERIES.inc(version=version, source=source)
+        _metric_names.QUERY_SECONDS.observe(time.perf_counter() - started, version=version)
+        return result, source
+
+    def _serve_utk1(self, region: Region, k: int) -> tuple[UTK1Result, str]:
         self._check_region(region)
         if k <= 0:
             raise InvalidQueryError("k must be positive")
@@ -268,8 +293,7 @@ class UTKEngine:
             self._put_current(self._utk1_cache, key, _ResultEntry(region, k, result), generation)
         return result, source
 
-    def serve_utk2(self, region: Region, k: int) -> tuple[UTK2Result, str]:
-        """Answer a UTK2 query and report which reuse path served it."""
+    def _serve_utk2(self, region: Region, k: int) -> tuple[UTK2Result, str]:
         self._check_region(region)
         if k <= 0:
             raise InvalidQueryError("k must be positive")
@@ -350,6 +374,7 @@ class UTKEngine:
         )
         with self._lock:
             self.stats.parallel_queries += 1
+        _metric_names.PARALLEL_QUERIES.inc()
         return first if algorithm == "rsa" else second
 
     def close(self) -> None:
@@ -394,6 +419,7 @@ class UTKEngine:
                                   generation)
             return skyband, SOURCE_SKYBAND_CONTAINMENT
         skyband = compute_r_skyband(self._values, region, k, tree=self._tree)
+        _metric_names.SKYBAND_SIZE.observe(skyband.size)
         with self._lock:
             self.stats.cold_queries += 1
             self._put_current(self._skybands, key, _SkybandEntry(region, k, skyband), generation)

@@ -18,7 +18,7 @@ from repro.geometry.linear_programming import (
     minimize,
     polytope_vertices,
 )
-from repro.geometry.telemetry import COUNTERS, GeometryCounters
+from repro.obs.geometry import COUNTERS, GeometryCounters
 from repro.geometry.vertex_clip import VertexCache, build_cache, clip
 from repro.geometry.interval import Interval
 from repro.geometry.convex_hull import (

@@ -33,7 +33,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import LinearProgramError
-from repro.geometry.telemetry import COUNTERS
+from repro.obs.geometry import COUNTERS
 
 #: Default radius below which a cell is considered lower-dimensional (empty
 #: interior).  Chosen conservatively for attribute values in [0, 1] x 10.

@@ -34,7 +34,7 @@ import math
 import numpy as np
 
 from repro.geometry.linear_programming import polytope_vertices
-from repro.geometry.telemetry import COUNTERS
+from repro.obs.geometry import COUNTERS
 
 #: Base tolerance for tight-row incidence and clip side decisions, scaled per
 #: row by ``1 + |b| + ||a||`` exactly like the feasibility slack of the

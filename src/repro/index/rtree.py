@@ -23,6 +23,10 @@ import numpy as np
 
 from repro.exceptions import InvalidDatasetError
 from repro.index.mbb import MBB
+from repro.obs import runtime as _obs
+
+#: Node-access operations tallied by :meth:`RTree.count_access`.
+ACCESS_OPS = ("search", "insert", "delete")
 
 
 class RTreeNode:
@@ -88,8 +92,24 @@ class RTree:
         self.dimension: int | None = None
         self.size = 0
         self.root = RTreeNode(is_leaf=True)
+        self.access_counts: dict[str, int] = dict.fromkeys(ACCESS_OPS, 0)
         if points is not None:
             self.bulk_load(points)
+
+    def count_access(self, op: str, n: int = 1) -> None:
+        """Tally ``n`` node accesses of kind ``op`` (search/insert/delete).
+
+        The local :attr:`access_counts` dict is always maintained; while the
+        observability layer is enabled the accesses are additionally published
+        to the ``repro_rtree_node_accesses_total{op=...}`` registry series.
+        Traversal loops batch their tally into a single call per operation.
+        """
+        if not n:
+            return
+        self.access_counts[op] += n
+        if _obs._ENABLED:
+            from repro.obs.names import RTREE_NODE_ACCESSES
+            RTREE_NODE_ACCESSES.inc(n, op=op)
 
     # ------------------------------------------------------------ bulk loading
     def bulk_load(self, points) -> None:
@@ -205,6 +225,7 @@ class RTree:
         self._adjust_upwards(leaf.parent)
 
     def _choose_leaf(self, node: RTreeNode, point: np.ndarray) -> RTreeNode:
+        visited = 1
         while not node.is_leaf:
             target = MBB.of_point(point)
             best, best_cost, best_volume = None, None, None
@@ -214,6 +235,8 @@ class RTree:
                 if best is None or cost < best_cost or (cost == best_cost and volume < best_volume):
                     best, best_cost, best_volume = child, cost, volume
             node = best
+            visited += 1
+        self.count_access("insert", visited)
         return node
 
     def _handle_overflow(self, node: RTreeNode) -> None:
@@ -326,18 +349,23 @@ class RTree:
     def _find_leaf(self, index: int, point: np.ndarray | None) -> RTreeNode | None:
         """The leaf holding record ``index`` (pruned by ``point`` when given)."""
         stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if point is not None and (
-                node.mbb is None or not node.mbb.contains_point(point, tol=1e-12)
-            ):
-                continue
-            if node.is_leaf:
-                if any(entry_index == index for entry_index, _ in node.entries):
-                    return node
-            else:
-                stack.extend(node.children)
-        return None
+        visited = 0
+        try:
+            while stack:
+                node = stack.pop()
+                visited += 1
+                if point is not None and (
+                    node.mbb is None or not node.mbb.contains_point(point, tol=1e-12)
+                ):
+                    continue
+                if node.is_leaf:
+                    if any(entry_index == index for entry_index, _ in node.entries):
+                        return node
+                else:
+                    stack.extend(node.children)
+            return None
+        finally:
+            self.count_access("delete", visited)
 
     def _condense(self, leaf: RTreeNode) -> None:
         """Dissolve underfull ancestors of ``leaf`` and re-insert their records."""
@@ -384,8 +412,10 @@ class RTree:
         if self.root.mbb is None:
             return result
         stack = [self.root]
+        visited = 0
         while stack:
             node = stack.pop()
+            visited += 1
             if node.mbb is None or not node.mbb.intersects(box):
                 continue
             if node.is_leaf:
@@ -394,6 +424,7 @@ class RTree:
                         result.append(index)
             else:
                 stack.extend(node.children)
+        self.count_access("search", visited)
         return sorted(result)
 
     def all_indices(self) -> list[int]:

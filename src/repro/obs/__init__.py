@@ -1,0 +1,73 @@
+"""repro.obs — the unified tracing, metrics and profiling layer.
+
+One substrate, three facets:
+
+* **Spans** (:mod:`repro.obs.trace`) answer *where did this query's time
+  go?* — nestable, thread-local scopes that propagate across the parallel
+  executor's process boundary and export as Chrome ``trace_event`` JSON.
+* **Metrics** (:mod:`repro.obs.metrics`, names in :mod:`repro.obs.names`)
+  answer *what is this process doing over time?* — labeled counters, gauges
+  and histograms with Prometheus text and JSONL exports.
+* **Geometry counters** (:mod:`repro.obs.geometry`) are the always-on
+  thread-local telemetry behind per-query ``--stats`` deltas, folded into
+  the registry when observability is enabled.
+
+Everything is gated by one module-level flag (:mod:`repro.obs.runtime`):
+while :func:`enabled` is false, ``span()`` hands out a shared no-op object
+and every instrument returns after a single boolean check — instrumented
+code in the hot paths costs nothing measurable when nobody is watching
+(gated at <= 3% by ``benchmarks/bench_obs_overhead.py``).
+
+Quickstart::
+
+    from repro.obs import enable, span, take_finished, write_chrome_trace
+
+    enable()
+    with span("my.workload", k=3):
+        engine.utk1(region, k=3)
+    write_chrome_trace("trace.json", take_finished())
+
+or, from the command line: ``repro query ... --trace out.json`` and
+``repro batch ... --metrics out.prom``.
+"""
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, REGISTRY,
+)
+# ``build_provenance`` keeps the package attribute ``repro.obs.provenance``
+# pointing at the submodule instead of shadowing it with the function.
+from repro.obs.provenance import git_describe, version_string
+from repro.obs.provenance import provenance as build_provenance
+from repro.obs.runtime import activated, disable, enable, enabled
+from repro.obs.trace import (
+    NOOP_SPAN, Span, capture, chrome_trace_events, current_span, graft, span,
+    span_from_dict, take_finished, write_chrome_trace,
+)
+from repro.obs.geometry import COUNTERS, GeometryCounters
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "activated",
+    "span",
+    "Span",
+    "NOOP_SPAN",
+    "current_span",
+    "take_finished",
+    "capture",
+    "graft",
+    "span_from_dict",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "COUNTERS",
+    "GeometryCounters",
+    "build_provenance",
+    "git_describe",
+    "version_string",
+]

@@ -1,0 +1,360 @@
+"""A labeled metrics registry with Prometheus and JSONL export.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals (queries served, cache
+  events, geometry calls);
+* :class:`Gauge` — set-to-current values (live cache sizes);
+* :class:`Histogram` — fixed-bucket distributions (query latency, r-skyband
+  sizes) recording per-bucket counts plus sum and count.
+
+Instruments are created through a :class:`MetricsRegistry` (get-or-create by
+name, so every call site shares one instrument) and may declare *label
+names*; each distinct label-value combination tracks its own series, exactly
+like ``repro_queries_total{version="utk1",source="cold"}``.
+
+Recording methods (:meth:`Counter.inc`, :meth:`Gauge.set`,
+:meth:`Histogram.observe`) are gated on :func:`repro.obs.runtime.enabled` —
+while observability is off they return after one flag check, which is what
+keeps dormant instrumentation free.  Reading methods and the exporters work
+regardless of the flag, so a snapshot taken after a traced run can always be
+written out.
+
+Exports: :meth:`MetricsRegistry.prometheus_text` renders the text exposition
+format (``# HELP``/``# TYPE`` plus samples, histograms as cumulative
+``_bucket{le=...}``/``_sum``/``_count``), and
+:meth:`MetricsRegistry.snapshot` the JSON shape behind the JSONL artifact
+(one metric per line, after a provenance header line).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+
+from repro.obs import runtime
+
+#: Latency buckets (seconds): 1ms .. 30s in roughly 1-2.5-5 steps.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: Cardinality buckets for set sizes (r-skyband members, shard counts, ...).
+SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                1000.0, 2000.0, 5000.0)
+
+_INF = float("inf")
+
+
+class _Metric:
+    """Shared bookkeeping of every instrument kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "", labelnames: tuple = ()):
+        self.name = str(name)
+        self.help = str(help_text)
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _labels_of(self, key: tuple) -> dict:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "", labelnames: tuple = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``."""
+        if not runtime._ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Current total of one series (0 when never incremented)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            return [{"labels": self._labels_of(key), "value": value}
+                    for key, value in sorted(self._values.items())]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, optionally split by labels."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "", labelnames: tuple = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Set the series selected by ``labels`` to ``value``."""
+        if not runtime._ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Adjust the series by ``amount`` (negative amounts decrease it)."""
+        if not runtime._ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            return [{"labels": self._labels_of(key), "value": value}
+                    for key, value in sorted(self._values.items())]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution with sum and count, split by labels.
+
+    ``buckets`` are the finite upper bounds, ascending; an implicit ``+Inf``
+    bucket tops them off.  Internally per-bucket counts are stored
+    non-cumulatively; the exposition renders the cumulative ``le`` form
+    Prometheus expects.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "", labelnames: tuple = (),
+                 buckets: tuple = LATENCY_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {self.name!r} has duplicate bucket bounds")
+        if bounds[-1] == _INF:
+            bounds = bounds[:-1]
+        self.buckets = bounds
+        self._data: dict[tuple, list] = {}  # key -> [counts per bucket + inf, sum, count]
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the series selected by ``labels``."""
+        if not runtime._ENABLED:
+            return
+        value = float(value)
+        key = self._key(labels)
+        position = bisect_left(self.buckets, value)
+        with self._lock:
+            data = self._data.get(key)
+            if data is None:
+                data = self._data[key] = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            data[0][position] += 1
+            data[1] += value
+            data[2] += 1
+
+    def snapshot_of(self, **labels) -> dict:
+        """Cumulative bucket counts, sum and count of one series."""
+        key = self._key(labels)
+        with self._lock:
+            data = self._data.get(key)
+            counts = list(data[0]) if data else [0] * (len(self.buckets) + 1)
+            total, count = (data[1], data[2]) if data else (0.0, 0)
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.buckets + (_INF,), counts):
+            running += bucket_count
+            cumulative[_format_bound(bound)] = running
+        return {"buckets": cumulative, "sum": total, "count": count}
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            keys = sorted(self._data)
+        return [{"labels": self._labels_of(key), **self.snapshot_of(**self._labels_of(key))}
+                for key in keys]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class MetricsRegistry:
+    """Named instruments, created once and shared by every call site."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -------------------------------------------------------------- creation
+    def _get_or_create(self, kind: str, name: str, help_text: str,
+                       labelnames: tuple, **options) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {existing.kind}, "
+                        f"requested {kind}"
+                    )
+                if tuple(labelnames) != existing.labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, requested {tuple(labelnames)}"
+                    )
+                return existing
+            metric = self._KINDS[kind](name, help_text, tuple(labelnames), **options)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "", labelnames: tuple = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create("counter", name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "", labelnames: tuple = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create("gauge", name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "", labelnames: tuple = (),
+                  buckets: tuple = LATENCY_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create("histogram", name, help_text, labelnames, buckets=buckets)
+
+    # --------------------------------------------------------------- reading
+    def metrics(self) -> list[_Metric]:
+        """All registered instruments, by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> _Metric | None:
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument's series; registrations are preserved."""
+        for metric in self.metrics():
+            metric.reset()
+
+    def snapshot(self) -> list[dict]:
+        """One plain-data record per metric (the JSONL line shape)."""
+        records = []
+        for metric in self.metrics():
+            records.append({
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": metric.samples(),
+            })
+        return records
+
+    # ------------------------------------------------------------- exporting
+    def prometheus_text(self) -> str:
+        """Render every instrument in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if metric.kind == "histogram":
+                for sample in metric.samples():
+                    labels = sample["labels"]
+                    for bound, cumulative in sample["buckets"].items():
+                        lines.append(
+                            f"{metric.name}_bucket{_render_labels({**labels, 'le': bound})}"
+                            f" {_format_value(cumulative)}"
+                        )
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(labels)}"
+                        f" {_format_value(sample['sum'])}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_render_labels(labels)}"
+                        f" {_format_value(sample['count'])}"
+                    )
+            else:
+                # Canonical counter names already carry the _total suffix.
+                suffix = ("_total" if metric.kind == "counter"
+                          and not metric.name.endswith("_total") else "")
+                for sample in metric.samples():
+                    lines.append(
+                        f"{metric.name}{suffix}{_render_labels(sample['labels'])}"
+                        f" {_format_value(sample['value'])}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def write_prometheus(self, path, *, header: dict | None = None) -> None:
+        """Write the text exposition to ``path``, header as leading comments."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for key, value in (header or {}).items():
+                handle.write(f"# {key}: {value}\n")
+            handle.write(self.prometheus_text())
+
+    def write_jsonl(self, path, *, header: dict | None = None) -> None:
+        """Write one JSON object per line: a header record, then one per metric."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"record": "header", **(header or {})}) + "\n")
+            for record in self.snapshot():
+                handle.write(json.dumps({"record": "metric", **record}) + "\n")
+
+
+def _format_bound(bound: float) -> str:
+    """Prometheus ``le`` label rendering (``+Inf`` for the overflow bucket)."""
+    if bound == _INF:
+        return "+Inf"
+    return format(bound, "g")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return format(value, "g") if isinstance(value, float) else str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(str(value))}"'
+                     for name, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+#: The process-wide default registry every subsystem registers into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,148 @@
+"""Canonical metric names — the one schema every subsystem reports through.
+
+Before this module existed each subsystem invented its own stat-dict keys
+(``EngineStatistics.as_dict``, ``UpdateStatistics``, ``summarize_batch``,
+the per-run RSA/JAA counters).  Those dict views remain for backwards
+compatibility, but the *registry* series below are the normalized schema:
+one instrument per concept, labels for the axes the old dicts flattened
+into key names.  ``repro metrics --schema`` prints this table; the README
+"Observability" section documents how the legacy keys map onto it.
+
+Importing this module registers every instrument in the default
+:data:`~repro.obs.metrics.REGISTRY` exactly once, so instrumented modules
+just do ``from repro.obs import names`` and use the module attributes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import LATENCY_BUCKETS, REGISTRY, SIZE_BUCKETS
+
+# ------------------------------------------------------------ engine serving
+#: Queries served, split by problem version (utk1/utk2) and the reuse path
+#: that answered them (hit/containment/skyband-hit/skyband-containment/cold).
+#: Normalizes EngineStatistics.{utk1_queries,utk2_queries,result_hits,
+#: containment_hits,skyband_hits,skyband_containment_hits,cold_queries} and
+#: the per-item "sources" histogram of summarize_batch.
+QUERIES = REGISTRY.counter(
+    "repro_queries_total",
+    "UTK queries served, by problem version and reuse path",
+    ("version", "source"),
+)
+
+#: End-to-end serve latency per problem version.
+QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds",
+    "End-to-end engine serve latency in seconds",
+    ("version",),
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Size of freshly computed (cold) r-skybands — the best single predictor of
+#: refinement cost.
+SKYBAND_SIZE = REGISTRY.histogram(
+    "repro_skyband_size",
+    "r-skyband cardinality of cold filterings",
+    (),
+    buckets=SIZE_BUCKETS,
+)
+
+#: Queries routed to the region-partitioned parallel executor
+#: (EngineStatistics.parallel_queries).
+PARALLEL_QUERIES = REGISTRY.counter(
+    "repro_parallel_queries_total",
+    "Queries answered via the region-partitioned parallel executor",
+    (),
+)
+
+#: Shard tasks fanned out by the parallel executor.
+PARALLEL_SHARDS = REGISTRY.counter(
+    "repro_parallel_shards_total",
+    "Shard tasks executed by the parallel executor",
+    (),
+)
+
+#: Batches served / queries inside them (EngineStatistics.batches,
+#: EngineStatistics.batch_queries and summarize_batch "queries").
+BATCHES = REGISTRY.counter("repro_batches_total", "Query batches served", ())
+BATCH_QUERIES = REGISTRY.counter(
+    "repro_batch_queries_total", "Queries served inside batches", ()
+)
+
+# ------------------------------------------------------------------- caches
+#: LRU cache traffic, by cache name (skyband/utk1/utk2/k_skyband) and event.
+#: Normalizes the per-cache hits/misses/evictions dicts of
+#: UTKEngine.cache_stats.
+CACHE_EVENTS = REGISTRY.counter(
+    "repro_cache_events_total",
+    "LRU cache events (hit/miss/eviction), by cache",
+    ("cache", "event"),
+)
+
+# ----------------------------------------------------------------- geometry
+#: Geometry-kernel invocations, by kind (lp/vertex_clip/enumeration/
+#: fallback).  Normalizes the GeometryCounters thread-local telemetry that
+#: RSA/JAA stats and summarize_batch["geometry"] expose as flat keys.
+GEOMETRY_CALLS = REGISTRY.counter(
+    "repro_geometry_calls_total",
+    "Geometry kernel calls, by kind (lp, vertex_clip, enumeration, fallback)",
+    ("kind",),
+)
+
+#: Refinement phase timings (rsa.skyband, rsa.refine, jaa.skyband, jaa.refine).
+PHASE_SECONDS = REGISTRY.histogram(
+    "repro_phase_seconds",
+    "RSA/JAA phase durations in seconds",
+    ("phase",),
+    buckets=LATENCY_BUCKETS,
+)
+
+# -------------------------------------------------------------------- index
+#: R-tree node touches, by operation (search/insert/delete).
+RTREE_NODE_ACCESSES = REGISTRY.counter(
+    "repro_rtree_node_accesses_total",
+    "R-tree nodes visited, by operation",
+    ("op",),
+)
+
+# ------------------------------------------------------------- maintenance
+#: Updates applied by the dynamic engine (UpdateStatistics.inserts/deletes).
+MAINTENANCE_UPDATES = REGISTRY.counter(
+    "repro_maintenance_updates_total",
+    "Dynamic-engine updates applied, by operation",
+    ("op",),
+)
+
+#: Cache-entry outcomes of update maintenance (UpdateStatistics.
+#: entries_repaired/entries_noop/entries_evicted/results_retained).
+MAINTENANCE_OUTCOMES = REGISTRY.counter(
+    "repro_maintenance_outcomes_total",
+    "Cache-entry outcomes of update maintenance (repaired/noop/evicted/retained)",
+    ("kind",),
+)
+
+
+def observe_phase(phase: str, closed_span) -> None:
+    """Fold a closed phase span's duration into :data:`PHASE_SECONDS`.
+
+    Call sites pass the span object their ``with`` block bound; while
+    observability is off that is the no-op singleton and nothing is recorded,
+    so phase timing needs no second clock read.
+    """
+    from repro.obs.trace import NOOP_SPAN
+
+    if closed_span is NOOP_SPAN:
+        return
+    PHASE_SECONDS.observe(closed_span.duration, phase=phase)
+
+
+def schema() -> list[dict]:
+    """The metric reference table: name, kind, labels and help per instrument."""
+    return [
+        {
+            "name": metric.name,
+            "kind": metric.kind,
+            "labels": ",".join(metric.labelnames) or "-",
+            "help": metric.help,
+        }
+        for metric in REGISTRY.metrics()
+    ]

@@ -1,0 +1,62 @@
+"""Artifact provenance: which code produced this trace/metrics file?
+
+Every export header (Chrome traces, ``.prom`` comments, metrics-JSONL
+headers, ``BENCH_*.json`` payloads) embeds the package version plus the
+``git describe`` of the working tree, so a benchmark artifact found on a CI
+run months later still says exactly what it measured.  ``repro --version``
+prints the same string.
+
+``git describe`` is best-effort: outside a git checkout (an installed wheel,
+a tarball) it degrades to ``None`` without noise.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+_GIT_CACHE: dict[str, str | None] = {}
+
+
+def version() -> str:
+    """The repro package version."""
+    from repro import __version__
+
+    return __version__
+
+
+def git_describe() -> str | None:
+    """``git describe --always --dirty`` of the source tree, or ``None``."""
+    if "describe" in _GIT_CACHE:
+        return _GIT_CACHE["describe"]
+    described: str | None = None
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if completed.returncode == 0:
+            described = completed.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        described = None
+    _GIT_CACHE["describe"] = described
+    return described
+
+
+def provenance() -> dict:
+    """The header block embedded into every metrics/trace export."""
+    block = {"tool": "repro.obs", "version": version()}
+    described = git_describe()
+    if described is not None:
+        block["git"] = described
+    return block
+
+
+def version_string() -> str:
+    """Human-readable version line for ``repro --version``."""
+    described = git_describe()
+    suffix = f" ({described})" if described else ""
+    return f"repro {version()}{suffix}"

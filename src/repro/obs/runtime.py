@@ -1,0 +1,54 @@
+"""The observability master switch.
+
+Everything in :mod:`repro.obs` is gated by one module-level flag.  When the
+flag is off (the default), :func:`repro.obs.trace.span` returns a shared
+no-op singleton and every registry instrument returns before touching its
+lock — the instrumented code paths pay one boolean check and nothing else.
+``benchmarks/bench_obs_overhead.py`` gates that the disabled-mode cost stays
+within 3% of the uninstrumented timing.
+
+The flag is process-wide on purpose: spans and metrics describe the whole
+serving process, and a per-thread switch would tear single queries (batch
+threads, shard workers) into half-traced pieces.  Worker processes of the
+parallel executor do not inherit the flag under ``spawn``; the shard tasks
+carry it explicitly (see :mod:`repro.parallel.worker`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether tracing and metrics collection are currently on."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn tracing and metrics collection on."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing and metrics collection off (the default state)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def activated(on: bool = True):
+    """Temporarily force the flag ``on`` (or off); restores the prior state.
+
+    The scoped alternative to :func:`enable`/:func:`disable` used by tests,
+    the CLI export paths and the shard workers.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,0 +1,309 @@
+"""Span-based tracing: where did this query's wall-clock time go?
+
+A :class:`Span` is a named, timed scope with free-form attributes and
+counters.  Spans nest: each thread keeps a stack of open spans, a span
+closing under another becomes its child, and a span closing with an empty
+stack is a finished *root* collected into a process-wide list that
+:func:`take_finished` drains.  The context-manager protocol makes
+instrumentation one line::
+
+    with span("rsa.refine", candidates=42):
+        ...
+
+and is exception-safe — a raising body still finalizes the span (recording
+the exception type as an attribute) and re-raises.
+
+When :mod:`repro.obs.runtime` is disabled, :func:`span` returns a shared
+no-op singleton whose ``__enter__``/``__exit__``/``set``/``inc`` do nothing,
+so dormant instrumentation costs one flag check per call site.
+
+Cross-process propagation: spans are plain trees of plain data, so
+:meth:`Span.to_dict`/:func:`span_from_dict` round-trip them through pickle or
+JSON.  The parallel executor's shard workers trace themselves inside an
+isolated :func:`capture` scope, ship the serialized trees back on the
+:class:`~repro.parallel.worker.ShardOutcome`, and the merge step
+:func:`graft`\\ s them under the coordinator's open span — one tree covering
+the whole fan-out, whichever backend ran it.
+
+Timestamps record ``time.time()`` at entry (comparable across processes)
+while durations come from ``time.perf_counter()`` deltas (monotonic).
+:func:`write_chrome_trace` exports finished spans in the Chrome
+``trace_event`` format; load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev for a flame view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.obs import runtime
+
+
+class Span:
+    """One named, timed scope of work; a node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "counters", "children", "pid", "tid",
+                 "start_wall", "duration", "_start_perf")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = str(name)
+        self.attrs: dict = dict(attrs or {})
+        self.counters: dict = {}
+        self.children: list[Span] = []
+        self.pid = 0
+        self.tid = 0
+        self.start_wall = 0.0
+        self.duration = 0.0
+        self._start_perf = 0.0
+
+    # ------------------------------------------------------------- recording
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) free-form attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        """Bump a per-span counter (rendered under ``args`` in the export)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    # ------------------------------------------------------ context protocol
+    def __enter__(self) -> "Span":
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        _STATE.stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        stack = _STATE.stack
+        # Pop back to (and including) this span; tolerating a mismatched
+        # stack keeps an instrumentation bug from corrupting later traces.
+        while stack and stack.pop() is not self:
+            pass
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            sink = getattr(_STATE, "collector", None)
+            if sink is not None:
+                sink.append(self)
+            else:
+                with _FINISHED_LOCK:
+                    _FINISHED.append(self)
+        return False
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-data tree (JSON/pickle-safe) for cross-process shipping."""
+        return {
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def span_count(self) -> int:
+        """Number of spans in this subtree (itself included)."""
+        return 1 + sum(child.span_count() for child in self.children)
+
+    def names(self) -> set[str]:
+        """Set of span names occurring in this subtree."""
+        collected = {self.name}
+        for child in self.children:
+            collected |= child.names()
+        return collected
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (pre-order), or ``None``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+def span_from_dict(payload: dict) -> Span:
+    """Rebuild a :class:`Span` tree serialized by :meth:`Span.to_dict`."""
+    rebuilt = Span(payload["name"], payload.get("attrs"))
+    rebuilt.start_wall = float(payload.get("start_wall", 0.0))
+    rebuilt.duration = float(payload.get("duration", 0.0))
+    rebuilt.pid = int(payload.get("pid", 0))
+    rebuilt.tid = int(payload.get("tid", 0))
+    rebuilt.counters = dict(payload.get("counters", {}))
+    rebuilt.children = [span_from_dict(child) for child in payload.get("children", [])]
+    return rebuilt
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while observability is off."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _State(threading.local):
+    """Per-thread open-span stack plus an optional capture collector."""
+
+    def __init__(self):
+        self.stack: list[Span] = []
+        self.collector: list[Span] | None = None
+
+
+_STATE = _State()
+_FINISHED: list[Span] = []
+_FINISHED_LOCK = threading.Lock()
+
+
+def span(name: str, **attrs):
+    """Open a traced scope (``with span("rsa.refine"): ...``).
+
+    The zero-overhead-when-off fast path: while :func:`repro.obs.runtime.enabled`
+    is false this returns :data:`NOOP_SPAN` without allocating anything.
+    """
+    if not runtime._ENABLED:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def current_span():
+    """The innermost open span on this thread (``None`` outside any span)."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def take_finished() -> list[Span]:
+    """Drain and return the finished root spans collected so far."""
+    with _FINISHED_LOCK:
+        drained, _FINISHED[:] = list(_FINISHED), []
+    return drained
+
+
+def reset() -> None:
+    """Drop all finished roots and this thread's open stack (test/CLI setup)."""
+    with _FINISHED_LOCK:
+        _FINISHED.clear()
+    _STATE.stack = []
+    _STATE.collector = None
+
+
+class capture:
+    """Context manager isolating the spans produced inside it.
+
+    Swaps in a fresh stack and collects the roots finished inside the scope
+    into the list the ``with`` statement binds — without touching the
+    process-wide finished list or any span currently open on this thread.
+    Shard workers run under ``capture`` so the serial (in-process) and
+    process-pool backends produce identically-shaped shard trees.
+    """
+
+    def __init__(self):
+        self.spans: list[Span] = []
+
+    def __enter__(self) -> list[Span]:
+        self._stack = _STATE.stack
+        self._collector = _STATE.collector
+        _STATE.stack = []
+        _STATE.collector = self.spans
+        return self.spans
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _STATE.stack = self._stack
+        _STATE.collector = self._collector
+        return False
+
+
+def graft(payloads) -> list[Span]:
+    """Attach serialized span trees under the current span (or as roots).
+
+    ``payloads`` is a list of :meth:`Span.to_dict` trees — the shape shard
+    workers ship back.  Returns the rebuilt spans.  With no span open the
+    trees become finished roots, so grafting is meaningful even outside a
+    coordinator span.
+    """
+    rebuilt = [span_from_dict(payload) for payload in payloads]
+    if not rebuilt:
+        return rebuilt
+    parent = current_span()
+    if parent is not None:
+        parent.children.extend(rebuilt)
+    else:
+        sink = _STATE.collector
+        if sink is not None:
+            sink.extend(rebuilt)
+        else:
+            with _FINISHED_LOCK:
+                _FINISHED.extend(rebuilt)
+    return rebuilt
+
+
+# ------------------------------------------------------------- Chrome export
+def chrome_trace_events(spans) -> list[dict]:
+    """Flatten span trees into Chrome ``trace_event`` complete (``"X"``) events."""
+    events: list[dict] = []
+
+    def emit(node: Span) -> None:
+        args = dict(node.attrs)
+        if node.counters:
+            args["counters"] = dict(node.counters)
+        events.append({
+            "name": node.name,
+            "ph": "X",
+            "ts": node.start_wall * 1e6,
+            "dur": node.duration * 1e6,
+            "pid": node.pid,
+            "tid": node.tid,
+            "args": args,
+        })
+        for child in node.children:
+            emit(child)
+
+    for root in spans:
+        emit(root)
+    return events
+
+
+def write_chrome_trace(path, spans, *, metadata: dict | None = None) -> dict:
+    """Write span trees as a Chrome ``trace_event`` JSON file; returns the payload.
+
+    ``metadata`` (version, git describe, workload parameters, ...) lands under
+    ``otherData``, where the trace viewers surface it.
+    """
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

@@ -37,6 +37,10 @@ from repro.core.rsa import RSA
 from repro.core.rskyband import RSkyband, compute_r_skyband
 from repro.exceptions import InvalidQueryError
 from repro.index.rtree import RTree
+from repro.obs import names as _metric_names
+from repro.obs import runtime as _obs_runtime
+from repro.obs.names import observe_phase as _observe_phase
+from repro.obs.trace import span
 
 from repro.parallel.merge import merge_outcomes
 from repro.parallel.partition import subdivide_region
@@ -145,7 +149,9 @@ def parallel_utk_query(
     shard_count = workers if shards is None else max(1, int(shards))
 
     if skyband is None:
-        skyband = compute_r_skyband(values, region, k, tree=tree)
+        with span("parallel.filter", k=int(k)) as phase:
+            skyband = compute_r_skyband(values, region, k, tree=tree)
+        _observe_phase("parallel.filter", phase)
 
     # Degenerate cases keep the serial path: nothing to fan out.
     if shard_count <= 1 or skyband.size <= k:
@@ -162,22 +168,29 @@ def parallel_utk_query(
             values, region, k, workers=1, algorithm=algorithm,
             skyband=skyband, use_drill=use_drill,
         )
-    tasks = [
-        ShardTask(
-            shard_id=shard_id,
-            algorithm=algorithm,
-            region=subregion,
-            k=int(k),
-            candidate_indices=skyband.indices,
-            candidate_rows=skyband.values,
-            use_drill=use_drill,
-        )
-        for shard_id, subregion in enumerate(subregions)
-    ]
-    outcomes = _run_tasks(
-        tasks, workers=workers, backend=backend, start_method=start_method, pool=pool
-    )
-    first, second = merge_outcomes(outcomes, region, int(k))
+    with span("parallel.query", shards=len(subregions), workers=workers, backend=backend):
+        tasks = [
+            ShardTask(
+                shard_id=shard_id,
+                algorithm=algorithm,
+                region=subregion,
+                k=int(k),
+                candidate_indices=skyband.indices,
+                candidate_rows=skyband.values,
+                use_drill=use_drill,
+                trace=_obs_runtime.enabled(),
+            )
+            for shard_id, subregion in enumerate(subregions)
+        ]
+        _metric_names.PARALLEL_SHARDS.inc(len(tasks))
+        with span("parallel.fanout", shards=len(tasks)) as phase:
+            outcomes = _run_tasks(
+                tasks, workers=workers, backend=backend, start_method=start_method, pool=pool
+            )
+        _observe_phase("parallel.fanout", phase)
+        # Merged while ``parallel.query`` is the current span, so the shards'
+        # serialized traces graft directly under the coordinator span.
+        first, second = merge_outcomes(outcomes, region, int(k))
     for result in (first, second):
         if result is None:
             continue

@@ -24,6 +24,8 @@ from collections.abc import Sequence
 from repro.core.region import Region
 from repro.core.result import UTK1Result, UTK2Result, UTKPartition
 from repro.exceptions import InvalidQueryError
+from repro.obs import runtime as _obs_runtime
+from repro.obs import trace as _obs_trace
 
 from repro.parallel.worker import ShardOutcome
 
@@ -79,8 +81,18 @@ def merge_utk2_results(
 def merge_outcomes(outcomes: Sequence[ShardOutcome], region: Region, k: int) -> tuple[
     UTK1Result | None, UTK2Result | None
 ]:
-    """Merge shard outcomes (in shard order) into full-region results."""
+    """Merge shard outcomes (in shard order) into full-region results.
+
+    When observability is enabled, each outcome's serialized worker span tree
+    is grafted (in shard order) under the coordinator's current span, so a
+    parallel query's trace reads as one tree: the coordinator query span with
+    one ``shard[<id>]`` subtree per worker.
+    """
     ordered = sorted(outcomes, key=lambda outcome: outcome.shard_id)
+    if _obs_runtime.enabled():
+        for outcome in ordered:
+            if outcome.trace:
+                _obs_trace.graft(outcome.trace)
     extra = {
         "shard_seconds_total": sum(outcome.seconds for outcome in ordered),
         "shard_skyband_max": max((outcome.skyband_size for outcome in ordered), default=0),

@@ -26,6 +26,8 @@ from repro.core.result import UTK1Result, UTK2Result
 from repro.core.rsa import RSA
 from repro.core.rskyband import skyband_from_candidates
 from repro.exceptions import InvalidQueryError
+from repro.obs import runtime as _obs_runtime
+from repro.obs import trace as _obs_trace
 
 #: Problem versions a shard may be asked to solve.
 ALGORITHMS = ("rsa", "jaa", "both")
@@ -33,7 +35,12 @@ ALGORITHMS = ("rsa", "jaa", "both")
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One unit of parallel work: a sub-region plus the parent skyband slice."""
+    """One unit of parallel work: a sub-region plus the parent skyband slice.
+
+    ``trace=True`` asks the worker to record a span tree of its own solve and
+    serialize it back on the outcome, so the coordinator can graft the shard's
+    trace under its query span (:mod:`repro.parallel.merge`).
+    """
 
     shard_id: int
     algorithm: str
@@ -42,6 +49,7 @@ class ShardTask:
     candidate_indices: np.ndarray
     candidate_rows: np.ndarray
     use_drill: bool = True
+    trace: bool = False
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -52,7 +60,12 @@ class ShardTask:
 
 @dataclass
 class ShardOutcome:
-    """What a worker sends back: per-version results plus shard accounting."""
+    """What a worker sends back: per-version results plus shard accounting.
+
+    ``trace`` holds the worker's serialized span tree(s)
+    (:meth:`repro.obs.trace.Span.to_dict` payloads) when the task asked for
+    tracing; empty otherwise.
+    """
 
     shard_id: int
     utk1: UTK1Result | None = None
@@ -60,21 +73,15 @@ class ShardOutcome:
     skyband_size: int = 0
     seconds: float = 0.0
     stats: dict = field(default_factory=dict)
+    trace: list = field(default_factory=list)
 
 
-def run_shard(task: ShardTask) -> ShardOutcome:
-    """Solve one shard; the module-level entry point executed in the pool.
-
-    Rebuilds the shard's exact r-skyband from the parent slice (one quadratic
-    pass over the slice — no index, no dataset scan), then runs the requested
-    algorithm(s) against the slice rows.  Results carry dataset indices, so
-    they merge directly with the other shards' outcomes.
-    """
-    started = time.perf_counter()
+def _solve_shard(task: ShardTask, outcome: ShardOutcome) -> None:
+    """Rebuild the shard skyband and run the requested algorithm(s)."""
     skyband = skyband_from_candidates(
         task.candidate_indices, task.candidate_rows, task.region, task.k
     )
-    outcome = ShardOutcome(shard_id=task.shard_id, skyband_size=skyband.size)
+    outcome.skyband_size = skyband.size
     if task.algorithm in ("rsa", "both"):
         algorithm = RSA(
             task.candidate_rows,
@@ -87,6 +94,34 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     if task.algorithm in ("jaa", "both"):
         algorithm = JAA(task.candidate_rows, task.region, task.k, skyband=skyband)
         outcome.utk2 = algorithm.run()
-    outcome.seconds = time.perf_counter() - started
     outcome.stats = {"shard_skyband_size": skyband.size}
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Solve one shard; the module-level entry point executed in the pool.
+
+    Rebuilds the shard's exact r-skyband from the parent slice (one quadratic
+    pass over the slice — no index, no dataset scan), then runs the requested
+    algorithm(s) against the slice rows.  Results carry dataset indices, so
+    they merge directly with the other shards' outcomes.
+
+    When ``task.trace`` is set, the solve runs with observability enabled
+    under an isolated capture: the shard's whole span tree is rooted at
+    ``shard[<id>]`` and shipped back on ``outcome.trace`` as plain dicts (the
+    only span form that survives pickling across the pool boundary).
+    """
+    started = time.perf_counter()
+    outcome = ShardOutcome(shard_id=task.shard_id)
+    if not task.trace:
+        _solve_shard(task, outcome)
+    else:
+        with _obs_trace.capture() as captured, _obs_runtime.activated(True):
+            with _obs_trace.span(
+                f"shard[{task.shard_id}]",
+                shard=task.shard_id,
+                algorithm=task.algorithm,
+            ):
+                _solve_shard(task, outcome)
+        outcome.trace = [finished.to_dict() for finished in captured]
+    outcome.seconds = time.perf_counter() - started
     return outcome

@@ -126,4 +126,5 @@ def bbs_candidates(tree: RTree, k: int, *,
             member_count += 1
 
     stats.candidate_count = len(members_idx)
+    tree.count_access("search", stats.nodes_visited)
     return members_idx, members_rows, stats
