@@ -92,7 +92,10 @@ def write_bench_json(
     meta:
         Optional run metadata (workload mode, sizes, ...).
     """
+    from repro.bench.schema import SCHEMA_VERSION, validate_bench_payload
+
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": benchmark,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
@@ -102,6 +105,10 @@ def write_bench_json(
         "gates": dict(gates or {}),
         "rows": [dict(row) for row in rows],
     }
+    # Round-trip through JSON before validating, so what we check is exactly
+    # what readers will see (NumPy scalars coerced, tuples listified).
+    payload = json.loads(json.dumps(payload, default=_json_default))
+    validate_bench_payload(payload)
     text = json.dumps(payload, indent=2, default=_json_default)
     Path(path).write_text(text + "\n", encoding="utf-8")
     return payload
@@ -117,7 +124,10 @@ def write_bench_metrics(path, benchmark: str, *, meta: Mapping | None = None) ->
     whatever the registry accumulated — benchmarks that want a clean capture
     reset the registry and enable observability around the measured section.
     """
+    from repro.bench.schema import SCHEMA_VERSION
+
     header = {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": benchmark,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         **_provenance(),

@@ -1,0 +1,170 @@
+"""Schema checks for the benchmark artifacts (``BENCH_*.json`` / ``METRICS_*.jsonl``).
+
+The trend comparison (:mod:`repro.bench.trend`) and the nightly dashboards
+read artifacts produced by *older* commits, so format drift must fail CI
+loudly instead of silently breaking cross-run comparison.  Every artifact
+carries a ``schema_version``; these validators check it together with the
+structural shape.
+
+The validator is a deliberately small, dependency-free subset of JSON
+Schema (``type``, ``required``, ``properties``, ``items``, ``enum``) — the
+container has no ``jsonschema`` package, and the artifact shapes need
+nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+#: Version stamped into every artifact this library writes.  Bump it (and
+#: extend the validators) whenever the payload shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ReproError):
+    """An artifact does not match the expected schema."""
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def check(instance, schema: dict, path: str = "$") -> None:
+    """Validate ``instance`` against a JSON-Schema subset; raise :class:`SchemaError`.
+
+    Supports ``type``, ``required``, ``properties``, ``items`` and ``enum`` —
+    enough to pin the artifact shapes without an external dependency.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if not isinstance(instance, python_type) or (
+            expected in ("number", "integer") and isinstance(instance, bool)
+        ):
+            raise SchemaError(f"{path}: expected {expected}, got {type(instance).__name__}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not in {schema['enum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                check(instance[name], subschema, f"{path}.{name}")
+    if isinstance(instance, list) and "items" in schema:
+        for position, item in enumerate(instance):
+            check(item, schema["items"], f"{path}[{position}]")
+
+
+#: Shape of a ``BENCH_*.json`` payload (what :func:`write_bench_json` emits).
+BENCH_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema_version",
+        "benchmark",
+        "created_at",
+        "python",
+        "platform",
+        "provenance",
+        "meta",
+        "gates",
+        "rows",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "benchmark": {"type": "string"},
+        "created_at": {"type": "string"},
+        "python": {"type": "string"},
+        "platform": {"type": "string"},
+        "provenance": {"type": "object"},
+        "meta": {"type": "object"},
+        "gates": {"type": "object"},
+        "rows": {"type": "array", "items": {"type": "object"}},
+    },
+}
+
+#: Shape of the ``METRICS_*.jsonl`` header line.
+METRICS_HEADER_SCHEMA = {
+    "type": "object",
+    "required": ["record", "schema_version", "benchmark", "created_at"],
+    "properties": {
+        "record": {"enum": ["header"]},
+        "schema_version": {"type": "integer"},
+        "benchmark": {"type": "string"},
+        "created_at": {"type": "string"},
+        "meta": {"type": "object"},
+    },
+}
+
+#: Shape of one ``METRICS_*.jsonl`` metric line (see
+#: :meth:`repro.obs.metrics.MetricsRegistry.write_jsonl`).
+METRICS_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["record", "name", "kind", "samples"],
+    "properties": {
+        "record": {"enum": ["metric"]},
+        "name": {"type": "string"},
+        "kind": {"enum": ["counter", "gauge", "histogram"]},
+        "samples": {"type": "array", "items": {"type": "object", "required": ["labels"]}},
+    },
+}
+
+
+def validate_bench_payload(payload: dict) -> dict:
+    """Check a BENCH payload (shape + supported ``schema_version``); return it."""
+    check(payload, BENCH_SCHEMA)
+    if payload["schema_version"] > SCHEMA_VERSION:
+        raise SchemaError(
+            f"BENCH schema_version {payload['schema_version']} is newer than the "
+            f"supported {SCHEMA_VERSION}; upgrade the library reading it"
+        )
+    return payload
+
+
+def validate_bench_file(path) -> dict:
+    """Load and validate one ``BENCH_*.json`` file; return the payload."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SchemaError(f"{path} is not valid JSON: {error}") from error
+    try:
+        return validate_bench_payload(payload)
+    except SchemaError as error:
+        raise SchemaError(f"{path}: {error}") from error
+
+
+def validate_metrics_lines(lines) -> int:
+    """Validate decoded METRICS JSONL records; return the metric-line count."""
+    records = list(lines)
+    if not records:
+        raise SchemaError("METRICS stream is empty (expected a header line)")
+    check(records[0], METRICS_HEADER_SCHEMA, "$[0]")
+    for position, record in enumerate(records[1:], start=1):
+        check(record, METRICS_RECORD_SCHEMA, f"$[{position}]")
+    return len(records) - 1
+
+
+def validate_metrics_file(path) -> int:
+    """Load and validate one ``METRICS_*.jsonl`` file; return the metric count."""
+    decoded = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                decoded.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise SchemaError(f"{path}:{number} is not valid JSON: {error}") from error
+    try:
+        return validate_metrics_lines(decoded)
+    except SchemaError as error:
+        raise SchemaError(f"{path}: {error}") from error

@@ -1,0 +1,140 @@
+"""Cross-run trend comparison of scenario-matrix benchmarks.
+
+Compares the current ``BENCH_matrix.json`` against a reference snapshot —
+the committed ``benchmarks/baselines/`` file in CI, or the previous
+nightly's artifact in the trend job — and fails when any *gated* cell's
+throughput regressed by more than the threshold (default 20%).
+
+Ungated cells, cells that appear only on one side, and oracle-skipped cells
+never fail the comparison: scenario/backend additions and removals are
+routine, and flagging them as regressions would make the gate untouchable.
+They are still reported, so a silently vanished cell is visible in the
+markdown summary CI posts to ``$GITHUB_STEP_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.schema import SchemaError, validate_bench_file, validate_bench_payload
+
+#: Relative throughput loss that fails a gated cell (0.2 = 20% slower).
+DEFAULT_THRESHOLD = 0.2
+
+
+@dataclass
+class TrendReport:
+    """Outcome of one baseline-vs-current comparison."""
+
+    threshold: float
+    entries: list[dict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[dict]:
+        return [entry for entry in self.entries if entry["status"] == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def markdown(self) -> str:
+        """GitHub-flavoured summary (the ``$GITHUB_STEP_SUMMARY`` payload)."""
+        lines = ["## Benchmark trend", ""]
+        verdict = (
+            "no gated regressions"
+            if self.ok
+            else f"**{len(self.regressions)} gated regression(s)**"
+        )
+        lines.append(
+            f"Gate: gated cells must stay within "
+            f"{self.threshold:.0%} of baseline throughput — {verdict}."
+        )
+        lines.append("")
+        lines.append("| cell | baseline q/s | current q/s | change | status |")
+        lines.append("|---|---|---|---|---|")
+        for entry in self.entries:
+            baseline = "—" if entry["baseline_qps"] is None else f"{entry['baseline_qps']:.1f}"
+            current = "—" if entry["current_qps"] is None else f"{entry['current_qps']:.1f}"
+            change = "—" if entry["ratio"] is None else f"{entry['ratio'] - 1.0:+.1%}"
+            status = entry["status"]
+            if status == "regression":
+                status = f"**{status}**"
+            lines.append(
+                f"| {entry['cell']} | {baseline} | {current} | {change} | {status} |"
+            )
+        return "\n".join(lines) + "\n"
+
+    def text(self) -> str:
+        lines = [
+            f"trend vs baseline (threshold {self.threshold:.0%}):",
+        ]
+        for entry in self.entries:
+            change = "—" if entry["ratio"] is None else f"{entry['ratio'] - 1.0:+.1%}"
+            lines.append(f"  {entry['cell']}: {change} ({entry['status']})")
+        lines.append("PASS" if self.ok else f"FAIL: {len(self.regressions)} regression(s)")
+        return "\n".join(lines)
+
+
+def _cells(payload: dict) -> dict[str, dict]:
+    cells = {}
+    for row in payload.get("rows", []):
+        if "scenario" in row and "backend" in row and "qps" in row:
+            cells[f"{row['scenario']}/{row['backend']}"] = row
+    return cells
+
+
+def compare(
+    current: dict, baseline: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> TrendReport:
+    """Compare two ``BENCH_matrix.json`` payloads (validated first)."""
+    validate_bench_payload(current)
+    validate_bench_payload(baseline)
+    current_smoke = current.get("meta", {}).get("smoke")
+    baseline_smoke = baseline.get("meta", {}).get("smoke")
+    if current_smoke is not None and baseline_smoke is not None:
+        if bool(current_smoke) != bool(baseline_smoke):
+            raise SchemaError(
+                "cannot compare a smoke matrix against a full-workload baseline "
+                f"(current smoke={current_smoke}, baseline smoke={baseline_smoke}); "
+                "pick the matching benchmarks/baselines/ snapshot"
+            )
+    report = TrendReport(threshold=float(threshold))
+    current_cells = _cells(current)
+    baseline_cells = _cells(baseline)
+    for cell in sorted(set(current_cells) | set(baseline_cells)):
+        now, then = current_cells.get(cell), baseline_cells.get(cell)
+        entry = {
+            "cell": cell,
+            "gated": bool((now or then).get("gated", False)),
+            "baseline_qps": None if then is None else float(then["qps"]),
+            "current_qps": None if now is None else float(now["qps"]),
+            "ratio": None,
+        }
+        if now is None:
+            entry["status"] = "missing"
+        elif then is None:
+            entry["status"] = "new"
+        elif entry["baseline_qps"] <= 0:
+            entry["status"] = "no-baseline"
+        else:
+            entry["ratio"] = entry["current_qps"] / entry["baseline_qps"]
+            regressed = entry["ratio"] < 1.0 - report.threshold
+            if regressed and entry["gated"] and now.get("oracle") != "skipped":
+                entry["status"] = "regression"
+            elif entry["ratio"] > 1.0 + report.threshold:
+                entry["status"] = "improved"
+            else:
+                entry["status"] = "ok" if not regressed else "regressed-ungated"
+        report.entries.append(entry)
+    return report
+
+
+def compare_files(
+    current_path, baseline_path, *, threshold: float = DEFAULT_THRESHOLD
+) -> TrendReport:
+    """Load, validate and compare two ``BENCH_*.json`` files."""
+    return compare(
+        validate_bench_file(current_path),
+        validate_bench_file(baseline_path),
+        threshold=threshold,
+    )

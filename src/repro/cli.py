@@ -16,7 +16,12 @@ any code:
 * ``experiment`` — run one of the per-figure experiment generators and print
   the rows the paper's figure plots;
 * ``metrics`` — print the observability metric schema, or summarize a
-  metrics JSONL snapshot written by ``--metrics``.
+  metrics JSONL snapshot written by ``--metrics``;
+* ``matrix`` — run the scenario × backend matrix (the CI/nightly entry
+  point): every cell oracle-checked against the SQL pushdown, artifacts
+  schema-versioned, ``--gates`` additionally runs the benchmark smoke gates;
+* ``trend`` — compare a ``BENCH_matrix.json`` against a baseline snapshot
+  and fail on >20% gated-cell regressions.
 
 Observability flags: ``query --trace out.json`` records a span tree of the
 whole run and writes it as Chrome ``trace_event`` JSON (load it in
@@ -244,6 +249,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--input", default=None,
         help="metrics JSONL snapshot (written by --metrics) to summarize; "
              "omitted: print the registry's metric schema",
+    )
+
+    matrix = subparsers.add_parser(
+        "matrix", help="run the scenario x backend matrix (CI/nightly entry point)"
+    )
+    matrix.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario cell selection (repeatable; default: all registered)",
+    )
+    matrix.add_argument(
+        "--backend", action="append", default=None, metavar="NAME",
+        help="backend cell selection (repeatable; default: all registered)",
+    )
+    matrix.add_argument(
+        "--smoke", action="store_true",
+        help="use each scenario's reduced smoke sizing (the CI configuration)",
+    )
+    matrix.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the SQL pushdown cross-check of every cell",
+    )
+    matrix.add_argument(
+        "--sql-backend", choices=["auto", "duckdb", "sqlite"], default="auto",
+        help="embedded SQL engine for the oracle and the sql backend (default auto)",
+    )
+    matrix.add_argument(
+        "--output-dir", default=".",
+        help="directory for BENCH_matrix.json and per-cell METRICS_*.jsonl (default .)",
+    )
+    matrix.add_argument(
+        "--report", choices=["text", "md", "json"], default="text",
+        help="report format printed to stdout (default text)",
+    )
+    matrix.add_argument(
+        "--gates", action="store_true",
+        help="also run the consolidated benchmark smoke gates "
+             "(the six bench_*.py gates CI used to list by hand)",
+    )
+
+    trend = subparsers.add_parser(
+        "trend", help="compare a BENCH_matrix.json against a baseline snapshot"
+    )
+    trend.add_argument(
+        "--current", default="BENCH_matrix.json",
+        help="current BENCH_matrix.json (default ./BENCH_matrix.json)",
+    )
+    trend.add_argument(
+        "--baseline", default="benchmarks/baselines/BENCH_matrix.json",
+        help="baseline snapshot (default benchmarks/baselines/BENCH_matrix.json)",
+    )
+    trend.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative throughput loss that fails a gated cell (default 0.2)",
+    )
+    trend.add_argument(
+        "--report", choices=["text", "md"], default="text",
+        help="report format printed to stdout (default text)",
+    )
+    trend.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the markdown report to PATH "
+             "(e.g. $GITHUB_STEP_SUMMARY in CI)",
     )
     return parser
 
@@ -553,6 +620,51 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_matrix(args: argparse.Namespace) -> int:
+    from repro.scenarios import markdown_report, run_gates, run_matrix, text_report
+
+    result = run_matrix(
+        args.scenario,
+        args.backend,
+        smoke=args.smoke,
+        oracle=not args.no_oracle,
+        sql_backend=args.sql_backend,
+        output_dir=args.output_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    gate_results: dict = {}
+    if args.gates:
+        gate_results = run_gates(smoke=args.smoke,
+                                 progress=lambda line: print(line, file=sys.stderr))
+    if args.report == "json":
+        print(json.dumps(result.payload, indent=2))
+    elif args.report == "md":
+        print(markdown_report(result.payload))
+    else:
+        print(text_report(result.payload))
+    failed_gates = sorted(name for name, outcome in gate_results.items()
+                          if not outcome["passed"])
+    if failed_gates:
+        print(f"benchmark gate(s) failed: {', '.join(failed_gates)}", file=sys.stderr)
+    if not result.ok:
+        failed_cells = sorted(name for name, passed in result.gates.items()
+                              if name.startswith("oracle:") and not passed)
+        print(f"oracle mismatch in: {', '.join(failed_cells)}", file=sys.stderr)
+    return 0 if result.ok and not failed_gates else 1
+
+
+def _run_trend(args: argparse.Namespace) -> int:
+    from repro.bench.trend import DEFAULT_THRESHOLD, compare_files
+
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    report = compare_files(args.current, args.baseline, threshold=threshold)
+    print(report.markdown() if args.report == "md" else report.text())
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            handle.write(report.markdown())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro`` (returns a process exit code)."""
     parser = _build_parser()
@@ -565,6 +677,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_stream(args)
     if args.command == "metrics":
         return _run_metrics(args)
+    if args.command == "matrix":
+        return _run_matrix(args)
+    if args.command == "trend":
+        return _run_trend(args)
     return _run_experiment(args)
 
 

@@ -9,6 +9,10 @@ Attribute values lie in ``[0, 1]``.
   dimension tend to be good in all (skylines/skybands are tiny).
 * **ANTI** — attributes anticorrelated: records that are good in one
   dimension tend to be poor in the others (skylines/skybands are large).
+* **CLUS** — attributes clustered around a handful of Gaussian centres, the
+  workload of real catalogues (hotels group by class, players by role):
+  query cost depends on where the region's score gradient points relative
+  to the nearest cluster.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from repro.core.records import Dataset
 from repro.exceptions import InvalidDatasetError
 
 #: Registry of distribution names accepted by :func:`synthetic_dataset`.
-DISTRIBUTIONS = ("IND", "COR", "ANTI")
+DISTRIBUTIONS = ("IND", "COR", "ANTI", "CLUS")
 
 
 def _rng(seed) -> np.random.Generator:
@@ -64,6 +68,33 @@ def anticorrelated(
     offsets = rng.normal(scale=spread, size=(cardinality, dimensionality))
     offsets -= offsets.mean(axis=1, keepdims=True)  # trade-off across attributes
     return np.clip(base + offsets, 0.0, 1.0)
+
+
+def clustered(
+    cardinality: int,
+    dimensionality: int,
+    seed=0,
+    *,
+    clusters: int = 5,
+    spread: float = 0.06,
+) -> np.ndarray:
+    """Clustered attributes: Gaussian blobs around random centres.
+
+    Records are assigned to one of ``clusters`` centres (uniformly placed in
+    ``[0.15, 0.85]^d`` so the blobs rarely clip against the domain boundary)
+    and perturbed by isotropic noise of scale ``spread``.  Skyband sizes sit
+    between COR and ANTI, but — unlike either — vary sharply with the query
+    direction, which is what makes this a distinct scenario axis.
+    """
+    if cardinality <= 0 or dimensionality < 2:
+        raise InvalidDatasetError("need a positive cardinality and d >= 2")
+    if clusters <= 0:
+        raise InvalidDatasetError("need at least one cluster")
+    rng = _rng(seed)
+    centres = rng.uniform(0.15, 0.85, size=(clusters, dimensionality))
+    assignment = rng.integers(clusters, size=cardinality)
+    noise = rng.normal(scale=spread, size=(cardinality, dimensionality))
+    return np.clip(centres[assignment] + noise, 0.0, 1.0)
 
 
 # -------------------------------------------------------------- update streams
@@ -190,6 +221,8 @@ def synthetic_dataset(distribution: str, cardinality: int, dimensionality: int, 
         values = correlated(cardinality, dimensionality, seed)
     elif name == "ANTI":
         values = anticorrelated(cardinality, dimensionality, seed)
+    elif name == "CLUS":
+        values = clustered(cardinality, dimensionality, seed)
     else:
         raise InvalidDatasetError(
             f"unknown distribution {distribution!r}; expected one of {DISTRIBUTIONS}"

@@ -104,6 +104,23 @@ RTREE_NODE_ACCESSES = REGISTRY.counter(
     ("op",),
 )
 
+# ------------------------------------------------------------ scenario matrix
+#: Scenario-matrix cells executed, by cell coordinates and oracle outcome
+#: (``ok``/``mismatch``/``skipped`` — see :mod:`repro.scenarios.matrix`).
+MATRIX_CELLS = REGISTRY.counter(
+    "repro_matrix_cells_total",
+    "Scenario-matrix cells executed, by scenario, backend and oracle outcome",
+    ("scenario", "backend", "oracle"),
+)
+
+#: Wall-clock duration of one matrix cell (the backend's full event replay).
+MATRIX_CELL_SECONDS = REGISTRY.histogram(
+    "repro_matrix_cell_seconds",
+    "Wall-clock duration of one scenario-matrix cell in seconds",
+    ("scenario", "backend"),
+    buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0),
+)
+
 # ------------------------------------------------------------- maintenance
 #: Updates applied by the dynamic engine (UpdateStatistics.inserts/deletes).
 MAINTENANCE_UPDATES = REGISTRY.counter(

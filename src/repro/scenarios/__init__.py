@@ -1,0 +1,48 @@
+"""repro.scenarios — the declarative scenario-matrix subsystem.
+
+Crosses workload scenarios (data distribution × traffic shape,
+:mod:`~repro.scenarios.spec`) with execution backends
+(:mod:`~repro.scenarios.backends`), validates every cell against the SQL
+pushdown oracle (:mod:`~repro.scenarios.sql`) and emits the
+schema-versioned artifacts CI tracks across runs
+(:mod:`~repro.scenarios.matrix`, :mod:`~repro.bench.trend`).
+"""
+
+from repro.scenarios.backends import (
+    BACKENDS,
+    CellOutcome,
+    register_backend,
+    select_backends,
+)
+from repro.scenarios.gates import BENCH_GATES, run_gates
+from repro.scenarios.matrix import MatrixResult, run_matrix
+from repro.scenarios.report import markdown_report, text_report
+from repro.scenarios.spec import (
+    SCENARIOS,
+    TRAFFIC_SHAPES,
+    Scenario,
+    register_scenario,
+    select_scenarios,
+)
+from repro.scenarios.sql import SQLOracle, available_backends, resolve_backend
+
+__all__ = [
+    "BACKENDS",
+    "BENCH_GATES",
+    "CellOutcome",
+    "MatrixResult",
+    "SCENARIOS",
+    "SQLOracle",
+    "Scenario",
+    "TRAFFIC_SHAPES",
+    "available_backends",
+    "markdown_report",
+    "register_backend",
+    "register_scenario",
+    "resolve_backend",
+    "run_gates",
+    "run_matrix",
+    "select_backends",
+    "select_scenarios",
+    "text_report",
+]

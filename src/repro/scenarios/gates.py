@@ -1,0 +1,110 @@
+"""The consolidated benchmark gate runner (``repro matrix --gates``).
+
+CI used to list every ``benchmarks/bench_*.py`` smoke gate as its own
+workflow step; this module is the single invocation that replaces them.
+Each gate keeps its own name, description and BENCH artifact so a failure
+stays attributable to one benchmark, and gates run as subprocesses so a
+crash (or a gate calling ``sys.exit``) cannot take the matrix down with it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class BenchGate:
+    """One benchmark smoke gate: a script plus its artifact name."""
+
+    name: str
+    script: str
+    output: str
+    description: str
+
+    def command(self, *, smoke: bool = True) -> list[str]:
+        command = [sys.executable, self.script]
+        if smoke:
+            command.append("--smoke")
+        command += ["--output", self.output]
+        return command
+
+
+#: The benchmark gates CI runs, in execution order.  Adding a benchmark =
+#: one entry here (see CONTRIBUTING).
+BENCH_GATES = (
+    BenchGate(
+        "kernels",
+        "benchmarks/bench_kernels.py",
+        "BENCH_kernels.json",
+        "vectorized kernels must beat the loop path, identical outputs",
+    ),
+    BenchGate(
+        "cell_geometry",
+        "benchmarks/bench_cell_geometry.py",
+        "BENCH_cell_geometry.json",
+        "vertex clips >=3x vs LPs at depth >=8, zero scipy fallbacks",
+    ),
+    BenchGate(
+        "parallel",
+        "benchmarks/bench_parallel_scaling.py",
+        "BENCH_parallel.json",
+        "identical answers, >=1.5x at 4 workers",
+    ),
+    BenchGate(
+        "dynamic",
+        "benchmarks/bench_dynamic.py",
+        "BENCH_dynamic.json",
+        "identical answers to rebuild, >=5x on a low-churn stream",
+    ),
+    BenchGate(
+        "engine_throughput",
+        "benchmarks/bench_engine_throughput.py",
+        "BENCH_engine_throughput.json",
+        "engine serving smoke benchmark",
+    ),
+    BenchGate(
+        "obs_overhead",
+        "benchmarks/bench_obs_overhead.py",
+        "BENCH_obs_overhead.json",
+        "dormant instrumentation <=3% overhead",
+    ),
+)
+
+
+def run_gates(
+    *,
+    smoke: bool = True,
+    cwd=None,
+    progress=None,
+    gates=BENCH_GATES,
+) -> dict:
+    """Run every benchmark gate; return ``{gate name: outcome dict}``.
+
+    Each outcome records the command, exit code, duration and pass/fail.
+    Gate stdout/stderr stream through unmodified (prefixed by a banner line)
+    so CI logs keep per-gate attribution inside the single step.
+    """
+    emit = progress or print
+    results: dict[str, dict] = {}
+    root = Path(cwd) if cwd is not None else Path.cwd()
+    for gate in gates:
+        command = gate.command(smoke=smoke)
+        emit(f"::group-like:: gate {gate.name}: {gate.description}")
+        emit(f"$ {' '.join(command)}")
+        started = time.perf_counter()
+        completed = subprocess.run(command, cwd=root)
+        elapsed = time.perf_counter() - started
+        passed = completed.returncode == 0
+        results[gate.name] = {
+            "passed": passed,
+            "returncode": completed.returncode,
+            "seconds": round(elapsed, 3),
+            "output": gate.output,
+            "description": gate.description,
+        }
+        emit(f"gate {gate.name}: {'PASS' if passed else 'FAIL'} in {elapsed:.1f}s")
+    return results

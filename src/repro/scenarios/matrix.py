@@ -1,0 +1,261 @@
+"""The scenario-matrix runner: scenarios × backends, oracle-checked.
+
+:func:`run_matrix` crosses the registered workload scenarios
+(:mod:`repro.scenarios.spec`) with the execution backends
+(:mod:`repro.scenarios.backends`).  Each cell replays one scenario's event
+list through one backend under the :mod:`repro.obs` metrics registry and is
+validated two ways against the SQL pushdown (:mod:`repro.scenarios.sql`):
+
+* **full-answer agreement** — the cell's complete answer fingerprint must
+  equal the SQL-filtered reference replay's (shared refinement, independent
+  filtering);
+* **pure-SQL vertex spot checks** — for every query, the top-k set the SQL
+  engine computes at each region vertex (no numpy involved at all) must be
+  one of the cell's reported UTK2 sets and a subset of its UTK1 answer.
+
+The run emits one schema-versioned ``BENCH_matrix.json`` (rows + per-cell
+oracle gates) plus one ``METRICS_matrix_<scenario>_<backend>.jsonl`` snapshot
+per cell, the artifacts CI uploads and :mod:`repro.bench.trend` compares
+across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.bench.reporting import write_bench_json, write_bench_metrics
+from repro.obs import names
+from repro.obs.metrics import REGISTRY
+from repro.scenarios.backends import CellOutcome, SQLBackend, _StateTracker, select_backends
+from repro.scenarios.spec import select_scenarios
+from repro.scenarios.sql import SQLOracle, available_backends
+
+
+@dataclass
+class MatrixResult:
+    """Everything one :func:`run_matrix` invocation produced."""
+
+    rows: list[dict] = field(default_factory=list)
+    gates: dict = field(default_factory=dict)
+    #: ``(scenario, backend) -> CellOutcome`` for callers that want answers.
+    outcomes: dict = field(default_factory=dict)
+    #: The ``BENCH_matrix.json`` payload (also written to disk when asked).
+    payload: dict = field(default_factory=dict)
+    artifacts: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.gates.get("passed"))
+
+
+def _canonical_map(ids, matrix) -> dict[int, int]:
+    """Map each id onto the smallest id whose row is *exactly* equal.
+
+    UTK answers are only defined up to tie-breaking among identical records
+    (clipped synthetic data saturates several rows at the domain corners),
+    so the oracle compares answers modulo exact-duplicate classes: any
+    implementation may report either twin.
+    """
+    classes: dict[bytes, int] = {}
+    mapping: dict[int, int] = {}
+    for record_id, row in zip(ids, matrix):
+        mapping[record_id] = classes.setdefault(row.tobytes(), record_id)
+    return mapping
+
+
+def _canonical_fingerprint(outcome: CellOutcome, canon: dict) -> tuple:
+    """Answer fingerprint with every id collapsed onto its duplicate class."""
+    parts = []
+    for answer in outcome.answers:
+        mapping = canon.get(answer["event"], {})
+        utk1 = utk2 = None
+        if answer["utk1"] is not None:
+            utk1 = tuple(sorted({mapping.get(i, i) for i in answer["utk1"]}))
+        if answer["utk2"] is not None:
+            utk2 = tuple(
+                sorted({tuple(sorted({mapping.get(i, i) for i in s})) for s in answer["utk2"]})
+            )
+        parts.append((answer["event"], answer["version"], utk1, utk2))
+    return tuple(parts)
+
+
+def _check_cell(
+    outcome: CellOutcome, reference: CellOutcome, vertex_sets: dict, canon: dict
+) -> str:
+    """Oracle verdict for one cell: ``"ok"`` or a short mismatch label."""
+    if _canonical_fingerprint(outcome, canon) != _canonical_fingerprint(reference, canon):
+        return "answer-mismatch"
+    for answer in outcome.answers:
+        mapping = canon.get(answer["event"], {})
+        for vertex_set in vertex_sets.get(answer["event"], ()):
+            canonical_vertex = {mapping.get(i, i) for i in vertex_set}
+            if answer["utk1"] is not None:
+                utk1 = {mapping.get(i, i) for i in answer["utk1"]}
+                if not canonical_vertex.issubset(utk1):
+                    return "utk1-missing-vertex-top-k"
+            if answer["utk2"] is not None:
+                reported = {frozenset(mapping.get(i, i) for i in s) for s in answer["utk2"]}
+                if frozenset(canonical_vertex) not in reported:
+                    return "utk2-missing-vertex-top-k"
+    return "ok"
+
+
+def run_matrix(
+    scenario_names=None,
+    backend_names=None,
+    *,
+    smoke: bool = False,
+    oracle: bool = True,
+    sql_backend: str = "auto",
+    output_dir=None,
+    bench_name: str = "BENCH_matrix.json",
+    progress=None,
+) -> MatrixResult:
+    """Run the scenario × backend matrix and (optionally) write its artifacts.
+
+    Parameters
+    ----------
+    scenario_names, backend_names:
+        Cell selection; ``None`` means every registered scenario/backend.
+    smoke:
+        Use each scenario's reduced smoke sizing (the CI configuration).
+    oracle:
+        Cross-check every cell against the SQL pushdown.  The reference
+        replay is shared per scenario, so the oracle cost is amortized over
+        all of that scenario's backends.
+    sql_backend:
+        Embedded engine for the oracle and the ``sql`` backend
+        (``duckdb``/``sqlite``/``auto``).
+    output_dir:
+        Where to write ``BENCH_matrix.json`` and the per-cell
+        ``METRICS_*.jsonl`` files; ``None`` skips artifacts entirely.
+    progress:
+        Optional ``callable(str)`` receiving one line per finished cell.
+    """
+    scenarios = select_scenarios(scenario_names)
+    backends = select_backends(backend_names)
+    emit = progress or (lambda line: None)
+    result = MatrixResult()
+    output_path = None if output_dir is None else Path(output_dir)
+    if output_path is not None:
+        output_path.mkdir(parents=True, exist_ok=True)
+
+    for scenario in scenarios:
+        data, events = scenario.build(smoke=smoke)
+        queries = sum(1 for event in events if event["op"] == "query")
+        reference = vertex_sets = canon = None
+        if oracle:
+            reference = SQLBackend(sql_backend).run(data, events)
+            vertex_sets, canon = _vertex_sets_for(data, events, sql_backend)
+        for backend_cls in backends:
+            REGISTRY.reset()
+            cell = f"{scenario.name}/{backend_cls.name}"
+            with obs.activated():
+                started = time.perf_counter()
+                outcome = backend_cls().run(data, events)
+                elapsed = time.perf_counter() - started
+                verdict = "skipped"
+                if oracle:
+                    verdict = _check_cell(outcome, reference, vertex_sets, canon)
+                names.MATRIX_CELLS.inc(
+                    scenario=scenario.name, backend=backend_cls.name, oracle=verdict
+                )
+                names.MATRIX_CELL_SECONDS.observe(
+                    elapsed, scenario=scenario.name, backend=backend_cls.name
+                )
+            result.outcomes[(scenario.name, backend_cls.name)] = outcome
+            row = {
+                "scenario": scenario.name,
+                "backend": backend_cls.name,
+                "distribution": scenario.distribution,
+                "traffic": scenario.traffic,
+                "events": len(events),
+                "queries": queries,
+                "seconds": round(elapsed, 6),
+                "qps": round(queries / elapsed, 3) if elapsed > 0 else 0.0,
+                "oracle": verdict,
+                "gated": scenario.gated,
+            }
+            result.rows.append(row)
+            if oracle:
+                result.gates[f"oracle:{cell}"] = verdict == "ok"
+            if output_path is not None:
+                metrics_file = output_path / (
+                    f"METRICS_matrix_{scenario.name}_{backend_cls.name}.jsonl"
+                )
+                write_bench_metrics(
+                    metrics_file,
+                    "matrix",
+                    meta={"scenario": scenario.name, "backend": backend_cls.name,
+                          "smoke": smoke},
+                )
+                result.artifacts.append(str(metrics_file))
+            emit(
+                f"{cell}: {queries} queries in {elapsed:.2f}s "
+                f"({row['qps']:.1f} q/s), oracle {verdict}"
+            )
+
+    result.gates["oracle_checked"] = oracle
+    result.gates["passed"] = all(
+        passed for name, passed in result.gates.items() if name.startswith("oracle:")
+    )
+    meta = {
+        "smoke": smoke,
+        "scenarios": [s.name for s in scenarios],
+        "backends": [b.name for b in backends],
+        "sql_backends_available": list(available_backends()),
+        "sql_backend": sql_backend,
+    }
+    if output_path is not None:
+        bench_file = output_path / bench_name
+        result.payload = write_bench_json(
+            bench_file, "matrix", result.rows, gates=result.gates, meta=meta
+        )
+        result.artifacts.append(str(bench_file))
+    else:
+        result.payload = {
+            "benchmark": "matrix",
+            "meta": meta,
+            "gates": dict(result.gates),
+            "rows": list(result.rows),
+        }
+    return result
+
+
+def _vertex_sets_for(data, events, sql_backend: str) -> tuple[dict, dict]:
+    """Pure-SQL per-query reference data, replaying the event stream.
+
+    Returns ``(vertex_sets, canon)``: per query-event index, the top-k id
+    set the SQL engine computes at each region vertex, and the
+    exact-duplicate canonicalization map of the dataset state the query saw.
+    """
+    tracker = _StateTracker(data)
+    oracle = None
+    sets: dict[int, list[frozenset]] = {}
+    canon: dict[int, dict[int, int]] = {}
+    mapping: dict[int, int] = {}
+    try:
+        for index, event in enumerate(events):
+            if event["op"] != "query":
+                tracker.apply(event)
+                continue
+            if oracle is None or tracker.dirty:
+                if oracle is not None:
+                    oracle.close()
+                matrix = tracker.matrix()
+                oracle = SQLOracle(matrix, ids=np.asarray(tracker.ids), backend=sql_backend)
+                mapping = _canonical_map(tracker.ids, matrix)
+            sets[index] = [
+                frozenset(int(i) for i in oracle.top_k(vertex, int(event["k"])))
+                for vertex in event["region"].vertices
+            ]
+            canon[index] = mapping
+    finally:
+        if oracle is not None:
+            oracle.close()
+    return sets, canon

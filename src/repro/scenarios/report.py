@@ -1,0 +1,83 @@
+"""Markdown/text rendering of a scenario-matrix run.
+
+The markdown form is what ``repro matrix --report md`` prints and what CI
+posts to ``$GITHUB_STEP_SUMMARY``; the README's "Scenario matrix" section
+shows a sample.  The table pivots the flat row list into one row per
+scenario and one throughput column per backend, because "which backend wins
+on which workload shape" is the question the matrix exists to answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bench.reporting import format_table
+
+
+def _pivot(rows: Sequence[Mapping]) -> tuple[list[str], list[str], dict]:
+    scenarios: list[str] = []
+    backends: list[str] = []
+    cells: dict[tuple[str, str], Mapping] = {}
+    for row in rows:
+        if row["scenario"] not in scenarios:
+            scenarios.append(row["scenario"])
+        if row["backend"] not in backends:
+            backends.append(row["backend"])
+        cells[(row["scenario"], row["backend"])] = row
+    return scenarios, backends, cells
+
+
+def _cell_text(row: Mapping | None) -> str:
+    if row is None:
+        return "—"
+    verdict = row.get("oracle")
+    mark = "✓" if verdict == "ok" else ("·" if verdict == "skipped" else "✗")
+    return f"{row['qps']:.1f} q/s {mark}"
+
+
+def markdown_report(payload: Mapping) -> str:
+    """Render a ``BENCH_matrix.json`` payload as a GitHub-flavoured table."""
+    rows = payload.get("rows", [])
+    gates = payload.get("gates", {})
+    meta = payload.get("meta", {})
+    scenarios, backends, cells = _pivot(rows)
+    lines = ["## Scenario matrix", ""]
+    mode = "smoke" if meta.get("smoke") else "full"
+    checked = "oracle-checked" if gates.get("oracle_checked") else "oracle off"
+    lines.append(
+        f"{len(scenarios)} scenarios × {len(backends)} backends ({mode}, {checked}; "
+        f"✓ = cell agrees with the SQL pushdown oracle)."
+    )
+    lines.append("")
+    header = "| scenario | traffic | " + " | ".join(backends) + " |"
+    rule = "|" + "---|" * (len(backends) + 2)
+    lines.extend([header, rule])
+    for scenario in scenarios:
+        first = next(row for row in rows if row["scenario"] == scenario)
+        rendered = [
+            _cell_text(cells.get((scenario, backend))) for backend in backends
+        ]
+        lines.append(
+            f"| {scenario} | {first['distribution']}/{first['traffic']} | "
+            + " | ".join(rendered)
+            + " |"
+        )
+    failed = sorted(
+        name for name, passed in gates.items() if name.startswith("oracle:") and not passed
+    )
+    lines.append("")
+    if failed:
+        lines.append(f"**Oracle failures:** {', '.join(failed)}")
+    elif gates.get("oracle_checked"):
+        lines.append("All cells agree with the SQL oracle.")
+    return "\n".join(lines) + "\n"
+
+
+def text_report(payload: Mapping) -> str:
+    """Render the payload as the aligned text table benches print."""
+    rows = payload.get("rows", [])
+    if not rows:
+        return "scenario matrix: no rows"
+    headers = ["scenario", "backend", "traffic", "queries", "seconds", "qps", "oracle"]
+    table_rows = [[row.get(header, "") for header in headers] for row in rows]
+    return format_table(headers, table_rows, title="Scenario matrix")

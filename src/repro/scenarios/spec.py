@@ -1,0 +1,243 @@
+"""Declarative scenario specifications: data distribution × traffic shape.
+
+A :class:`Scenario` names one workload cell axis of the matrix: which
+synthetic distribution the dataset is drawn from (IND / COR / ANTI / CLUS)
+and which *traffic shape* drives the queries:
+
+* ``cold`` — every query is a fresh random region (no reuse to exploit);
+* ``hot-storm`` — a handful of hot regions hammered with repeats and
+  drill-down sub-regions (the cache-friendly serving pattern of
+  :func:`repro.bench.workloads.engine_query_stream`);
+* ``zipf-churn`` — interleaved insert/delete/query events with
+  recency-skewed key churn (:func:`repro.datasets.synthetic.update_stream`);
+* ``adversarial`` — a k·sigma sweep pinned to the expensive corner of the
+  paper's parameter grid: large regions and large ``k`` maximize r-skyband
+  sizes and arrangement depth.
+
+``Scenario.build`` materializes the dataset and a reproducible event list in
+the shape :func:`repro.dynamic.serve_events` consumes (queries carry a
+prebuilt interned ``region``); every execution backend replays the same
+events, which is what makes the matrix cells comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.workloads import _random_cube, engine_query_stream, zipfian_k
+from repro.core.records import Dataset
+from repro.core.region import hyperrectangle
+from repro.datasets.synthetic import synthetic_dataset, update_stream
+from repro.exceptions import InvalidQueryError
+
+#: Traffic shapes accepted by :class:`Scenario`.
+TRAFFIC_SHAPES = ("cold", "hot-storm", "zipf-churn", "adversarial")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One workload scenario of the matrix (distribution × traffic shape)."""
+
+    name: str
+    distribution: str
+    traffic: str
+    description: str
+    cardinality: int
+    events: int
+    smoke_cardinality: int
+    smoke_events: int
+    dimensionality: int = 3
+    seed: int = 7
+    #: Gated scenarios participate in the trend comparison
+    #: (:mod:`repro.bench.trend`): a >20% throughput regression in any of
+    #: their cells fails the trend job.
+    gated: bool = True
+
+    def __post_init__(self):
+        if self.traffic not in TRAFFIC_SHAPES:
+            raise InvalidQueryError(
+                f"unknown traffic shape {self.traffic!r}; expected one of {TRAFFIC_SHAPES}"
+            )
+
+    def build(self, smoke: bool = False) -> tuple[Dataset, list[dict]]:
+        """Materialize the dataset and the reproducible event list."""
+        cardinality = self.smoke_cardinality if smoke else self.cardinality
+        count = self.smoke_events if smoke else self.events
+        data = synthetic_dataset(self.distribution, cardinality, self.dimensionality, self.seed)
+        events = _TRAFFIC_BUILDERS[self.traffic](data, count, self.seed)
+        _attach_regions(events)
+        return data, events
+
+
+def _attach_regions(events: list[dict]) -> None:
+    """Intern a prebuilt ``Region`` on every query event (hot streams repeat)."""
+    memo: dict[tuple, object] = {}
+    for event in events:
+        if event.get("op") != "query" or "region" in event:
+            continue
+        key = (tuple(event["lower"]), tuple(event["upper"]))
+        if key not in memo:
+            memo[key] = hyperrectangle(event["lower"], event["upper"])
+        event["region"] = memo[key]
+
+
+def _query_event(lower, upper, k: int, version: str) -> dict:
+    return {
+        "op": "query",
+        "lower": [float(v) for v in lower],
+        "upper": [float(v) for v in upper],
+        "k": int(k),
+        "version": version,
+    }
+
+
+def _cold_traffic(data: Dataset, count: int, seed: int) -> list[dict]:
+    """Fresh random regions, Zipf-popular small ``k`` — no reuse to exploit."""
+    rng = np.random.default_rng(seed)
+    dim = data.dimensionality - 1
+    events = []
+    for _ in range(count):
+        lower, upper = _random_cube(dim, float(rng.uniform(0.04, 0.12)), rng)
+        events.append(_query_event(lower, upper, zipfian_k((2, 3, 5), 1.2, rng), "both"))
+    return events
+
+
+def _storm_traffic(data: Dataset, count: int, seed: int) -> list[dict]:
+    """Hot-region storm: repeats and drill-downs of a few anchor regions."""
+    stream = engine_query_stream(
+        data.dimensionality,
+        count,
+        k_choices=(2, 3, 5),
+        sigma=0.08,
+        parents=3,
+        repeat_prob=0.35,
+        subregion_prob=0.45,
+        seed=seed,
+    )
+    events = []
+    for spec in stream:
+        event = {"op": "query", "region": spec.region, "k": spec.k, "version": "both"}
+        lower = [spec.region.linear_min(row) for row in np.eye(spec.region.dimension)]
+        upper = [spec.region.linear_max(row) for row in np.eye(spec.region.dimension)]
+        event["lower"], event["upper"] = lower, upper
+        events.append(event)
+    return events
+
+
+def _churn_traffic(data: Dataset, count: int, seed: int) -> list[dict]:
+    """Zipf-churn update stream: inserts/deletes interleaved with hot queries."""
+    return update_stream(
+        data,
+        count,
+        insert_prob=0.18,
+        delete_prob=0.12,
+        k_choices=(2, 3),
+        sigma=0.08,
+        hot_regions=3,
+        hot_prob=0.7,
+        seed=seed,
+    )
+
+
+def _adversarial_traffic(data: Dataset, count: int, seed: int) -> list[dict]:
+    """k·sigma sweep pinned to the expensive corner of the parameter grid."""
+    rng = np.random.default_rng(seed)
+    dim = data.dimensionality - 1
+    k_values = (3, 5)
+    sigma_values = (0.10, 0.16)
+    events = []
+    for position in range(count):
+        k = k_values[position % len(k_values)]
+        sigma = sigma_values[(position // len(k_values)) % len(sigma_values)]
+        lower, upper = _random_cube(dim, sigma, rng)
+        events.append(_query_event(lower, upper, k, "both"))
+    return events
+
+
+_TRAFFIC_BUILDERS = {
+    "cold": _cold_traffic,
+    "hot-storm": _storm_traffic,
+    "zipf-churn": _churn_traffic,
+    "adversarial": _adversarial_traffic,
+}
+
+
+#: Registry of named scenarios, in presentation order.
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (name collisions are an error)."""
+    if scenario.name in SCENARIOS:
+        raise InvalidQueryError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+register_scenario(
+    Scenario(
+        name="ind-cold",
+        distribution="IND",
+        traffic="cold",
+        description="independent data, fresh random regions (no cache reuse)",
+        cardinality=2500,
+        events=24,
+        smoke_cardinality=500,
+        smoke_events=8,
+        dimensionality=4,
+        seed=101,
+    )
+)
+register_scenario(
+    Scenario(
+        name="cor-storm",
+        distribution="COR",
+        traffic="hot-storm",
+        description="correlated data, hot-region query storm (repeat + drill-down)",
+        cardinality=2500,
+        events=30,
+        smoke_cardinality=600,
+        smoke_events=10,
+        seed=102,
+    )
+)
+register_scenario(
+    Scenario(
+        name="anti-adversarial",
+        distribution="ANTI",
+        traffic="adversarial",
+        description="anticorrelated data, adversarial k·sigma sweep (max skybands)",
+        cardinality=1800,
+        events=16,
+        smoke_cardinality=400,
+        smoke_events=6,
+        seed=103,
+    )
+)
+register_scenario(
+    Scenario(
+        name="clus-churn",
+        distribution="CLUS",
+        traffic="zipf-churn",
+        description="clustered data, zipf-churn update stream with hot queries",
+        cardinality=2000,
+        events=40,
+        smoke_cardinality=500,
+        smoke_events=16,
+        seed=104,
+    )
+)
+
+
+def select_scenarios(names=None) -> list[Scenario]:
+    """Resolve a name list (``None`` = all registered, in order)."""
+    if names is None:
+        return list(SCENARIOS.values())
+    missing = [name for name in names if name not in SCENARIOS]
+    if missing:
+        raise InvalidQueryError(
+            f"unknown scenario(s) {missing}; registered: {sorted(SCENARIOS)}"
+        )
+    return [SCENARIOS[name] for name in names]

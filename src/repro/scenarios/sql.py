@@ -1,0 +1,239 @@
+"""SQL pushdown of k-skyband / r-skyband candidate filtering.
+
+The filtering step of every UTK query — "records (r-)dominated by fewer than
+``k`` others" — is relational: scores are affine expressions over the record
+columns, dominance is a conjunctive self-join predicate, and the skyband
+membership test is an aggregate over that join.  This module renders the
+whole step as window-function SQL and pushes it down to an embedded engine
+(DuckDB when installed, stdlib ``sqlite3`` otherwise — both speak the same
+dialect subset used here), the relational-encoding move DMR-XPath applies to
+XPath axes.
+
+Two roles, one implementation:
+
+* **Correctness oracle** — an independent execution of the paper's
+  Definition 1 that shares *no code* with the numpy kernels: every scenario
+  -matrix cell cross-checks its answers against it
+  (:mod:`repro.scenarios.matrix`), and hypothesis drives it against
+  :func:`repro.core.rskyband.compute_r_skyband` over random datasets.
+* **Offload path** — the ``sql`` execution backend
+  (:mod:`repro.scenarios.backends`) serves cold datasets by pushing the
+  filtering into SQL and refining only the returned candidates in Python.
+
+The pushdown itself is two-phase.  A window pass computes, per region
+vertex ``v``, how many records score at least ``s_v(q) - tol`` (a
+``COUNT(*) OVER (ORDER BY s_v RANGE BETWEEN tol PRECEDING AND UNBOUNDED
+FOLLOWING)`` frame); because every r-dominator of ``q`` is counted at every
+vertex, ``min_v count_v`` bounds the r-dominance count from above, and any
+record with a vertex count below ``k`` is accepted without ever joining.
+Only the undecided remainder pays the exact dominance self-join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.region import Region
+from repro.exceptions import InvalidQueryError, InvalidRegionError
+from repro.kernels.dominance import DOMINANCE_TOL
+
+#: Preference order of the embedded engines (first importable wins).
+SQL_BACKENDS = ("duckdb", "sqlite")
+
+
+def available_backends() -> tuple[str, ...]:
+    """The embedded SQL engines importable in this environment.
+
+    ``sqlite`` (stdlib) is always available; ``duckdb`` only when the
+    optional dependency is installed (``pip install repro-utk[sql]``).
+    """
+    names = []
+    try:
+        import duckdb  # noqa: F401
+
+        names.append("duckdb")
+    except ImportError:
+        pass
+    names.append("sqlite")
+    return tuple(names)
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map ``auto``/explicit backend names onto an importable engine."""
+    if backend == "auto":
+        return available_backends()[0]
+    if backend not in SQL_BACKENDS:
+        raise InvalidQueryError(
+            f"unknown SQL backend {backend!r}; expected one of {SQL_BACKENDS} or 'auto'"
+        )
+    if backend not in available_backends():
+        raise InvalidQueryError(f"SQL backend {backend!r} is not installed")
+    return backend
+
+
+def _literal(value: float) -> str:
+    """A float literal that round-trips exactly (``repr`` is shortest-exact)."""
+    return repr(float(value))
+
+
+class SQLOracle:
+    """One dataset registered in an embedded SQL engine.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` attribute matrix (already score-transformed, as every
+        consumer of the filtering step expects).
+    ids:
+        Optional stable record ids aligned with ``values`` (defaults to
+        ``0..n-1``).  Ids must be unique; ascending ids reproduce the
+        library's positional tie-breaks.
+    backend:
+        ``"duckdb"``, ``"sqlite"`` or ``"auto"`` (first available).
+    """
+
+    def __init__(self, values: np.ndarray, *, ids=None, backend: str = "auto"):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] < 2:
+            raise InvalidQueryError("oracle data must be an (n, d) matrix with d >= 2")
+        self.backend = resolve_backend(backend)
+        self._n, self._d = values.shape
+        if ids is None:
+            ids = np.arange(self._n, dtype=int)
+        ids = np.asarray(ids, dtype=int)
+        if ids.shape != (self._n,) or len(set(ids.tolist())) != self._n:
+            raise InvalidQueryError("ids must be unique and aligned with the value rows")
+        columns = ", ".join(f"a{j} DOUBLE" for j in range(self._d))
+        if self.backend == "duckdb":
+            import duckdb
+
+            self._conn = duckdb.connect(":memory:")
+        else:
+            import sqlite3
+
+            self._conn = sqlite3.connect(":memory:")
+        self._conn.execute(f"CREATE TABLE records (id BIGINT PRIMARY KEY, {columns})")
+        placeholders = ", ".join("?" for _ in range(self._d + 1))
+        rows = [(int(i), *map(float, row)) for i, row in zip(ids, values)]
+        self._conn.executemany(f"INSERT INTO records VALUES ({placeholders})", rows)
+
+    # ------------------------------------------------------------------ plumbing
+    def close(self) -> None:
+        """Release the embedded connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SQLOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ids(self, sql: str) -> np.ndarray:
+        rows = self._conn.execute(sql).fetchall()
+        return np.asarray([int(row[0]) for row in rows], dtype=int)
+
+    # ------------------------------------------------------------- score algebra
+    def _score_expression(self, point) -> str:
+        """SQL for ``S(x; u) = a_{d-1} + sum_j (a_j - a_{d-1}) * u_j``.
+
+        Term order matches :func:`repro.kernels.halfspace.score_decomposition`
+        so the two executions evaluate the same left-to-right sum.
+        """
+        point = np.asarray(point, dtype=float).reshape(-1)
+        if point.shape[0] != self._d - 1:
+            raise InvalidQueryError(
+                f"weight vector has {point.shape[0]} components for {self._d}-d data"
+            )
+        last = f"a{self._d - 1}"
+        terms = [last]
+        for j, weight in enumerate(point):
+            terms.append(f"(a{j} - {last}) * {_literal(weight)}")
+        return " + ".join(terms)
+
+    def _region_vertices(self, region: Region) -> np.ndarray:
+        if region.dimension != self._d - 1:
+            raise InvalidQueryError(
+                f"region dimension {region.dimension} does not match {self._d}-dimensional data"
+            )
+        if region.vertices is None:
+            raise InvalidRegionError("SQL pushdown needs a region with a vertex representation")
+        return region.vertices
+
+    # ----------------------------------------------------------------- skybands
+    def _skyband_sql(self, exprs: list[str], k: int, tol: float) -> str:
+        """The two-phase skyband query over per-record score expressions.
+
+        ``exprs[i]`` scores a record under comparison axis ``i`` (a raw
+        attribute for traditional dominance, the score at region vertex ``i``
+        for r-dominance).  Dominance is "``>= -tol`` on every axis, ``> tol``
+        on at least one" — exactly the kernel semantics of
+        :func:`repro.kernels.halfspace.r_dominance_matrix`.
+        """
+        t = _literal(tol)
+        scored = ", ".join(f"{expr} AS s{i}" for i, expr in enumerate(exprs))
+        axes = range(len(exprs))
+        windows = ", ".join(
+            f"COUNT(*) OVER (ORDER BY s{i} RANGE BETWEEN {t} PRECEDING "
+            f"AND UNBOUNDED FOLLOWING) - 1 AS c{i}"
+            for i in axes
+        )
+        fast_accept = " OR ".join(f"c{i} < {int(k)}" for i in axes)
+        undecided = " AND ".join(f"q.c{i} >= {int(k)}" for i in axes)
+        weak = " AND ".join(f"p.s{i} >= q.s{i} - {t}" for i in axes)
+        strict = " OR ".join(f"p.s{i} > q.s{i} + {t}" for i in axes)
+        return f"""
+            WITH scored AS (
+                SELECT id, {scored} FROM records
+            ), bounded AS (
+                SELECT *, {windows} FROM scored
+            )
+            SELECT id FROM bounded WHERE {fast_accept}
+            UNION
+            SELECT q.id
+            FROM bounded q LEFT JOIN scored p
+              ON p.id <> q.id AND {weak} AND ({strict})
+            WHERE {undecided}
+            GROUP BY q.id
+            HAVING COUNT(p.id) < {int(k)}
+            ORDER BY id
+        """
+
+    def k_skyband(self, k: int, *, tol: float = DOMINANCE_TOL) -> np.ndarray:
+        """Ids of the traditional k-skyband (dominance on the raw attributes)."""
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        exprs = [f"a{j}" for j in range(self._d)]
+        return self._ids(self._skyband_sql(exprs, k, tol))
+
+    def r_skyband(self, region: Region, k: int, *, tol: float = DOMINANCE_TOL) -> np.ndarray:
+        """Ids of the r-skyband: records r-dominated (w.r.t. ``region``) by < ``k``.
+
+        One score expression per region vertex; r-dominance reduces to the
+        per-vertex sign tests of Definition 1.
+        """
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        vertices = self._region_vertices(region)
+        exprs = [self._score_expression(vertex) for vertex in vertices]
+        return self._ids(self._skyband_sql(exprs, k, tol))
+
+    # -------------------------------------------------------------------- top-k
+    def top_k(self, reduced_weights, k: int) -> np.ndarray:
+        """Ids of the ``k`` best records at one reduced weight vector.
+
+        Ties break by ascending id, matching the positional tie-break of
+        :func:`repro.core.preference.top_k_at` when ids are ascending.
+        """
+        if k <= 0:
+            raise InvalidQueryError("k must be positive")
+        expr = self._score_expression(reduced_weights)
+        return self._ids(
+            f"""
+            SELECT id FROM (
+                SELECT id, row_number() OVER (ORDER BY {expr} DESC, id ASC) AS rn
+                FROM records
+            ) ranked WHERE rn <= {int(k)} ORDER BY rn
+            """
+        )

@@ -111,3 +111,193 @@ class TestReporting:
         text = format_series(series, "k")
         assert "RSA" in text and "SK" in text
         assert text.splitlines()[-1].startswith("2")
+
+
+class TestArtifactSchema:
+    """The BENCH/METRICS artifact shapes are pinned by repro.bench.schema."""
+
+    def _payload(self, tmp_path):
+        from repro.bench.reporting import write_bench_json
+
+        return write_bench_json(
+            tmp_path / "BENCH_demo.json",
+            "demo",
+            [{"scenario": "s", "backend": "b", "qps": 10.0, "gated": True}],
+            gates={"passed": True},
+            meta={"smoke": True},
+        )
+
+    def test_write_bench_json_stamps_schema_version(self, tmp_path):
+        from repro.bench.schema import SCHEMA_VERSION
+
+        payload = self._payload(tmp_path)
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_bench_file_round_trips_validation(self, tmp_path):
+        from repro.bench.schema import validate_bench_file
+
+        self._payload(tmp_path)
+        payload = validate_bench_file(tmp_path / "BENCH_demo.json")
+        assert payload["benchmark"] == "demo"
+
+    def test_missing_required_key_fails(self, tmp_path):
+        from repro.bench.schema import SchemaError, validate_bench_payload
+
+        payload = self._payload(tmp_path)
+        del payload["rows"]
+        with pytest.raises(SchemaError, match="rows"):
+            validate_bench_payload(payload)
+
+    def test_wrong_type_fails(self, tmp_path):
+        from repro.bench.schema import SchemaError, validate_bench_payload
+
+        payload = self._payload(tmp_path)
+        payload["rows"] = "not-a-list"
+        with pytest.raises(SchemaError, match="expected array"):
+            validate_bench_payload(payload)
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        from repro.bench.schema import SCHEMA_VERSION, SchemaError, validate_bench_payload
+
+        payload = self._payload(tmp_path)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="newer"):
+            validate_bench_payload(payload)
+
+    def test_metrics_jsonl_round_trips_validation(self, tmp_path):
+        from repro import obs
+        from repro.bench.reporting import write_bench_metrics
+        from repro.bench.schema import validate_metrics_file
+        from repro.obs import names
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        with obs.activated():
+            names.QUERIES.inc(version="utk1", source="cold")
+        path = tmp_path / "METRICS_demo.jsonl"
+        write_bench_metrics(path, "demo", meta={"smoke": True})
+        assert validate_metrics_file(path) > 0
+
+    def test_metrics_header_drift_fails(self, tmp_path):
+        import json as _json
+
+        from repro.bench.schema import SchemaError, validate_metrics_lines
+
+        with pytest.raises(SchemaError, match="schema_version"):
+            validate_metrics_lines([_json.loads('{"record": "header"}')])
+
+    def test_corrupt_jsonl_line_reports_line_number(self, tmp_path):
+        from repro.bench.schema import SchemaError, validate_metrics_file
+
+        path = tmp_path / "METRICS_bad.jsonl"
+        path.write_text('{"record": "header", "schema_version": 1, '
+                        '"benchmark": "x", "created_at": "t"}\nnot json\n')
+        with pytest.raises(SchemaError, match=":2"):
+            validate_metrics_file(path)
+
+
+class TestTrend:
+    """repro.bench.trend: >20% gated regressions fail, everything else warns."""
+
+    def _matrix_payload(self, tmp_path, name, qps_by_cell, *, smoke=True, gated=True):
+        from repro.bench.reporting import write_bench_json
+
+        rows = [
+            {
+                "scenario": scenario,
+                "backend": backend,
+                "qps": qps,
+                "gated": gated,
+                "oracle": "ok",
+            }
+            for (scenario, backend), qps in qps_by_cell.items()
+        ]
+        path = tmp_path / name
+        write_bench_json(path, "matrix", rows, meta={"smoke": smoke})
+        return path
+
+    def test_identical_payloads_pass(self, tmp_path):
+        from repro.bench.trend import compare_files
+
+        cells = {("s1", "serial"): 100.0, ("s1", "engine"): 400.0}
+        current = self._matrix_payload(tmp_path, "BENCH_current.json", cells)
+        baseline = self._matrix_payload(tmp_path, "BENCH_baseline.json", cells)
+        report = compare_files(current, baseline)
+        assert report.ok
+        assert all(entry["status"] == "ok" for entry in report.entries)
+
+    def test_injected_regression_over_threshold_fails(self, tmp_path):
+        """Acceptance criterion: a synthetic >20% regression fails the trend."""
+        from repro.bench.trend import compare_files
+
+        baseline = self._matrix_payload(
+            tmp_path, "BENCH_baseline.json", {("s1", "serial"): 100.0}
+        )
+        current = self._matrix_payload(
+            tmp_path, "BENCH_current.json", {("s1", "serial"): 70.0}
+        )
+        report = compare_files(current, baseline)
+        assert not report.ok
+        assert report.regressions[0]["cell"] == "s1/serial"
+        assert "regression" in report.markdown()
+
+    def test_regression_within_threshold_passes(self, tmp_path):
+        from repro.bench.trend import compare_files
+
+        baseline = self._matrix_payload(
+            tmp_path, "BENCH_baseline.json", {("s1", "serial"): 100.0}
+        )
+        current = self._matrix_payload(
+            tmp_path, "BENCH_current.json", {("s1", "serial"): 85.0}
+        )
+        assert compare_files(current, baseline).ok
+
+    def test_ungated_regression_does_not_fail(self, tmp_path):
+        from repro.bench.trend import compare_files
+
+        baseline = self._matrix_payload(
+            tmp_path, "BENCH_baseline.json", {("s1", "serial"): 100.0}, gated=False
+        )
+        current = self._matrix_payload(
+            tmp_path, "BENCH_current.json", {("s1", "serial"): 10.0}, gated=False
+        )
+        report = compare_files(current, baseline)
+        assert report.ok
+        assert report.entries[0]["status"] == "regressed-ungated"
+
+    def test_new_and_missing_cells_warn_not_fail(self, tmp_path):
+        from repro.bench.trend import compare_files
+
+        baseline = self._matrix_payload(
+            tmp_path, "BENCH_baseline.json", {("s1", "serial"): 100.0}
+        )
+        current = self._matrix_payload(
+            tmp_path, "BENCH_current.json", {("s2", "serial"): 50.0}
+        )
+        report = compare_files(current, baseline)
+        assert report.ok
+        statuses = {entry["cell"]: entry["status"] for entry in report.entries}
+        assert statuses == {"s1/serial": "missing", "s2/serial": "new"}
+
+    def test_smoke_vs_full_baselines_are_incomparable(self, tmp_path):
+        from repro.bench.schema import SchemaError
+        from repro.bench.trend import compare_files
+
+        baseline = self._matrix_payload(
+            tmp_path, "BENCH_baseline.json", {("s1", "serial"): 100.0}, smoke=False
+        )
+        current = self._matrix_payload(
+            tmp_path, "BENCH_current.json", {("s1", "serial"): 100.0}, smoke=True
+        )
+        with pytest.raises(SchemaError, match="smoke"):
+            compare_files(current, baseline)
+
+    def test_committed_baselines_validate_and_self_compare(self):
+        from pathlib import Path
+
+        from repro.bench.trend import compare_files
+
+        for name in ("BENCH_matrix_smoke.json", "BENCH_matrix.json"):
+            path = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines" / name
+            assert path.exists(), f"committed baseline {name} is missing"
+            assert compare_files(path, path).ok

@@ -171,3 +171,70 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestMatrixCommand:
+    def test_single_cell_smoke_json(self, tmp_path, capsys):
+        code = main(["matrix", "--scenario", "cor-storm", "--backend", "serial",
+                     "--smoke", "--output-dir", str(tmp_path), "--report", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["gates"]["oracle:cor-storm/serial"] is True
+        [row] = payload["rows"]
+        assert row["oracle"] == "ok" and row["backend"] == "serial"
+        assert (tmp_path / "BENCH_matrix.json").exists()
+        assert (tmp_path / "METRICS_matrix_cor-storm_serial.jsonl").exists()
+
+    def test_markdown_report(self, tmp_path, capsys):
+        code = main(["matrix", "--scenario", "cor-storm", "--backend", "serial",
+                     "--smoke", "--no-oracle", "--output-dir", str(tmp_path),
+                     "--report", "md"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Scenario matrix" in out
+        assert "| scenario | traffic | serial |" in out
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            main(["matrix", "--scenario", "no-such-scenario", "--smoke",
+                  "--output-dir", str(tmp_path)])
+
+
+class TestTrendCommand:
+    def _write_matrix(self, path, qps):
+        from repro.bench.reporting import write_bench_json
+
+        rows = [{"scenario": "s", "backend": "b", "traffic": "cold", "queries": 4,
+                 "seconds": 1.0, "qps": qps, "oracle": "ok", "gated": True}]
+        write_bench_json(path, "matrix", rows,
+                         gates={"oracle:s/b": True, "oracle_checked": True, "passed": True},
+                         meta={"smoke": True})
+
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        self._write_matrix(current, 100.0)
+        code = main(["trend", "--current", str(current), "--baseline", str(current)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails_and_writes_output(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        summary = tmp_path / "summary.md"
+        self._write_matrix(baseline, 100.0)
+        self._write_matrix(current, 50.0)
+        code = main(["trend", "--current", str(current), "--baseline", str(baseline),
+                     "--report", "md", "--output", str(summary)])
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+        assert "## Benchmark trend" in summary.read_text()
+
+    def test_custom_threshold(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        self._write_matrix(baseline, 100.0)
+        self._write_matrix(current, 50.0)
+        code = main(["trend", "--current", str(current), "--baseline", str(baseline),
+                     "--threshold", "0.6"])
+        assert code == 0

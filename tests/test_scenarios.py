@@ -1,0 +1,318 @@
+"""Tests for the scenario-matrix subsystem (repro.scenarios).
+
+Covers the SQL pushdown oracle (hypothesis-driven against the numpy
+implementations, on both embedded engines), the scenario/backed registries,
+cross-backend answer agreement, the matrix runner with its schema-checked
+artifacts, and the consolidated benchmark gate runner.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.preference import top_k_at
+from repro.core.region import hyperrectangle
+from repro.core.rskyband import compute_r_skyband
+from repro.core.records import Dataset
+from repro.datasets.synthetic import synthetic_dataset
+from repro.exceptions import InvalidQueryError, InvalidRegionError
+from repro.scenarios import (
+    BACKENDS,
+    BENCH_GATES,
+    SCENARIOS,
+    SQLOracle,
+    Scenario,
+    available_backends,
+    markdown_report,
+    resolve_backend,
+    run_matrix,
+    select_backends,
+    select_scenarios,
+    text_report,
+)
+from repro.scenarios.backends import _StateTracker
+from repro.skyline.skyband import k_skyband as python_k_skyband
+
+HAS_DUCKDB = "duckdb" in available_backends()
+
+#: Every embedded engine importable here; duckdb rows are skipped cleanly
+#: when the optional dependency is absent.
+SQL_PARAMS = [
+    pytest.param("sqlite", id="sqlite"),
+    pytest.param(
+        "duckdb",
+        id="duckdb",
+        marks=pytest.mark.skipif(not HAS_DUCKDB, reason="duckdb not installed"),
+    ),
+]
+
+oracle_settings = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _random_case(seed: int, dim: int):
+    from repro.bench.workloads import _random_cube
+
+    rng = np.random.default_rng(seed)
+    values = rng.random((int(rng.integers(20, 80)), dim))
+    lower, upper = _random_cube(dim - 1, float(rng.uniform(0.05, 0.2)), rng)
+    region = hyperrectangle(lower, upper)
+    k = int(rng.integers(1, 5))
+    return values, region, k
+
+
+class TestSQLOracle:
+    @pytest.mark.parametrize("backend", SQL_PARAMS)
+    @oracle_settings
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 4))
+    def test_k_skyband_matches_python(self, backend, seed, dim):
+        values, _, k = _random_case(seed, dim)
+        with SQLOracle(values, backend=backend) as oracle:
+            sql_ids = oracle.k_skyband(k)
+        assert sorted(sql_ids.tolist()) == sorted(python_k_skyband(values, k).tolist())
+
+    @pytest.mark.parametrize("backend", SQL_PARAMS)
+    @oracle_settings
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 4))
+    def test_r_skyband_matches_core(self, backend, seed, dim):
+        values, region, k = _random_case(seed, dim)
+        with SQLOracle(values, backend=backend) as oracle:
+            sql_ids = oracle.r_skyband(region, k)
+        core_ids = compute_r_skyband(values, region, k).indices
+        assert sorted(sql_ids.tolist()) == sorted(np.asarray(core_ids).tolist())
+
+    @pytest.mark.parametrize("backend", SQL_PARAMS)
+    @oracle_settings
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 4))
+    def test_top_k_matches_preference(self, backend, seed, dim):
+        values, region, k = _random_case(seed, dim)
+        weights = region.sample(1)[0]
+        with SQLOracle(values, backend=backend) as oracle:
+            sql_ids = oracle.top_k(weights, k)
+        assert sql_ids.tolist() == top_k_at(values, weights, k).tolist()
+
+    def test_duplicate_rows_stress_ties(self):
+        rng = np.random.default_rng(7)
+        base = rng.random((25, 3))
+        values = np.vstack([base, base[:10]])  # exact duplicates force ties
+        region = hyperrectangle([0.2, 0.2], [0.4, 0.4])
+        with SQLOracle(values) as oracle:
+            sql_ids = oracle.r_skyband(region, 3)
+        core_ids = compute_r_skyband(values, region, 3).indices
+        assert sorted(sql_ids.tolist()) == sorted(np.asarray(core_ids).tolist())
+
+    def test_custom_stable_ids(self):
+        values = np.random.default_rng(3).random((30, 3))
+        ids = np.arange(30) + 100
+        region = hyperrectangle([0.2, 0.2], [0.4, 0.4])
+        with SQLOracle(values, ids=ids) as oracle:
+            sql_ids = oracle.r_skyband(region, 2)
+        positions = compute_r_skyband(values, region, 2).indices
+        assert sorted(sql_ids.tolist()) == sorted((np.asarray(positions) + 100).tolist())
+
+    def test_rejects_bad_inputs(self):
+        values = np.random.default_rng(0).random((10, 3))
+        with pytest.raises(InvalidQueryError):
+            SQLOracle(values[:, :1])
+        with pytest.raises(InvalidQueryError):
+            SQLOracle(values, ids=np.zeros(10, dtype=int))
+        with pytest.raises(InvalidQueryError):
+            resolve_backend("postgres")
+        with SQLOracle(values) as oracle:
+            with pytest.raises(InvalidQueryError):
+                oracle.k_skyband(0)
+            with pytest.raises(InvalidQueryError):
+                oracle.top_k([0.5], 3)  # wrong weight dimensionality
+
+    def test_region_without_vertices_rejected(self):
+        values = np.random.default_rng(0).random((10, 3))
+        region = hyperrectangle([0.2, 0.2], [0.4, 0.4])
+        region._vertices = None
+        with SQLOracle(values) as oracle:
+            with pytest.raises(InvalidRegionError):
+                oracle.r_skyband(region, 2)
+
+    def test_sqlite_always_available(self):
+        assert "sqlite" in available_backends()
+        assert resolve_backend("auto") in ("duckdb", "sqlite")
+
+
+class TestScenarioRegistry:
+    def test_registered_scenarios_cover_required_axes(self):
+        distributions = {s.distribution for s in SCENARIOS.values()}
+        traffics = {s.traffic for s in SCENARIOS.values()}
+        assert {"IND", "COR", "ANTI", "CLUS"} <= distributions
+        assert {"cold", "hot-storm", "zipf-churn", "adversarial"} <= traffics
+
+    def test_matrix_meets_ci_floor(self):
+        # Acceptance criterion: >=3 scenarios x >=3 backends in the smoke run.
+        assert len(SCENARIOS) >= 3
+        assert len(BACKENDS) >= 3
+
+    def test_build_is_reproducible(self):
+        scenario = SCENARIOS["ind-cold"]
+        data_a, events_a = scenario.build(smoke=True)
+        data_b, events_b = scenario.build(smoke=True)
+        assert np.array_equal(data_a.values, data_b.values)
+        assert len(events_a) == len(events_b)
+        for a, b in zip(events_a, events_b):
+            assert a["op"] == b["op"]
+            if a["op"] == "query":
+                assert a["k"] == b["k"] and a["lower"] == b["lower"]
+
+    def test_smoke_sizing_is_reduced(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.smoke_cardinality < scenario.cardinality
+            assert scenario.smoke_events <= scenario.events
+
+    def test_query_events_carry_interned_regions(self):
+        _, events = SCENARIOS["cor-storm"].build(smoke=True)
+        queries = [e for e in events if e["op"] == "query"]
+        assert queries and all("region" in e for e in queries)
+
+    def test_unknown_traffic_shape_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Scenario(
+                name="bad", distribution="IND", traffic="nope", description="",
+                cardinality=10, events=1, smoke_cardinality=5, smoke_events=1,
+            )
+
+    def test_selection_errors_name_the_unknowns(self):
+        with pytest.raises(InvalidQueryError, match="no-such"):
+            select_scenarios(["no-such"])
+        with pytest.raises(InvalidQueryError, match="no-such"):
+            select_backends(["no-such"])
+
+
+class TestStateTracker:
+    def test_ids_follow_dynamic_engine_convention(self):
+        data = synthetic_dataset("IND", 5, 3, seed=0)
+        tracker = _StateTracker(data)
+        tracker.apply({"op": "insert", "values": [0.5, 0.5, 0.5]})
+        tracker.apply({"op": "delete", "id": 2})
+        assert tracker.ids == [0, 1, 3, 4, 5]
+        assert tracker.matrix().shape == (5, 3)
+        assert tracker.ids == sorted(tracker.ids)  # positional == id tie-breaks
+
+
+class TestBackendAgreement:
+    def test_all_backends_agree_on_static_scenario(self):
+        data, events = SCENARIOS["anti-adversarial"].build(smoke=True)
+        fingerprints = {}
+        for name, cls in BACKENDS.items():
+            fingerprints[name] = cls().run(data, events).fingerprint()
+        reference = fingerprints["serial"]
+        assert reference  # non-empty answers
+        for name, fingerprint in fingerprints.items():
+            assert fingerprint == reference, f"{name} diverges from serial"
+
+    def test_dynamic_and_rebuild_agree_under_churn(self):
+        data, events = SCENARIOS["clus-churn"].build(smoke=True)
+        serial = BACKENDS["serial"]().run(data, events)
+        dynamic = BACKENDS["dynamic"]().run(data, events)
+        sql = BACKENDS["sql"]().run(data, events)
+        assert dynamic.fingerprint() == serial.fingerprint()
+        assert sql.fingerprint() == serial.fingerprint()
+        assert sql.stats["pushed_candidates"] > 0
+
+
+class TestRunMatrix:
+    @pytest.fixture(scope="class")
+    def mini_result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("matrix")
+        return out, run_matrix(
+            ["cor-storm"], ["serial", "engine", "sql"], smoke=True, output_dir=out
+        )
+
+    def test_cells_pass_the_oracle(self, mini_result):
+        _, result = mini_result
+        assert result.ok
+        assert {row["oracle"] for row in result.rows} == {"ok"}
+        assert len(result.rows) == 3
+
+    def test_artifacts_are_schema_valid(self, mini_result):
+        from repro.bench.schema import validate_bench_file, validate_metrics_file
+
+        out, result = mini_result
+        bench = out / "BENCH_matrix.json"
+        assert bench.exists()
+        payload = validate_bench_file(bench)
+        assert payload["benchmark"] == "matrix"
+        metrics = sorted(out.glob("METRICS_matrix_*.jsonl"))
+        assert len(metrics) == 3
+        for path in metrics:
+            assert validate_metrics_file(path) > 0
+
+    def test_per_cell_metrics_include_matrix_counter(self, mini_result):
+        out, _ = mini_result
+        path = out / "METRICS_matrix_cor-storm_engine.jsonl"
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records if r["record"] == "metric"}
+        samples = by_name["repro_matrix_cells_total"]["samples"]
+        assert any(s["labels"].get("backend") == "engine" for s in samples)
+
+    def test_answer_mismatch_is_caught(self, monkeypatch, tmp_path):
+        from repro.scenarios import backends as backends_module
+
+        original = backends_module.SerialBackend.run
+
+        def corrupted(self, data, events):
+            outcome = original(self, data, events)
+            if outcome.answers and outcome.answers[0]["utk1"]:
+                outcome.answers[0]["utk1"] = outcome.answers[0]["utk1"][:-1]
+            return outcome
+
+        monkeypatch.setattr(backends_module.SerialBackend, "run", corrupted)
+        result = run_matrix(["cor-storm"], ["serial"], smoke=True, output_dir=None)
+        assert not result.ok
+        assert result.rows[0]["oracle"] == "answer-mismatch"
+
+    def test_oracle_off_marks_cells_skipped(self):
+        result = run_matrix(
+            ["cor-storm"], ["serial"], smoke=True, oracle=False, output_dir=None
+        )
+        assert result.rows[0]["oracle"] == "skipped"
+        assert result.ok  # nothing checked, nothing failed
+
+    def test_reports_render(self, mini_result):
+        _, result = mini_result
+        markdown = markdown_report(result.payload)
+        assert "| scenario |" in markdown and "cor-storm" in markdown
+        assert "All cells agree" in markdown
+        text = text_report(result.payload)
+        assert "cor-storm" in text and "qps" in text
+
+
+class TestGateRunner:
+    def test_registry_matches_benchmark_scripts(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        names = [gate.name for gate in BENCH_GATES]
+        assert len(names) == len(set(names)) == 6
+        for gate in BENCH_GATES:
+            assert (root / gate.script).exists(), gate.script
+            assert gate.output.startswith("BENCH_")
+
+    def test_run_gates_reports_pass_and_fail(self, tmp_path):
+        from repro.scenarios.gates import BenchGate, run_gates
+
+        good = tmp_path / "good.py"
+        good.write_text("import sys; sys.exit(0)\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("import sys; sys.exit(3)\n")
+        gates = (
+            BenchGate("good", good.name, "BENCH_good.json", "always passes"),
+            BenchGate("bad", bad.name, "BENCH_bad.json", "always fails"),
+        )
+        lines = []
+        results = run_gates(smoke=True, cwd=tmp_path, progress=lines.append, gates=gates)
+        assert results["good"]["passed"] and not results["bad"]["passed"]
+        assert results["bad"]["returncode"] == 3
+        assert any("gate bad: FAIL" in line for line in lines)
