@@ -20,6 +20,12 @@ any code:
 * ``matrix`` — run the scenario × backend matrix (the CI/nightly entry
   point): every cell oracle-checked against the SQL pushdown, artifacts
   schema-versioned, ``--gates`` additionally runs the benchmark smoke gates;
+* ``serve`` — run the serving tier: a shared-memory-backed
+  :class:`~repro.serve.engine.ServeEngine` behind an asyncio JSONL socket
+  protocol, draining gracefully on ``SIGTERM``;
+* ``soak`` — fire concurrent query and update clients at a running
+  ``serve`` instance and verify every answer against a serial replay
+  (zero stale answers allowed);
 * ``trend`` — compare a ``BENCH_matrix.json`` against a baseline snapshot
   and fail on >20% gated-cell regressions.
 
@@ -286,6 +292,100 @@ def _build_parser() -> argparse.ArgumentParser:
         "--gates", action="store_true",
         help="also run the consolidated benchmark smoke gates "
              "(the six bench_*.py gates CI used to list by hand)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve UTK queries and updates over a JSONL socket protocol"
+    )
+    serve.add_argument(
+        "--dataset", default="IND", help="IND, COR, ANTI, HOTEL, HOUSE or NBA (default IND)"
+    )
+    serve.add_argument(
+        "--cardinality", type=int, default=2000,
+        help="initial number of records (default 2000; ids 0..n-1)",
+    )
+    serve.add_argument(
+        "--dimensionality", type=int, default=3,
+        help="attributes for synthetic datasets (default 3)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="dataset seed")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port; see --ready-file)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write {\"host\", \"port\", \"pid\"} JSON to PATH once listening",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="capacity of each engine cache (default 128)",
+    )
+    serve.add_argument(
+        "--stripes", type=int, default=8,
+        help="lock stripes per engine cache (default 8)",
+    )
+    serve.add_argument(
+        "--query-threads", type=int, default=4,
+        help="concurrent query evaluations (default 4)",
+    )
+    serve.add_argument(
+        "--shared-workers", type=int, default=0,
+        help="query worker processes attaching the dataset via shared memory "
+             "(default 0 = evaluate queries in-process)",
+    )
+    serve.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="enable the metrics registry and write a snapshot to PATH on shutdown",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace and write Chrome trace_event JSON on shutdown",
+    )
+
+    soak = subparsers.add_parser(
+        "soak", help="concurrent query+update load against a running serve instance, "
+                     "every answer verified against a serial replay"
+    )
+    soak.add_argument("--host", default="127.0.0.1", help="server address (default 127.0.0.1)")
+    soak.add_argument("--port", type=int, default=None, help="server port")
+    soak.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="read host/port from a serve --ready-file instead of --port",
+    )
+    soak.add_argument(
+        "--dataset", default="IND",
+        help="initial dataset — must match the server's --dataset (default IND)",
+    )
+    soak.add_argument(
+        "--cardinality", type=int, default=2000,
+        help="must match the server's --cardinality (default 2000)",
+    )
+    soak.add_argument(
+        "--dimensionality", type=int, default=3,
+        help="must match the server's --dimensionality (default 3)",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="must match the server's --seed")
+    soak.add_argument(
+        "--events", type=int, default=120,
+        help="length of the generated zipf-churn event stream (default 120)",
+    )
+    soak.add_argument(
+        "--stream-seed", type=int, default=1,
+        help="seed of the generated event stream (default 1)",
+    )
+    soak.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent query connections (default 4; one extra applies updates)",
+    )
+    soak.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-thread load timeout in seconds (default 300)",
+    )
+    soak.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full soak report (stale details included) as JSON to PATH",
     )
 
     trend = subparsers.add_parser(
@@ -653,6 +753,98 @@ def _run_matrix(args: argparse.Namespace) -> int:
     return 0 if result.ok and not failed_gates else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ServeEngine
+    from repro.serve.server import UTKServer
+
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+    observing = args.metrics is not None or args.trace is not None
+    if observing:
+        _obs_start()
+    engine = ServeEngine(data, cache_size=args.cache_size, stripes=args.stripes)
+    server = UTKServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        query_threads=args.query_threads,
+        shared_workers=args.shared_workers,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_stop)
+        print(f"serving {args.dataset.upper()} n={data.size} on {host}:{port}",
+              file=sys.stderr)
+        if args.ready_file is not None:
+            import os
+
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                json.dump({"host": host, "port": port, "pid": os.getpid()}, handle)
+        await server.serve_until_stopped()
+
+    try:
+        with _obs_trace.capture() as captured:
+            asyncio.run(run())
+    finally:
+        engine.close()
+        if observing:
+            _obs_runtime.disable()
+    if args.trace is not None:
+        _obs_trace.write_chrome_trace(args.trace, captured,
+                                      metadata=_provenance.provenance())
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics is not None:
+        _write_metrics(args.metrics)
+    print(
+        f"drained: {server.requests_served} requests, "
+        f"{server.updates_finished} updates, "
+        f"{server.update_failures} update failures",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_soak(args: argparse.Namespace) -> int:
+    from repro.serve.soak import run_soak
+
+    host, port = args.host, args.port
+    if args.ready_file is not None:
+        with open(args.ready_file, encoding="utf-8") as handle:
+            ready = json.load(handle)
+        host, port = ready["host"], int(ready["port"])
+    if port is None:
+        print("either --port or --ready-file is required", file=sys.stderr)
+        return 2
+
+    from repro.datasets.synthetic import update_stream
+
+    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+    events = update_stream(
+        data, args.events,
+        insert_prob=0.18, delete_prob=0.12, k_choices=(2, 3),
+        sigma=0.08, hot_regions=3, hot_prob=0.7, seed=args.stream_seed,
+    )
+    report = run_soak(host, port, data, events,
+                      clients=args.clients, timeout=args.timeout)
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    summary = {key: value for key, value in report.items() if key != "stale_details"}
+    print(json.dumps(summary, indent=2))
+    if not report["ok"]:
+        for detail in report["stale_details"]:
+            print(f"stale: {json.dumps(detail)}", file=sys.stderr)
+        for error in report["errors"]:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_trend(args: argparse.Namespace) -> int:
     from repro.bench.trend import DEFAULT_THRESHOLD, compare_files
 
@@ -679,6 +871,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_metrics(args)
     if args.command == "matrix":
         return _run_matrix(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "soak":
+        return _run_soak(args)
     if args.command == "trend":
         return _run_trend(args)
     return _run_experiment(args)

@@ -108,11 +108,15 @@ class DynamicUTKEngine(UTKEngine):
             parallel_workers=parallel_workers,
             parallel_min_candidates=parallel_min_candidates,
         )
-        self._store = RecordStore(self._values)
+        self._store = self._make_store(self._values)
         self._values = self._store.matrix
         if self._tree is None:  # empty initial matrix: below every threshold
             self._tree = RTree(self._values)
         self.update_stats = UpdateStatistics()
+
+    def _make_store(self, values) -> RecordStore:
+        """Store factory; the serve tier substitutes a shared-memory store."""
+        return RecordStore(values)
 
     # ------------------------------------------------------------- filtering
     def _skyband_for(self, region, k, signature):

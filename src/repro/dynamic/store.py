@@ -38,12 +38,22 @@ class RecordStore:
             raise InvalidDatasetError("record store expects an (n, d) matrix")
         n, d = values.shape
         size = max(capacity or 0, 2 * n, 16)
-        self._buffer = np.zeros((size, d), dtype=float)
+        self._buffer, self._active = self._allocate(size, d)
         self._buffer[:n] = values
-        self._active = np.zeros(size, dtype=bool)
         self._active[:n] = True
         self._count = n
         self._n_active = n
+
+    def _allocate(self, size: int, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Allocate zeroed ``(size, d)`` value and ``(size,)`` liveness arrays.
+
+        Subclasses back these with other storage (the serve tier returns
+        views over ``multiprocessing.shared_memory`` segments).
+        """
+        return np.zeros((size, d), dtype=float), np.zeros(size, dtype=bool)
+
+    def _discard(self, buffer: np.ndarray, active: np.ndarray) -> None:
+        """Release arrays replaced by :meth:`_grow` (hook for shared stores)."""
 
     # ------------------------------------------------------------------ views
     @property
@@ -123,12 +133,13 @@ class RecordStore:
 
     def _grow(self) -> None:
         size, d = self._buffer.shape
-        buffer = np.zeros((2 * size, d), dtype=float)
+        buffer, active = self._allocate(2 * size, d)
         buffer[:size] = self._buffer
-        active = np.zeros(2 * size, dtype=bool)
         active[:size] = self._active
+        old_buffer, old_active = self._buffer, self._active
         self._buffer = buffer
         self._active = active
+        self._discard(old_buffer, old_active)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RecordStore(active={self._n_active}, high_water={self._count}, "

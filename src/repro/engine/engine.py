@@ -189,16 +189,25 @@ class UTKEngine:
         # from pre-update state is still returned (it was correct when the
         # query arrived) but can never poison the caches.
         self._generation = 0
-        self._skybands = LRUCache(cache_size, name="skyband")
-        self._utk1_cache = LRUCache(cache_size, name="utk1")
-        self._utk2_cache = LRUCache(cache_size, name="utk2")
-        self._traditional_skybands = LRUCache(cache_size, name="k_skyband")
+        self._skybands = self._make_cache("skyband", cache_size)
+        self._utk1_cache = self._make_cache("utk1", cache_size)
+        self._utk2_cache = self._make_cache("utk2", cache_size)
+        self._traditional_skybands = self._make_cache("k_skyband", cache_size)
         self.stats = EngineStatistics()
         if parallel_workers < 0:
             raise InvalidQueryError("parallel_workers must be non-negative")
         self.parallel_workers = int(parallel_workers)
         self.parallel_min_candidates = int(parallel_min_candidates)
         self._pool = None
+
+    def _make_cache(self, name: str, size: int):
+        """Cache factory; subclasses substitute striped (or other) caches.
+
+        Must return an object with the :class:`LRUCache` bookkeeping API
+        (``get``/``put``/``touch``/``replace``/``scan``/``evict_where``/
+        ``clear``/``stats`` plus the hit/miss/eviction counters).
+        """
+        return LRUCache(size, name=name)
 
     # ------------------------------------------------------------------ basic
     @property

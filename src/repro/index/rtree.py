@@ -404,6 +404,68 @@ class RTree:
                 stack.extend(current.children)
         return entries
 
+    # ------------------------------------------------------------- flattening
+    def flatten(self) -> dict:
+        """Pack the tree into flat numpy arrays (BFS order) for sharing.
+
+        The node graph of Python objects cannot cross a process boundary
+        without pickling every MBB and entry; the flat form can live in
+        shared memory and be traversed zero-copy by
+        :class:`repro.serve.packed.PackedRTree`.  Layout (``m`` nodes, node 0
+        is the root):
+
+        * ``node_lower``/``node_upper`` — ``(m, d)`` MBB corners (``NaN``
+          rows for the empty root);
+        * ``node_is_leaf`` — ``(m,)`` bool;
+        * ``node_first``/``node_count`` — per node, the slice of
+          ``child_nodes`` (internal: BFS positions of its children) or of
+          ``entry_ids`` (leaf: record ids of its entries) it owns.
+
+        Entry *points* are not duplicated: a leaf entry's coordinates are the
+        record's row in the store buffer, so consumers index the shared
+        values matrix by ``entry_ids``.
+        """
+        order: list[RTreeNode] = [self.root]
+        positions: dict[int, int] = {id(self.root): 0}
+        for node in order:  # grows during iteration: BFS without a deque
+            if not node.is_leaf:
+                for child in node.children:
+                    positions[id(child)] = len(order)
+                    order.append(child)
+        m = len(order)
+        d = int(self.dimension or 0)
+        node_lower = np.full((m, max(d, 1)), np.nan, dtype=float)
+        node_upper = np.full((m, max(d, 1)), np.nan, dtype=float)
+        node_is_leaf = np.zeros(m, dtype=bool)
+        node_first = np.zeros(m, dtype=np.int64)
+        node_count = np.zeros(m, dtype=np.int64)
+        child_nodes: list[int] = []
+        entry_ids: list[int] = []
+        for position, node in enumerate(order):
+            node_is_leaf[position] = node.is_leaf
+            if node.mbb is not None:
+                node_lower[position] = node.mbb.lower
+                node_upper[position] = node.mbb.upper
+            if node.is_leaf:
+                node_first[position] = len(entry_ids)
+                node_count[position] = len(node.entries)
+                entry_ids.extend(int(index) for index, _ in node.entries)
+            else:
+                node_first[position] = len(child_nodes)
+                node_count[position] = len(node.children)
+                child_nodes.extend(positions[id(child)] for child in node.children)
+        return {
+            "dimension": d,
+            "size": int(self.size),
+            "node_lower": node_lower,
+            "node_upper": node_upper,
+            "node_is_leaf": node_is_leaf,
+            "node_first": node_first,
+            "node_count": node_count,
+            "child_nodes": np.asarray(child_nodes, dtype=np.int64),
+            "entry_ids": np.asarray(entry_ids, dtype=np.int64),
+        }
+
     # ---------------------------------------------------------------- queries
     def range_search(self, lower, upper) -> list[int]:
         """Indices of all records inside the axis-aligned box ``[lower, upper]``."""

@@ -121,6 +121,42 @@ MATRIX_CELL_SECONDS = REGISTRY.histogram(
     buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0),
 )
 
+# ------------------------------------------------------------------ serving
+#: Requests handled by the ``repro serve`` socket front-end, by operation
+#: (query/insert/delete/stats/ping) and outcome (ok/error).
+SERVE_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Requests handled by the serve front-end, by operation and outcome",
+    ("op", "outcome"),
+)
+
+#: Requests currently in flight on the serve front-end, by operation.
+SERVE_INFLIGHT = REGISTRY.gauge(
+    "repro_serve_inflight",
+    "Requests currently in flight on the serve front-end",
+    ("op",),
+)
+
+#: Time spent waiting for a contended stripe lock of a striped engine cache.
+#: Only contended acquisitions are recorded (the uncontended fast path costs
+#: one ``acquire``), so a quiet serve run legitimately exports zero samples.
+STRIPE_LOCK_WAIT_SECONDS = REGISTRY.histogram(
+    "repro_stripe_lock_wait_seconds",
+    "Contended stripe-lock wait of striped engine caches, by cache and stripe",
+    ("cache", "stripe"),
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Current epoch of each cache stripe — the per-stripe successor of the
+#: engine-wide generation counter.  Exported by the serve front-end on every
+#: stats request and on drain, so snapshots show which region-hash classes
+#: an update stream actually touched.
+STRIPE_EPOCH = REGISTRY.gauge(
+    "repro_stripe_epoch",
+    "Current epoch of each striped-cache stripe",
+    ("cache", "stripe"),
+)
+
 # ------------------------------------------------------------- maintenance
 #: Updates applied by the dynamic engine (UpdateStatistics.inserts/deletes).
 MAINTENANCE_UPDATES = REGISTRY.counter(

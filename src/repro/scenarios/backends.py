@@ -15,6 +15,10 @@ backends and checkable against the SQL oracle:
   enabled and a low routing threshold, so heavy queries fan out;
 * ``dynamic`` — a :class:`~repro.dynamic.engine.DynamicUTKEngine` absorbing
   updates in place with surgical cache repair;
+* ``serve`` — the serving tier end to end: a
+  :class:`~repro.serve.engine.ServeEngine` behind the asyncio JSONL socket
+  protocol, every event a real client round trip (striped caches, seqlock
+  cache guard and shared-memory store all on the hot path);
 * ``sql`` — the cold-dataset offload path: r-skyband candidate filtering is
   pushed down as window-function SQL (:mod:`repro.scenarios.sql`) and only
   the returned candidates are refined in Python.
@@ -250,6 +254,65 @@ class DynamicBackend:
                 outcome.answers.append(record)
             outcome.stats = engine.statistics()
         finally:
+            engine.close()
+        return outcome
+
+
+@register_backend
+class ServeBackend:
+    """The socket serving tier, replayed sequentially so answers are exact.
+
+    Each event is one JSONL round trip through a live
+    :class:`~repro.serve.server.UTKServer` on a background thread; the
+    oracle check therefore covers the whole serving stack — protocol,
+    striped caches, seqlock write guard, shared-memory record store —
+    not just the engine.  (Concurrent-client staleness is the soak lane's
+    job; here the oracle needs deterministic per-event answers.)
+    """
+
+    name = "serve"
+    description = "ServeEngine behind the JSONL socket protocol, one client"
+
+    def run(self, data: Dataset, events: list[dict]) -> CellOutcome:
+        from repro.serve import ServeEngine
+        from repro.serve.client import ServeClient
+        from repro.serve.server import ServerThread
+
+        engine = ServeEngine(data)
+        thread = ServerThread(engine, query_threads=2)
+        outcome = CellOutcome()
+        try:
+            host, port = thread.start()
+            with ServeClient(host, port) as client:
+                for index, event in enumerate(events):
+                    if event["op"] != "query":
+                        client.send_event(
+                            {key: value for key, value in event.items()
+                             if key != "region"}
+                        )
+                        continue
+                    response = client.query(
+                        event["lower"], event["upper"], event["k"], event["version"]
+                    )
+                    record = {
+                        "event": index,
+                        "version": event["version"],
+                        "utk1": None,
+                        "utk2": None,
+                    }
+                    if "utk1" in response:
+                        record["utk1"] = sorted(
+                            int(i) for i in response["utk1"]["records"]
+                        )
+                    if "utk2" in response:
+                        record["utk2"] = sorted(
+                            sorted(int(i) for i in s)
+                            for s in response["utk2"]["distinct_top_k_sets"]
+                        )
+                    outcome.answers.append(record)
+                outcome.stats = client.stats()
+        finally:
+            thread.stop()
             engine.close()
         return outcome
 

@@ -72,6 +72,13 @@ BENCH_GATES = (
         "BENCH_obs_overhead.json",
         "dormant instrumentation <=3% overhead",
     ),
+    BenchGate(
+        "serve",
+        "benchmarks/bench_serve.py",
+        "BENCH_serve.json",
+        "workers attach shared memory >=3x faster than per-spawn rebuild, "
+        "identical answers",
+    ),
 )
 
 

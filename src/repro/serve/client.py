@@ -1,0 +1,84 @@
+"""Blocking JSONL client for the serve protocol (one connection per client).
+
+Thread-safe per instance only in the trivial sense that each request holds
+the connection for its full round trip; concurrent load uses one
+:class:`ServeClient` per thread (as the soak harness does).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+
+
+class ServeError(RuntimeError):
+    """The server answered ``{"ok": false}``."""
+
+
+class ServeClient:
+    """One socket connection speaking the ``repro serve`` JSONL protocol."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._rids = itertools.count(1)
+
+    # ------------------------------------------------------------- transport
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises :class:`ServeError` on a server-side error."""
+        rid = next(self._rids)
+        line = json.dumps({"rid": rid, **payload}).encode() + b"\n"
+        self._file.write(line)
+        self._file.flush()
+        answer = self._file.readline()
+        if not answer:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(answer)
+        if response.get("rid") != rid:
+            raise ServeError(f"response out of order: {response!r}")
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- ops
+    def ping(self) -> bool:
+        return self.request({"op": "ping"})["ok"]
+
+    def query(self, lower, upper, k: int, version: str = "utk1") -> dict:
+        return self.request({
+            "op": "query",
+            "lower": [float(v) for v in lower],
+            "upper": [float(v) for v in upper],
+            "k": int(k),
+            "version": version,
+        })
+
+    def insert(self, values) -> dict:
+        return self.request({"op": "insert", "values": [float(v) for v in values]})
+
+    def delete(self, record_id: int) -> dict:
+        return self.request({"op": "delete", "id": int(record_id)})
+
+    def send_event(self, event: dict) -> dict:
+        """Submit a stream-format event (``op`` in insert/delete/query) as is."""
+        return self.request(dict(event))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain; the connection dies shortly after."""
+        return self.request({"op": "shutdown"})

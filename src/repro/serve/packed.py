@@ -1,0 +1,109 @@
+"""Zero-copy R-tree traversal over :meth:`RTree.flatten` arrays.
+
+:class:`PackedRTree` exposes exactly the node API the BBS traversal
+(:func:`repro.skyline.bbs.bbs_candidates`) and the skyband layers consume —
+``dimension``, ``root``, ``count_access`` on the tree; ``is_leaf``, ``mbb``,
+``children``, ``entries`` on nodes — backed by the flat arrays a serving
+worker attached from shared memory.  Node proxies are created lazily during
+traversal, so attaching costs O(1) regardless of tree size, and entry
+coordinates are *views* of the shared record buffer (never copied).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.mbb import MBB
+from repro.index.rtree import ACCESS_OPS
+from repro.obs import runtime as _obs
+
+
+class _PackedNode:
+    """Lazy proxy for one node of a packed tree."""
+
+    __slots__ = ("_tree", "_position")
+
+    def __init__(self, tree: "PackedRTree", position: int):
+        self._tree = tree
+        self._position = position
+
+    @property
+    def is_leaf(self) -> bool:
+        return bool(self._tree.node_is_leaf[self._position])
+
+    @property
+    def mbb(self) -> MBB | None:
+        lower = self._tree.node_lower[self._position]
+        if np.isnan(lower[0]):
+            return None
+        return MBB(lower, self._tree.node_upper[self._position])
+
+    @property
+    def children(self) -> list["_PackedNode"]:
+        first = int(self._tree.node_first[self._position])
+        count = int(self._tree.node_count[self._position])
+        return [
+            _PackedNode(self._tree, int(child))
+            for child in self._tree.child_nodes[first:first + count]
+        ]
+
+    @property
+    def entries(self) -> list[tuple[int, np.ndarray]]:
+        first = int(self._tree.node_first[self._position])
+        count = int(self._tree.node_count[self._position])
+        values = self._tree.values
+        return [
+            (int(record_id), values[int(record_id)])
+            for record_id in self._tree.entry_ids[first:first + count]
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"_PackedNode({kind}, position={self._position})"
+
+
+class PackedRTree:
+    """Read-only R-tree over flattened node arrays plus the value matrix.
+
+    Parameters
+    ----------
+    flat:
+        The :meth:`~repro.index.rtree.RTree.flatten` mapping (or the same
+        arrays re-attached from shared memory, with ``dimension``/``size``
+        restored from the pack manifest's ``meta``).
+    values:
+        The record buffer prefix; leaf entry ids index into it.
+    """
+
+    def __init__(self, flat: dict, values: np.ndarray):
+        self.node_lower = flat["node_lower"]
+        self.node_upper = flat["node_upper"]
+        self.node_is_leaf = flat["node_is_leaf"]
+        self.node_first = flat["node_first"]
+        self.node_count = flat["node_count"]
+        self.child_nodes = flat["child_nodes"]
+        self.entry_ids = flat["entry_ids"]
+        self.dimension = int(flat["dimension"]) or None
+        self.size = int(flat["size"])
+        self.values = values
+        self.access_counts: dict[str, int] = dict.fromkeys(ACCESS_OPS, 0)
+
+    @property
+    def root(self) -> _PackedNode:
+        return _PackedNode(self, 0)
+
+    def count_access(self, op: str, n: int = 1) -> None:
+        """Same tally contract as :meth:`RTree.count_access`."""
+        if not n:
+            return
+        self.access_counts[op] += n
+        if _obs._ENABLED:
+            from repro.obs.names import RTREE_NODE_ACCESSES
+
+            RTREE_NODE_ACCESSES.inc(n, op=op)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedRTree(size={self.size}, nodes={self.node_is_leaf.shape[0]})"

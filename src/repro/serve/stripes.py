@@ -1,0 +1,313 @@
+"""MRV-style contention-striped LRU caching.
+
+The engine's :class:`~repro.engine.cache.LRUCache` is a single ordered dict;
+every lookup, insertion and maintenance sweep of the serving engine used to
+take the *same* engine lock, so a hot-region writer serialized queries that
+never touch its region.  :class:`StripedCache` splits one logical cache into
+``stripes`` independently locked :class:`LRUCache` stripes, keyed by a stable
+hash of the cache key (the region signature) — the randomized splitting of
+hotspot values that MRVs (SIGMOD'23) apply to numeric aggregates, applied
+here to cache bookkeeping:
+
+* queries touching different stripes never contend;
+* a maintenance sweep (:meth:`evict_where`, the dynamic engine's repair pass)
+  locks one stripe at a time, so it only ever blocks the queries whose
+  regions share a stripe with the entry it is currently repairing;
+* each stripe carries an **epoch**, bumped when an update's sweep changed
+  something in that stripe — the per-stripe replacement for the engine-wide
+  generation counter.  Epoch histories make write skew observable per
+  region-hash class (:meth:`stats` exports them, the serve snapshot carries
+  them as ``repro_stripe_epoch``).
+
+Semantics relative to a single ``LRUCache`` of the same total capacity:
+``get``/``put``/``replace``/``touch`` behave identically as long as no stripe
+overflows (capacity is divided evenly, so any working set of at most
+``maxsize // stripes`` distinct keys is exactly equivalent — the property the
+hypothesis suite checks); under overflow, eviction is least-recently-used
+*within the stripe* rather than globally.  Predicate eviction
+(:meth:`evict_where`) is exactly equivalent: the evicted key set depends only
+on cache contents, never on stripe placement.
+
+Lock acquisition time is measured and published to the
+``repro_stripe_lock_wait_seconds{cache=...,stripe=...}`` histogram while
+observability is enabled, which is how the serve soak lane sees contention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Iterator
+
+from repro.engine.cache import LRUCache
+from repro.obs import runtime as _obs
+
+#: Default stripe count; 8 keeps label cardinality low while removing most
+#: same-lock collisions for the serving thread pools this repo configures.
+DEFAULT_STRIPES = 8
+
+
+def stripe_index(key, stripes: int) -> int:
+    """Stable stripe assignment for a cache key.
+
+    ``hash()`` is salted per process for strings, so the region-signature
+    keys would land on different stripes in the owner and in a worker that
+    recomputes the mapping; CRC32 of the key's ``repr`` is stable across
+    processes and runs, which keeps stripe placement reproducible in tests
+    and epoch exports comparable across snapshots.
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "surrogatepass")) % stripes
+
+
+class _Stripe:
+    """One independently locked stripe: an LRU shard plus its epoch."""
+
+    __slots__ = ("lock", "cache", "epoch")
+
+    def __init__(self, maxsize: int, name: str | None):
+        self.lock = threading.Lock()
+        self.cache = LRUCache(maxsize, name=name)
+        self.epoch = 0
+
+
+class StripedCache:
+    """A bounded key/value store striped over independently locked shards.
+
+    Drop-in for :class:`~repro.engine.cache.LRUCache` in the engine: the full
+    bookkeeping API (``get``/``put``/``touch``/``replace``/``scan``/
+    ``evict_where``/``clear``/``stats``) is provided, each call locking only
+    the stripe(s) it touches.  ``name`` labels both the shared
+    ``repro_cache_events_total`` series (stripes aggregate under one cache
+    name) and the per-stripe lock-wait histogram.
+    """
+
+    def __init__(self, maxsize: int, *, stripes: int = DEFAULT_STRIPES,
+                 name: str | None = None):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        if stripes <= 0:
+            raise ValueError("stripe count must be positive")
+        self.maxsize = int(maxsize)
+        self.name = name
+        self.stripes = int(stripes)
+        per_stripe = max(1, -(-self.maxsize // self.stripes))  # ceil division
+        self._stripes = [_Stripe(per_stripe, name) for _ in range(self.stripes)]
+
+    # ------------------------------------------------------------- stripe ops
+    def stripe_of(self, key) -> int:
+        """The stripe index ``key`` maps to."""
+        return stripe_index(key, self.stripes)
+
+    def _acquire(self, stripe: _Stripe) -> None:
+        """Take a stripe lock, publishing the wait when observability is on.
+
+        The fast path (lock free, observability off) is one ``acquire``;
+        waits are only timed when the uncontended grab fails.
+        """
+        if stripe.lock.acquire(blocking=False):
+            return
+        started = time.perf_counter()
+        stripe.lock.acquire()
+        if self.name is not None and _obs._ENABLED:
+            from repro.obs.names import STRIPE_LOCK_WAIT_SECONDS
+            STRIPE_LOCK_WAIT_SECONDS.observe(
+                time.perf_counter() - started,
+                cache=self.name,
+                stripe=str(self._stripes.index(stripe)),
+            )
+
+    def epoch_of(self, key) -> int:
+        """Current epoch of the stripe holding ``key`` (no lock needed: reads
+        of a Python int are atomic, and callers re-check under the stripe
+        lock before acting on it)."""
+        return self._stripes[self.stripe_of(key)].epoch
+
+    def bump_epoch(self, index: int) -> int:
+        """Advance one stripe's epoch (an update's sweep changed the stripe)."""
+        stripe = self._stripes[index]
+        self._acquire(stripe)
+        try:
+            stripe.epoch += 1
+            return stripe.epoch
+        finally:
+            stripe.lock.release()
+
+    def epochs(self) -> list[int]:
+        """Per-stripe epoch snapshot, by stripe index."""
+        return [stripe.epoch for stripe in self._stripes]
+
+    # ---------------------------------------------------------- LRUCache API
+    def __len__(self) -> int:
+        return sum(len(stripe.cache) for stripe in self._stripes)
+
+    def __contains__(self, key) -> bool:
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            return key in stripe.cache
+        finally:
+            stripe.lock.release()
+
+    def get(self, key, default=None):
+        """Value for ``key`` (refreshing stripe recency), or ``default``."""
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            return stripe.cache.get(key, default)
+        finally:
+            stripe.lock.release()
+
+    def put(self, key, value) -> None:
+        """Insert or refresh ``key``; evict the stripe's least-recent beyond
+        its share of the capacity."""
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            stripe.cache.put(key, value)
+        finally:
+            stripe.lock.release()
+
+    def put_at_epoch(self, key, value, epoch: int) -> bool:
+        """Insert ``key`` only if its stripe's epoch still equals ``epoch``.
+
+        This is the per-stripe replacement for the engine's generation-guarded
+        cache write: a query captures the stripe epoch at lookup time and the
+        write is dropped when an update's sweep moved the stripe on in
+        between — the check and the insert are atomic under the stripe lock,
+        so a sweep can never run between them.  Returns whether the value was
+        stored.
+        """
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            if stripe.epoch != epoch:
+                return False
+            stripe.cache.put(key, value)
+            return True
+        finally:
+            stripe.lock.release()
+
+    def put_if(self, key, value, predicate) -> bool:
+        """Insert ``key`` only if ``predicate()`` holds under the stripe lock.
+
+        The check and the insert are atomic with respect to every other
+        operation on the stripe — in particular an update's
+        :meth:`evict_where` sweep, which is what makes the serve engine's
+        seqlock guard sound: a sweep can never slip between a passing check
+        and the put.  Returns whether the value was stored.
+        """
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            if not predicate():
+                return False
+            stripe.cache.put(key, value)
+            return True
+        finally:
+            stripe.lock.release()
+
+    def touch(self, key) -> None:
+        """Refresh stripe recency without affecting hit/miss counters."""
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            stripe.cache.touch(key)
+        finally:
+            stripe.lock.release()
+
+    def replace(self, key, value) -> bool:
+        """Swap the value of an existing key; recency and counters untouched."""
+        stripe = self._stripes[self.stripe_of(key)]
+        self._acquire(stripe)
+        try:
+            return stripe.cache.replace(key, value)
+        finally:
+            stripe.lock.release()
+
+    def scan(self) -> Iterator[tuple]:
+        """Iterate ``(key, value)`` pairs, most recent first *per stripe*.
+
+        Each stripe is snapshotted under its own lock, one at a time, so a
+        scan never blocks the whole cache.  Recency order is exact within a
+        stripe and interleaved across stripes; the engine's containment
+        lookups only need "recently used entries early", which per-stripe
+        order preserves.
+        """
+        snapshots = []
+        for stripe in self._stripes:
+            self._acquire(stripe)
+            try:
+                snapshots.append(list(stripe.cache.scan()))
+            finally:
+                stripe.lock.release()
+        # Round-robin merge: the most recent entry of every stripe comes
+        # before any stripe's second-most-recent.
+        merged: list[tuple] = []
+        for position in range(max((len(s) for s in snapshots), default=0)):
+            for snapshot in snapshots:
+                if position < len(snapshot):
+                    merged.append(snapshot[position])
+        return iter(merged)
+
+    def evict_where(self, predicate) -> int:
+        """Drop every entry matching ``predicate``, one stripe at a time.
+
+        The evicted key set is exactly what a single-lock cache would drop;
+        only the blocking granularity differs (queries to other stripes
+        proceed while one stripe is swept).  A stripe whose contents changed
+        gets its epoch bumped, so concurrently captured epochs for that
+        stripe invalidate pending cache writes.
+        """
+        removed = 0
+        for stripe in self._stripes:
+            self._acquire(stripe)
+            try:
+                count = stripe.cache.evict_where(predicate)
+                if count:
+                    stripe.epoch += 1
+                removed += count
+            finally:
+                stripe.lock.release()
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved, epochs advance)."""
+        for stripe in self._stripes:
+            self._acquire(stripe)
+            try:
+                if len(stripe.cache):
+                    stripe.epoch += 1
+                stripe.cache.clear()
+            finally:
+                stripe.lock.release()
+
+    # ---------------------------------------------------------------- stats
+    @property
+    def hits(self) -> int:
+        return sum(stripe.cache.hits for stripe in self._stripes)
+
+    @property
+    def misses(self) -> int:
+        return sum(stripe.cache.misses for stripe in self._stripes)
+
+    @property
+    def evictions(self) -> int:
+        return sum(stripe.cache.evictions for stripe in self._stripes)
+
+    def stats(self) -> dict:
+        """Aggregate counters plus the per-stripe size/epoch breakdown."""
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stripes": self.stripes,
+            "stripe_sizes": [len(stripe.cache) for stripe in self._stripes],
+            "stripe_epochs": self.epochs(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StripedCache(size={len(self)}/{self.maxsize}, "
+                f"stripes={self.stripes}, hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,290 @@
+"""Shared-memory segment lifecycle: pack/attach, the shared store, cleanup.
+
+The regression matter here is the two tracker traps the serve tier owns
+centrally (see :mod:`repro.serve.shm`): attachers must never be registered
+with a resource tracker (a killed worker must not disturb the owner's
+segments, and no "leaked shared_memory" warnings may print), and owned
+segments must vanish from ``/dev/shm`` on interpreter exit even without an
+explicit ``close()``.  Cross-process assertions run real subprocesses from
+script files — the ``spawn`` start method cannot re-import an in-memory
+``__main__``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dynamic.store import RecordStore
+from repro.serve.shm import (
+    AttachedSegment,
+    SharedRecordStore,
+    attach_arrays,
+    pack_arrays,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="POSIX shared memory filesystem required"
+)
+
+
+def shm_names() -> set[str]:
+    return {entry.name for entry in SHM_DIR.iterdir()}
+
+
+def run_script(tmp_path: Path, body: str, *, env_extra: dict | None = None,
+               wait: bool = True):
+    """Write ``body`` to a file and run it with the package importable."""
+    script = tmp_path / f"script_{abs(hash(body)) % 10_000}.py"
+    script.write_text(textwrap.dedent(body))
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    if wait:
+        return subprocess.run(
+            [sys.executable, str(script)], env=env, capture_output=True,
+            text=True, timeout=120,
+        )
+    return subprocess.Popen(
+        [sys.executable, str(script)], env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+
+
+class TestPackAttach:
+    def test_roundtrip_preserves_arrays_and_meta(self):
+        arrays = {
+            "lower": np.arange(12, dtype=np.float64).reshape(4, 3),
+            "flags": np.array([True, False, True]),
+            "ids": np.arange(7, dtype=np.int64),
+        }
+        segment, manifest = pack_arrays(arrays, meta={"generation": 3})
+        try:
+            assert manifest["meta"] == {"generation": 3}
+            attached, views = attach_arrays(manifest)
+            try:
+                for key, array in arrays.items():
+                    assert views[key].dtype == array.dtype
+                    np.testing.assert_array_equal(views[key], array)
+            finally:
+                del views
+                attached.close()
+        finally:
+            segment.close()
+
+    def test_offsets_are_aligned(self):
+        arrays = {"a": np.ones(3), "b": np.ones(5), "c": np.ones(1)}
+        segment, manifest = pack_arrays(arrays)
+        try:
+            for spec in manifest["fields"].values():
+                assert spec["offset"] % 64 == 0
+        finally:
+            segment.close()
+
+    def test_attach_after_unlink_raises_file_not_found(self):
+        segment, manifest = pack_arrays({"a": np.ones(4)})
+        segment.close()
+        with pytest.raises(FileNotFoundError):
+            attach_arrays(manifest)
+
+    def test_close_removes_the_dev_shm_entry(self):
+        segment, manifest = pack_arrays({"a": np.zeros(16)})
+        name = manifest["segment"]
+        assert name in shm_names()
+        segment.close()
+        assert name not in shm_names()
+
+
+class TestSharedRecordStore:
+    def test_matches_plain_store_through_churn_and_growth(self, rng):
+        initial = rng.uniform(0.0, 10.0, size=(8, 3))
+        plain = RecordStore(initial, capacity=16)
+        shared = SharedRecordStore(initial, capacity=16)
+        try:
+            # Insert far past the initial capacity to force several growths,
+            # deleting interleaved so tombstones cross segment generations.
+            for step in range(64):
+                row = rng.uniform(0.0, 10.0, size=3)
+                assert plain.insert(row) == shared.insert(row)
+                if step % 3 == 0:
+                    victim = int(plain.active_ids()[0])
+                    np.testing.assert_array_equal(
+                        plain.delete(victim), shared.delete(victim)
+                    )
+            assert len(shared) == len(plain)
+            assert shared.high_water == plain.high_water
+            np.testing.assert_array_equal(shared.active_ids(), plain.active_ids())
+            np.testing.assert_array_equal(shared.matrix, plain.matrix)
+            ids_plain, values_plain = plain.snapshot()
+            ids_shared, values_shared = shared.snapshot()
+            np.testing.assert_array_equal(ids_shared, ids_plain)
+            np.testing.assert_array_equal(values_shared, values_plain)
+        finally:
+            shared.close()
+
+    def test_growth_unlinks_replaced_segments(self, rng):
+        shared = SharedRecordStore(rng.uniform(size=(4, 2)), capacity=8)
+        try:
+            first = shared.shared_location()["segment"]
+            assert first in shm_names()
+            for _ in range(16):  # forces at least one doubling
+                shared.insert(rng.uniform(size=2))
+            second = shared.shared_location()["segment"]
+            assert second != first
+            assert first not in shm_names()  # retired name is gone...
+            assert second in shm_names()
+            assert shared.matrix.shape[0] == shared.high_water  # ...views live on
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent_and_complete(self, rng):
+        shared = SharedRecordStore(rng.uniform(size=(4, 2)), capacity=8)
+        for _ in range(16):
+            shared.insert(rng.uniform(size=2))
+        names = {segment.name for pair in shared._segments for segment in pair}
+        shared.close()
+        shared.close()
+        assert not names & shm_names()
+
+    def test_shared_location_reports_current_buffer(self, rng):
+        shared = SharedRecordStore(rng.uniform(size=(4, 2)), capacity=8)
+        try:
+            location = shared.shared_location()
+            attached = AttachedSegment(location["segment"])
+            try:
+                view = np.ndarray(
+                    tuple(location["shape"]), dtype=np.float64, buffer=attached.buf
+                )
+                np.testing.assert_array_equal(
+                    view[: shared.high_water], shared.matrix
+                )
+            finally:
+                del view
+                attached.close()
+        finally:
+            shared.close()
+
+
+class TestProcessLifecycle:
+    def test_owner_exit_without_close_unlinks_segments(self, tmp_path):
+        """weakref.finalize runs at interpreter shutdown -> no /dev/shm leak."""
+        result = run_script(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.serve.shm import SharedRecordStore, pack_arrays
+
+            store = SharedRecordStore(np.ones((4, 2)))
+            segment, manifest = pack_arrays({"a": np.arange(8.0)})
+            print(store.shared_location()["segment"])
+            print(manifest["segment"])
+            # Deliberately no close(): exit relies on the finalizers.
+            """,
+        )
+        assert result.returncode == 0, result.stderr
+        names = result.stdout.split()
+        assert len(names) == 2
+        assert not set(names) & shm_names()
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+
+    def test_killed_attacher_leaves_owner_segments_intact(self, tmp_path):
+        """SIGKILL mid-query must not unlink, warn, or corrupt anything."""
+        store = SharedRecordStore(np.arange(24.0).reshape(8, 3))
+        try:
+            location = store.shared_location()
+            child = run_script(
+                tmp_path,
+                f"""
+                import sys
+                import time
+                import numpy as np
+                from repro.serve.shm import AttachedSegment
+
+                segment = AttachedSegment({location['segment']!r})
+                view = np.ndarray(
+                    tuple({location['shape']!r}), dtype=np.float64,
+                    buffer=segment.buf,
+                )
+                assert view[0, 0] == 0.0
+                print("attached", flush=True)
+                time.sleep(60)  # parked "mid-query" until the SIGKILL
+                """,
+                wait=False,
+            )
+            assert child.stdout.readline().strip() == "attached"
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+            stderr = child.stderr.read()
+            child.stdout.close()
+            child.stderr.close()
+            # The owner's segment survived and is still fully readable.
+            assert location["segment"] in shm_names()
+            assert store.is_active(0)
+            assert float(store.row(7)[2]) == 23.0
+            assert "leaked shared_memory" not in stderr
+        finally:
+            store.close()
+        assert location["segment"] not in shm_names()
+
+    def test_spawned_pool_worker_crash_never_warns(self, tmp_path):
+        """A spawn-pool worker shares the parent's tracker: killing it
+        mid-query must neither warn at parent exit nor touch the segment."""
+        result = run_script(
+            tmp_path,
+            """
+            import os
+            import signal
+            import time
+            from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
+            import multiprocessing as mp
+
+            import numpy as np
+            from repro.serve.shm import SharedRecordStore, attach_arrays, pack_arrays
+
+            def attach_and_park(manifest):
+                segment, views = attach_arrays(manifest)
+                assert float(views["a"][3]) == 3.0
+                time.sleep(60)
+
+            def main():
+                segment, manifest = pack_arrays({"a": np.arange(8.0)})
+                pool = ProcessPoolExecutor(1, mp_context=mp.get_context("spawn"))
+                future = pool.submit(attach_and_park, manifest)
+                time.sleep(2.0)  # let the worker attach before the kill
+                for process in pool._processes.values():
+                    os.kill(process.pid, signal.SIGKILL)
+                try:
+                    future.result(timeout=30)
+                except BrokenExecutor:
+                    pass
+                pool.shutdown(wait=True)
+                # Owner still sees its registration: unlink is clean and quiet.
+                attached, views = attach_arrays(manifest)
+                assert float(views["a"][7]) == 7.0
+                del views
+                attached.close()
+                segment.close()
+                print("ok")
+
+            # spawn re-imports this file as __mp_main__, so the pool setup
+            # must be guarded or every worker recursively builds a pool.
+            if __name__ == "__main__":
+                main()
+            """,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
