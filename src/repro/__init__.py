@@ -36,7 +36,7 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "utk1",

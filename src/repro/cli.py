@@ -40,6 +40,7 @@ exports carry a provenance header (tool version + git describe).
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import time
@@ -336,6 +337,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default 0 = evaluate queries in-process)",
     )
     serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="write-ahead log directory: every update is appended (and fsynced) "
+             "before it is acked, and an existing log is replayed at startup so "
+             "a killed server restarts to its exact acked prefix",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="query admission bound; beyond it requests get a retriable "
+             "\"overloaded\" error with a retry_after hint (default 64)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON fault plan (repro.resilience.faults) whose slow_update "
+             "entries stall the update executor — chaos-lane use only",
+    )
+    serve.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="enable the metrics registry and write a snapshot to PATH on shutdown",
     )
@@ -386,6 +403,34 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--report", default=None, metavar="PATH",
         help="write the full soak report (stale details included) as JSON to PATH",
+    )
+    soak.add_argument(
+        "--chaos", action="store_true",
+        help="chaos mode: spawn the server as a subprocess and inject a "
+             "deterministic seeded fault schedule (worker kills, server "
+             "crash+restart, connection drops/delays, slow updates) while "
+             "the serial-replay oracle still requires zero stale answers "
+             "and zero lost acked updates; --host/--port are ignored",
+    )
+    soak.add_argument(
+        "--schedule", default="mixed",
+        help="chaos fault schedule: worker-kill, conn-drop, server-crash, "
+             "slow-update or mixed (default mixed)",
+    )
+    soak.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="fault-plan seed (default: --seed); same schedule + seed + "
+             "workload shape → identical fault plan",
+    )
+    soak.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="chaos artifact directory — WAL, fault plan, per-start server "
+             "logs (default chaos-<schedule>-<seed>)",
+    )
+    soak.add_argument(
+        "--shared-workers", type=int, default=None,
+        help="shared query workers for the chaos server (default: 2 when "
+             "the schedule kills workers, else 0)",
     )
 
     trend = subparsers.add_parser(
@@ -764,13 +809,45 @@ def _run_serve(args: argparse.Namespace) -> int:
     observing = args.metrics is not None or args.trace is not None
     if observing:
         _obs_start()
-    engine = ServeEngine(data, cache_size=args.cache_size, stripes=args.stripes)
+    engine_kwargs = {"cache_size": args.cache_size, "stripes": args.stripes}
+    wal = None
+    recovered = 0
+    recovered_txids: dict = {}
+    if args.wal_dir is not None:
+        from repro.resilience.recovery import recover
+
+        recovery = recover(data, args.wal_dir, engine_kwargs=engine_kwargs)
+        engine = recovery.engine
+        wal = recovery.wal
+        recovered = recovery.replayed
+        recovered_txids = recovery.txids
+        if recovered or recovery.orphans_removed or recovery.truncated_reason:
+            print(
+                f"recovered {recovered} update(s) from {args.wal_dir}"
+                + (f", removed {len(recovery.orphans_removed)} orphan shm segment(s)"
+                   if recovery.orphans_removed else "")
+                + (f", WAL tail truncated: {recovery.truncated_reason}"
+                   if recovery.truncated_reason else ""),
+                file=sys.stderr,
+            )
+    else:
+        engine = ServeEngine(data, **engine_kwargs)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.resilience.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
     server = UTKServer(
         engine,
         host=args.host,
         port=args.port,
         query_threads=args.query_threads,
         shared_workers=args.shared_workers,
+        wal=wal,
+        recovered=recovered,
+        recovered_txids=recovered_txids,
+        max_inflight=args.max_inflight,
+        fault_plan=fault_plan,
     )
 
     async def run() -> None:
@@ -784,7 +861,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             import os
 
             with open(args.ready_file, "w", encoding="utf-8") as handle:
-                json.dump({"host": host, "port": port, "pid": os.getpid()}, handle)
+                json.dump({"host": host, "port": port, "pid": os.getpid(),
+                           "recovered": recovered}, handle)
         await server.serve_until_stopped()
 
     try:
@@ -792,6 +870,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             asyncio.run(run())
     finally:
         engine.close()
+        if wal is not None:
+            wal.close()
         if observing:
             _obs_runtime.disable()
     if args.trace is not None:
@@ -810,16 +890,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_soak(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError, ServeTimeout
     from repro.serve.soak import run_soak
-
-    host, port = args.host, args.port
-    if args.ready_file is not None:
-        with open(args.ready_file, encoding="utf-8") as handle:
-            ready = json.load(handle)
-        host, port = ready["host"], int(ready["port"])
-    if port is None:
-        print("either --port or --ready-file is required", file=sys.stderr)
-        return 2
 
     from repro.datasets.synthetic import update_stream
 
@@ -829,8 +901,66 @@ def _run_soak(args: argparse.Namespace) -> int:
         insert_prob=0.18, delete_prob=0.12, k_choices=(2, 3),
         sigma=0.08, hot_regions=3, hot_prob=0.7, seed=args.stream_seed,
     )
-    report = run_soak(host, port, data, events,
-                      clients=args.clients, timeout=args.timeout)
+
+    if args.chaos:
+        from repro.resilience.chaos import run_chaos
+        from repro.resilience.faults import SCHEDULES
+
+        if args.schedule not in SCHEDULES:
+            print(f"unknown --schedule {args.schedule!r}; "
+                  f"choose one of {', '.join(SCHEDULES)}", file=sys.stderr)
+            return 2
+        chaos_seed = args.seed if args.chaos_seed is None else args.chaos_seed
+        workdir = args.workdir or f"chaos-{args.schedule}-{chaos_seed}"
+        runner = functools.partial(
+            run_chaos, data, events,
+            schedule=args.schedule, seed=chaos_seed, workdir=workdir,
+            server_args={
+                "dataset": args.dataset,
+                "cardinality": args.cardinality,
+                "dimensionality": args.dimensionality,
+                "seed": args.seed,
+            },
+            clients=args.clients, timeout=args.timeout,
+            shared_workers=args.shared_workers,
+        )
+    else:
+        host, port = args.host, args.port
+        if args.ready_file is not None:
+            with open(args.ready_file, encoding="utf-8") as handle:
+                ready = json.load(handle)
+            host, port = ready["host"], int(ready["port"])
+        if port is None:
+            print("either --port or --ready-file is required", file=sys.stderr)
+            return 2
+        runner = functools.partial(run_soak, host, port, data, events,
+                                   clients=args.clients, timeout=args.timeout)
+
+    try:
+        report = runner()
+    except (ServeTimeout, ServeError, ConnectionError, OSError, TimeoutError) as error:
+        # The server died (or never answered) in a way the load threads
+        # could not absorb: emit what we know and fail loudly instead of
+        # tracebacking — the partial report is still useful for triage.
+        report = {
+            "ok": False,
+            "aborted": f"{type(error).__name__}: {error}",
+            "events": len(events),
+            "errors": [f"soak aborted: {type(error).__name__}: {error}"],
+            "stale": None,
+            "stale_details": [],
+        }
+        if args.report is not None:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+        print(json.dumps({k: v for k, v in report.items()
+                          if k != "stale_details"}, indent=2))
+        print(
+            f"soak aborted: lost the server ({type(error).__name__}: {error}); "
+            "check that `repro serve` is still running and reachable",
+            file=sys.stderr,
+        )
+        return 1
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)

@@ -216,6 +216,18 @@ class DynamicUTKEngine(UTKEngine):
         _metric_names.MAINTENANCE_OUTCOMES.inc(batch.entries_evicted, kind="evicted")
         _metric_names.MAINTENANCE_OUTCOMES.inc(batch.results_retained, kind="retained")
 
+    def validate_updates(self, updates) -> None:
+        """Run :meth:`apply_updates`'s up-front checks without applying.
+
+        Callers that must persist an update *before* applying it (the
+        serving tier's write-ahead log) use this to reject malformed events
+        first, so nothing unapplyable is ever written to the log.  Raises
+        exactly what :meth:`apply_updates` would have raised pre-mutation.
+        """
+        normalized = [self._normalize_update(update) for update in updates]
+        with self._lock:
+            self._validate_batch(normalized)
+
     def _validate_batch(self, normalized: list[tuple[str, object]]) -> None:
         """Reject a batch up front if any update could not be applied.
 

@@ -157,6 +157,49 @@ STRIPE_EPOCH = REGISTRY.gauge(
     ("cache", "stripe"),
 )
 
+# ------------------------------------------------------------- resilience
+#: Faults injected by the deterministic chaos harness (``repro soak
+#: --chaos``), by kind (kill_worker/crash_server/drop_connection/
+#: delay_connection/slow_update).
+FAULTS_INJECTED = REGISTRY.counter(
+    "repro_faults_injected_total",
+    "Chaos-harness faults injected, by kind",
+    ("kind",),
+)
+
+#: Client-side request retries, by operation and why the attempt was retried
+#: (connection/timeout, or a retriable server code such as overloaded /
+#: worker_crash / shutting_down).
+RETRIES = REGISTRY.counter(
+    "repro_retries_total",
+    "Serve-client request retries, by operation and reason",
+    ("op", "reason"),
+)
+
+#: Write-ahead-log records, by outcome: ``appended`` (durable before ack),
+#: ``replayed`` (applied during recovery), ``discarded`` (torn/corrupt tail
+#: cut when reopening a log).
+WAL_RECORDS = REGISTRY.counter(
+    "repro_wal_records_total",
+    "Write-ahead-log records, by outcome (appended/replayed/discarded)",
+    ("outcome",),
+)
+
+#: Latency of WAL fsync batches (the durable-ack critical path).
+WAL_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "Write-ahead-log fsync latency in seconds",
+    (),
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Shared-worker pools respawned by the supervisor after a worker crash.
+WORKER_RESTARTS = REGISTRY.counter(
+    "repro_worker_restarts_total",
+    "Shared query-worker pools respawned after a crash",
+    (),
+)
+
 # ------------------------------------------------------------- maintenance
 #: Updates applied by the dynamic engine (UpdateStatistics.inserts/deletes).
 MAINTENANCE_UPDATES = REGISTRY.counter(

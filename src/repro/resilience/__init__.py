@@ -1,0 +1,67 @@
+"""Crash-safe serving: WAL + recovery, supervision, retries, chaos lane.
+
+The serving tier's failure story lives here, in four pieces the modules
+mirror:
+
+* :mod:`repro.resilience.wal` — append-only checksummed JSONL write-ahead
+  log the server appends to **before** acking any update;
+* :mod:`repro.resilience.recovery` — replay the WAL through a fresh engine
+  (plus ``/dev/shm`` orphan cleanup) so a killed server restarts to the
+  exact acked prefix;
+* :mod:`repro.resilience.supervisor` / :mod:`repro.resilience.retry` — the
+  two retry layers: server-side worker-pool respawn, client-side
+  backoff-with-jitter over machine-readable error codes;
+* :mod:`repro.resilience.faults` / :mod:`repro.resilience.chaos` — the
+  deterministic seeded fault planner and the harness that executes plans
+  against a real server subprocess (``repro soak --chaos``).
+"""
+
+from repro.resilience.faults import SCHEDULES, FaultEvent, FaultPlan, build_plan
+from repro.resilience.recovery import (
+    RecoveryResult,
+    cleanup_orphan_segments,
+    read_shm_manifest,
+    recover,
+    write_shm_manifest,
+)
+from repro.resilience.retry import (
+    CHAOS_RETRY,
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RETRIABLE_CODES,
+    RetryPolicy,
+)
+from repro.resilience.supervisor import SupervisedPool, WorkerCrashError
+from repro.resilience.wal import (
+    WALCorruption,
+    WALRecord,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    read_wal,
+)
+
+__all__ = [
+    "CHAOS_RETRY",
+    "DEFAULT_RETRY",
+    "NO_RETRY",
+    "RETRIABLE_CODES",
+    "SCHEDULES",
+    "FaultEvent",
+    "FaultPlan",
+    "RecoveryResult",
+    "RetryPolicy",
+    "SupervisedPool",
+    "WALCorruption",
+    "WALRecord",
+    "WorkerCrashError",
+    "WriteAheadLog",
+    "build_plan",
+    "cleanup_orphan_segments",
+    "decode_record",
+    "encode_record",
+    "read_shm_manifest",
+    "read_wal",
+    "recover",
+    "write_shm_manifest",
+]

@@ -1,0 +1,329 @@
+"""Deterministic chaos harness: faults injected into a live serve process.
+
+The harness owns a real ``python -m repro serve`` subprocess (so it can
+``SIGKILL`` it) and threads a :class:`~repro.resilience.faults.FaultPlan`
+through the soak's workload positions:
+
+* ``kill_worker`` — ``SIGKILL`` a shared query worker (pid from server
+  stats) right before the updater sends update *N*; the supervised pool
+  must respawn and queries must keep answering;
+* ``crash_server`` — ``SIGKILL`` the whole server before update *N*, then
+  restart it on the **same port** with the **same WAL directory**; recovery
+  must replay the acked prefix exactly, clients reconnect and retry;
+* ``drop_connection`` / ``delay_connection`` — sabotage the querying
+  client's connection at global query ordinal *N* (see
+  :meth:`~repro.serve.client.ServeClient.inject_fault`);
+* ``slow_update`` — executed inside the server itself (shipped via
+  ``--fault-plan``), stretching the window concurrent queries see.
+
+:func:`run_chaos` runs the standard soak oracle under the plan — zero stale
+answers and zero lost acked updates are still required — then drains the
+server gracefully and asserts it exits 0 with nothing left in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import names as _metric_names
+from repro.resilience.faults import FaultPlan, build_plan
+from repro.resilience.retry import CHAOS_RETRY
+from repro.serve.client import ServeClient
+
+
+def _free_port(host: str) -> int:
+    """Ask the OS for a currently free port (reused across server restarts)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class ServerProcess:
+    """A ``repro serve`` subprocess the harness may kill and restart.
+
+    The port is chosen once and reused by every :meth:`start`, and the WAL
+    directory persists across restarts — a restart after ``SIGKILL`` is
+    therefore a genuine crash recovery, not a fresh server.  Each start's
+    stdout/stderr goes to ``server-<n>.log`` inside ``workdir`` (the CI
+    lane uploads these on failure).
+    """
+
+    def __init__(
+        self,
+        *,
+        workdir: str | os.PathLike,
+        dataset: str = "IND",
+        cardinality: int = 400,
+        dimensionality: int = 3,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        shared_workers: int = 0,
+        fault_plan: str | os.PathLike | None = None,
+        max_inflight: int = 64,
+        cache_size: int = 128,
+    ):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.wal_dir = self.workdir / "wal"
+        self.host = host
+        self.port = _free_port(host)
+        self.dataset = dataset
+        self.cardinality = int(cardinality)
+        self.dimensionality = int(dimensionality)
+        self.seed = int(seed)
+        self.shared_workers = int(shared_workers)
+        self.fault_plan = None if fault_plan is None else Path(fault_plan)
+        self.max_inflight = int(max_inflight)
+        self.cache_size = int(cache_size)
+        self.starts = 0
+        self.process: subprocess.Popen | None = None
+        self._log_handle = None
+
+    def command(self, ready_file: Path) -> list[str]:
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", self.dataset,
+            "--cardinality", str(self.cardinality),
+            "--dimensionality", str(self.dimensionality),
+            "--seed", str(self.seed),
+            "--host", self.host,
+            "--port", str(self.port),
+            "--ready-file", str(ready_file),
+            "--wal-dir", str(self.wal_dir),
+            "--max-inflight", str(self.max_inflight),
+            "--cache-size", str(self.cache_size),
+        ]
+        if self.shared_workers:
+            cmd += ["--shared-workers", str(self.shared_workers)]
+        if self.fault_plan is not None:
+            cmd += ["--fault-plan", str(self.fault_plan)]
+        return cmd
+
+    def start(self, timeout: float = 120.0) -> tuple[str, int]:
+        """Spawn the server and block until its ready file appears."""
+        if self.process is not None and self.process.poll() is None:
+            raise RuntimeError("server already running")
+        self.starts += 1
+        ready_file = self.workdir / f"ready-{self.starts}.json"
+        ready_file.unlink(missing_ok=True)
+        log_path = self.workdir / f"server-{self.starts}.log"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self._log_handle = open(log_path, "ab")
+        self.process = subprocess.Popen(
+            self.command(ready_file),
+            stdout=self._log_handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"server exited with {self.process.returncode} before "
+                    f"becoming ready (see {log_path})"
+                )
+            try:
+                with open(ready_file, encoding="utf-8") as handle:
+                    ready = json.load(handle)
+                return ready["host"], int(ready["port"])
+            except (FileNotFoundError, ValueError):
+                time.sleep(0.05)
+        raise TimeoutError(f"server not ready within {timeout}s (see {log_path})")
+
+    @property
+    def pid(self) -> int | None:
+        return None if self.process is None else self.process.pid
+
+    def sigkill(self) -> None:
+        """Kill the server without any chance to clean up (the crash)."""
+        if self.process is None or self.process.poll() is not None:
+            return
+        os.kill(self.process.pid, signal.SIGKILL)
+        self.process.wait()
+        self._close_log()
+
+    def terminate(self, timeout: float = 60.0) -> int:
+        """Graceful ``SIGTERM`` drain; returns the exit code."""
+        if self.process is None:
+            return 0
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        self._close_log()
+        return self.process.returncode
+
+    def ensure_stopped(self) -> None:
+        """Best-effort kill for error paths."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+        self._close_log()
+
+    def _close_log(self) -> None:
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+
+class ChaosInjector:
+    """Executes a plan's client/process-level faults at workload positions.
+
+    Wired into :func:`repro.serve.soak.run_soak` via its ``injector`` hook:
+    ``on_update`` runs in the (single) updater thread, ``on_query`` in any
+    querier thread; the fault log is therefore lock-protected.
+    """
+
+    def __init__(self, plan: FaultPlan, server: ServerProcess | None = None,
+                 *, restart_timeout: float = 120.0):
+        self._plan = plan
+        self._server = server
+        self._restart_timeout = restart_timeout
+        self._lock = threading.Lock()
+        self._log: list[dict] = []
+
+    def _record(self, kind: str, at: int, **detail) -> None:
+        _metric_names.FAULTS_INJECTED.inc(kind=kind)
+        with self._lock:
+            self._log.append({"kind": kind, "at": at, **detail})
+
+    def injected(self) -> list[dict]:
+        with self._lock:
+            return list(self._log)
+
+    def on_update(self, position: int, client: ServeClient) -> None:
+        for event in self._plan.updates_due(position):
+            if event.kind == "kill_worker":
+                self._kill_worker(position, client)
+            elif event.kind == "crash_server":
+                self._crash_server(position)
+            # slow_update executes inside the server (--fault-plan)
+
+    def on_query(self, ordinal: int, client: ServeClient) -> None:
+        for event in self._plan.queries_due(ordinal):
+            if event.kind == "drop_connection":
+                mode = "before_send" if ordinal % 2 == 0 else "after_send"
+                client.inject_fault(mode)
+                self._record("drop_connection", ordinal, mode=mode)
+            elif event.kind == "delay_connection":
+                self._record("delay_connection", ordinal, seconds=event.seconds)
+                time.sleep(event.seconds)
+
+    def _kill_worker(self, position: int, client: ServeClient) -> None:
+        pids = client.stats().get("workers", {}).get("pids", [])
+        if not pids:
+            self._record("kill_worker", position, skipped="no worker pids")
+            return
+        os.kill(pids[0], signal.SIGKILL)
+        self._record("kill_worker", position, pid=pids[0])
+
+    def _crash_server(self, position: int) -> None:
+        if self._server is None:
+            self._record("crash_server", position, skipped="no server handle")
+            return
+        self._server.sigkill()
+        host, port = self._server.start(timeout=self._restart_timeout)
+        self._record("crash_server", position, restarted=f"{host}:{port}")
+
+
+def shm_leftovers(wal_dir: str | os.PathLike) -> list[str]:
+    """Manifest-listed segments still present in ``/dev/shm`` (should be [])."""
+    from repro.resilience.recovery import read_shm_manifest
+    from repro.serve.shm import _attach_untracked
+
+    leftover = []
+    for name in read_shm_manifest(wal_dir):
+        try:
+            segment = _attach_untracked(name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        leftover.append(name)
+    return leftover
+
+
+def _warm_up(host: str, port: int, events: list[dict], timeout: float) -> None:
+    """Spawn the lazy shared workers so their pids are visible in stats."""
+    query = next((e for e in events if e.get("op") == "query"), None)
+    with ServeClient(host, port, timeout=timeout, retry=CHAOS_RETRY) as client:
+        client.ping()
+        if query is not None:
+            client.query(query["lower"], query["upper"], query["k"],
+                         query.get("version", "utk1"))
+
+
+def run_chaos(
+    data,
+    events: list[dict],
+    *,
+    schedule: str,
+    seed: int,
+    workdir: str | os.PathLike,
+    server_args: dict | None = None,
+    clients: int = 4,
+    timeout: float = 180.0,
+    shared_workers: int | None = None,
+    verify_queries: int = 8,
+) -> dict:
+    """One seeded chaos soak: spawn, sabotage, verify, drain, audit.
+
+    ``server_args`` must describe the same dataset as ``data`` (the serial
+    oracle replays from it).  The report is the soak report plus the fault
+    log, the server's exit code, its restart count, and the ``/dev/shm``
+    leak audit; ``ok`` requires all of stale == 0, no lost acks, exit 0 and
+    zero leaked segments.
+    """
+    updates = [e for e in events if e.get("op") in ("insert", "delete")]
+    queries = [e for e in events if e.get("op") == "query"]
+    plan = build_plan(schedule, seed, len(updates), len(queries))
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    plan_path = workdir / "fault_plan.json"
+    plan.to_file(plan_path)
+    if shared_workers is None:
+        shared_workers = 2 if plan.needs_shared_workers() else 0
+    server = ServerProcess(
+        workdir=workdir,
+        shared_workers=shared_workers,
+        fault_plan=plan_path if plan.server_side_events() else None,
+        **(server_args or {}),
+    )
+    injector = ChaosInjector(plan, server)
+    try:
+        from repro.serve.soak import run_soak
+
+        host, port = server.start()
+        _warm_up(host, port, events, timeout)
+        report = run_soak(
+            host, port, data, events,
+            clients=clients, timeout=timeout, retry=CHAOS_RETRY,
+            injector=injector, verify_queries=verify_queries,
+        )
+        exit_code = server.terminate()
+    finally:
+        server.ensure_stopped()
+    leaked = shm_leftovers(server.wal_dir)
+    report.update({
+        "schedule": schedule,
+        "chaos_seed": int(seed),
+        "plan_events": len(plan),
+        "server_exit": exit_code,
+        "server_starts": server.starts,
+        "shm_leaked": leaked,
+        "ok": report["ok"] and exit_code == 0 and not leaked,
+    })
+    return report

@@ -1,0 +1,160 @@
+"""Deterministic seeded fault plans for the chaos lane.
+
+A :class:`FaultPlan` is a fixed, serializable schedule of
+:class:`FaultEvent` entries — *where* in the workload each fault fires, not
+when in wall-clock time — so a chaos run is reproducible from
+``(schedule, seed, workload shape)`` alone:
+
+* ``kill_worker`` / ``crash_server`` / ``slow_update`` anchor to the
+  position of the next update the soak's (single) updater will send;
+* ``drop_connection`` / ``delay_connection`` anchor to the global query
+  ordinal — the Nth query admitted across all querier threads.
+
+Server-side faults (``slow_update``) are shipped to the ``repro serve``
+process as a JSON file (``--fault-plan``); process-level faults (worker or
+server ``SIGKILL``) are executed by the chaos harness, which owns the
+server subprocess.  Every injection increments
+``repro_faults_injected_total{kind}``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass
+
+#: Fault kinds anchored to the updater's position in the update stream.
+UPDATE_KINDS = ("kill_worker", "crash_server", "slow_update")
+
+#: Fault kinds anchored to the global query ordinal (client-side).
+QUERY_KINDS = ("drop_connection", "delay_connection")
+
+#: Named schedules accepted by ``repro soak --chaos --schedule``.
+SCHEDULES = ("worker-kill", "conn-drop", "server-crash", "slow-update", "mixed")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: what to inject, where in the workload, and how hard."""
+
+    kind: str
+    at: int
+    seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {"kind": self.kind, "at": int(self.at), "seconds": float(self.seconds)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultEvent":
+        return cls(
+            kind=str(payload["kind"]),
+            at=int(payload["at"]),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+class FaultPlan:
+    """An immutable schedule of faults, queryable by workload position."""
+
+    def __init__(self, events: list[FaultEvent], *, schedule: str = "custom",
+                 seed: int | None = None):
+        self.events = sorted(events, key=lambda e: (e.at, e.kind))
+        self.schedule = schedule
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def updates_due(self, position: int) -> list[FaultEvent]:
+        """Faults to inject just before the updater sends update ``position``."""
+        return [e for e in self.events if e.kind in UPDATE_KINDS and e.at == position]
+
+    def queries_due(self, ordinal: int) -> list[FaultEvent]:
+        """Faults to inject on the query with global ordinal ``ordinal``."""
+        return [e for e in self.events if e.kind in QUERY_KINDS and e.at == ordinal]
+
+    def stall_for_update(self, position: int) -> float:
+        """Server-side stall (seconds) before applying update ``position``."""
+        return sum(
+            e.seconds for e in self.events
+            if e.kind == "slow_update" and e.at == position
+        )
+
+    def needs_shared_workers(self) -> bool:
+        return any(e.kind == "kill_worker" for e in self.events)
+
+    def server_side_events(self) -> list[FaultEvent]:
+        """The subset the server process itself must execute."""
+        return [e for e in self.events if e.kind == "slow_update"]
+
+    # ---------------------------------------------------------- serialization
+    def to_payload(self) -> dict:
+        return {
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "events": [event.to_payload() for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            [FaultEvent.from_payload(entry) for entry in payload.get("events", [])],
+            schedule=payload.get("schedule", "custom"),
+            seed=payload.get("seed"),
+        )
+
+    def to_file(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_payload(json.load(handle))
+
+
+def _positions(rng: random.Random, count: int, total: int) -> list[int]:
+    """``count`` distinct positions in the middle 20–80% of ``total`` slots."""
+    if total <= 0:
+        return []
+    lo = max(1, total // 5)
+    hi = max(lo + 1, (4 * total) // 5)
+    universe = list(range(lo, hi))
+    if not universe:
+        universe = list(range(total))
+    count = min(count, len(universe))
+    return sorted(rng.sample(universe, count))
+
+
+def build_plan(schedule: str, seed: int, n_updates: int, n_queries: int) -> FaultPlan:
+    """A deterministic plan for a named schedule and workload shape.
+
+    The RNG is seeded from ``(schedule, seed)`` via CRC32 (not ``hash()``,
+    which is per-process randomized for strings), so identical arguments
+    build identical plans in any process.
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown fault schedule {schedule!r} (have {SCHEDULES})")
+    rng = random.Random(zlib.crc32(schedule.encode()) ^ (int(seed) & 0xFFFFFFFF))
+    events: list[FaultEvent] = []
+    if schedule in ("worker-kill", "mixed"):
+        for at in _positions(rng, 2 if schedule == "worker-kill" else 1, n_updates):
+            events.append(FaultEvent("kill_worker", at))
+    if schedule in ("server-crash", "mixed"):
+        for at in _positions(rng, 1, n_updates):
+            events.append(FaultEvent("crash_server", at))
+    if schedule in ("conn-drop", "mixed"):
+        for at in _positions(rng, 3 if schedule == "conn-drop" else 2, n_queries):
+            events.append(FaultEvent("drop_connection", at))
+        for at in _positions(rng, 2 if schedule == "conn-drop" else 1, n_queries):
+            events.append(FaultEvent("delay_connection", at,
+                                     seconds=round(0.05 + 0.15 * rng.random(), 3)))
+    if schedule in ("slow-update", "mixed"):
+        for at in _positions(rng, 2 if schedule == "slow-update" else 1, n_updates):
+            events.append(FaultEvent("slow_update", at,
+                                     seconds=round(0.2 + 0.4 * rng.random(), 3)))
+    return FaultPlan(events, schedule=schedule, seed=int(seed))

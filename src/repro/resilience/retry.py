@@ -1,0 +1,58 @@
+"""Client-side retry/backoff policy for the serve protocol.
+
+A :class:`RetryPolicy` is a pure description — exponential backoff with
+bounded, seeded jitter — so tests can assert the exact delay schedule.  The
+:class:`~repro.serve.client.ServeClient` applies it to idempotent requests:
+queries and pings always (re-execution is harmless), updates only when they
+carry a ``txid`` (the server deduplicates, making the retry exactly-once).
+
+Which server errors are worth retrying is decided by the machine-readable
+``code`` field of error responses (see ``UTKServer._dispatch_line``):
+:data:`RETRIABLE_CODES` are transient conditions — back off and try again —
+everything else (``bad_request``) is permanent and fails fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Server error codes a client may retry (transient by construction).
+RETRIABLE_CODES = frozenset({"overloaded", "worker_crash", "shutting_down"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded jitter.
+
+    ``delay(attempt, rng)`` for attempt 0, 1, 2, ... is
+    ``min(max_delay, base_delay * multiplier**attempt)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1]`` — deterministic for a
+    seeded ``rng``.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay, self.base_delay * self.multiplier ** max(0, attempt))
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+    def delays(self, rng: random.Random) -> list[float]:
+        """The full backoff schedule (one delay before each retry attempt)."""
+        return [self.delay(attempt, rng) for attempt in range(self.max_attempts - 1)]
+
+
+#: Sensible interactive default: a handful of quick attempts.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Single attempt — the pre-resilience client behaviour.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: Patient policy for chaos runs: outlives a server SIGKILL + WAL recovery.
+CHAOS_RETRY = RetryPolicy(max_attempts=14, base_delay=0.1, max_delay=2.0)

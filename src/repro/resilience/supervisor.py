@@ -1,0 +1,88 @@
+"""Worker-pool supervision: respawn crashed shared-query workers.
+
+``concurrent.futures.ProcessPoolExecutor`` is fail-stop: one worker dying
+(OOM kill, segfault, ``SIGKILL`` from the chaos harness) marks the whole
+pool broken and every subsequent submit raises ``BrokenProcessPool``.
+:class:`SupervisedPool` wraps the executor so a crash becomes a contained,
+observable event instead of permanent serving loss: the broken pool is torn
+down, a fresh one spawned, and the in-flight call retried — query workers
+re-attach the shared-memory descriptor from scratch (their per-process
+memos died with them), so no state transfer is needed.
+
+Crashes that persist through ``max_crash_retries`` respawns surface as
+:class:`WorkerCrashError`, which the server maps to a structured
+``worker_crash`` error response the client may retry — never a torn
+connection.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.exceptions import ReproError
+from repro.obs import names as _metric_names
+
+
+class WorkerCrashError(ReproError):
+    """A shared-worker call kept crashing through pool respawns."""
+
+
+class SupervisedPool:
+    """A spawn process pool that survives worker crashes by respawning.
+
+    :meth:`run` is the supervised entry point: it blocks on one call and
+    transparently respawns the pool (at most ``max_crash_retries`` times
+    per call) when the pool breaks under it.  Thread-safe: concurrent
+    callers racing one crash trigger a single respawn.
+    """
+
+    def __init__(self, workers: int, *, max_crash_retries: int = 2):
+        self._workers = max(1, int(workers))
+        self._max_crash_retries = max(0, int(max_crash_retries))
+        self._lock = threading.Lock()
+        self.restarts = 0
+        self._pool = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            self._workers, mp_context=multiprocessing.get_context("spawn")
+        )
+
+    def run(self, fn, *args):
+        """Call ``fn(*args)`` in a worker, respawning the pool on a crash."""
+        for _attempt in range(self._max_crash_retries + 1):
+            with self._lock:
+                pool = self._pool
+            try:
+                return pool.submit(fn, *args).result()
+            except BrokenProcessPool:
+                self._respawn(pool)
+        raise WorkerCrashError(
+            f"worker call kept crashing through {self._max_crash_retries} pool respawns"
+        )
+
+    def _respawn(self, broken: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._pool is broken:
+                broken.shutdown(wait=False)
+                self._pool = self._spawn()
+                self.restarts += 1
+                _metric_names.WORKER_RESTARTS.inc()
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of currently spawned workers (may lag behind ``workers``).
+
+        The executor spawns processes lazily; a pid appears here only after
+        the worker handled at least one submit.  The chaos harness issues a
+        warm-up query before reading this.
+        """
+        with self._lock:
+            processes = getattr(self._pool, "_processes", None) or {}
+            return sorted(processes.keys())
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._pool.shutdown(wait=wait)

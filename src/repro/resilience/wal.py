@@ -1,0 +1,293 @@
+"""Append-only, checksummed JSONL write-ahead log for update events.
+
+The serving tier's durability contract is *append-before-ack*: the server
+appends every ``insert``/``delete`` to the WAL (and fsyncs) before the
+client sees the acknowledgement, so after a crash — including ``SIGKILL``
+mid-write — replaying the log through a fresh engine restores the exact
+acked update prefix.
+
+Format: one JSON object per line, ``{"seq", "txid", "event", "crc"}`` where
+``crc`` is the CRC32 (hex) of the canonical JSON of the other three fields.
+Records live in numbered segment files (``wal-00000000.jsonl``, rotated
+every ``segment_max_records`` appends) inside one directory.
+
+Recovery semantics (:func:`read_wal`):
+
+* a **torn final record** (the crash cut a line short) is silently dropped —
+  that update was never acked, losing it is correct;
+* a **checksum mismatch, sequence gap or undecodable line** anywhere stops
+  the replay at the last valid prefix — everything before it is trusted,
+  everything after (later segments included) is not;
+* :class:`WriteAheadLog` opened on an existing directory truncates the tail
+  segment to that valid prefix (preserving the cut bytes as ``*.corrupt``
+  for inspection) and resumes appending after the highest valid sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import names as _metric_names
+
+#: Segment file name pattern; the index only orders files, sequence numbers
+#: inside the records are the source of truth.
+_SEGMENT_FORMAT = "wal-{index:08d}.jsonl"
+_SEGMENT_GLOB = "wal-*.jsonl"
+
+#: Default appends per segment before rotation.
+DEFAULT_SEGMENT_RECORDS = 1024
+
+
+class WALCorruption(ValueError):
+    """A WAL line failed to decode (bad JSON, checksum or sequence)."""
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One durable update event: sequence number, optional txid, payload."""
+
+    seq: int
+    event: dict
+    txid: str | None = None
+
+
+def _canonical(seq: int, event: dict, txid: str | None) -> bytes:
+    payload = {"seq": int(seq), "txid": txid, "event": event}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def encode_record(seq: int, event: dict, txid: str | None = None) -> bytes:
+    """One WAL line (newline-terminated) with an embedded CRC32 checksum."""
+    body = _canonical(seq, event, txid)
+    crc = f"{zlib.crc32(body) & 0xFFFFFFFF:08x}"
+    return json.dumps(
+        {"seq": int(seq), "txid": txid, "event": event, "crc": crc},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode() + b"\n"
+
+
+def decode_record(line: bytes) -> WALRecord:
+    """Parse and verify one WAL line; raises :class:`WALCorruption`."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WALCorruption(f"undecodable WAL line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WALCorruption("WAL line is not a JSON object")
+    missing = {"seq", "event", "crc"} - set(payload)
+    if missing:
+        raise WALCorruption(f"WAL record missing field(s) {sorted(missing)}")
+    seq, event, txid = payload["seq"], payload["event"], payload.get("txid")
+    if not isinstance(seq, int) or not isinstance(event, dict):
+        raise WALCorruption("WAL record field types are wrong")
+    if txid is not None and not isinstance(txid, str):
+        raise WALCorruption("WAL txid must be a string or null")
+    expected = f"{zlib.crc32(_canonical(seq, event, txid)) & 0xFFFFFFFF:08x}"
+    if payload["crc"] != expected:
+        raise WALCorruption(
+            f"WAL checksum mismatch at seq {seq} "
+            f"(stored {payload['crc']!r}, computed {expected!r})"
+        )
+    return WALRecord(seq=seq, event=event, txid=txid)
+
+
+@dataclass
+class WALScan:
+    """The valid prefix of a WAL directory plus where (and why) it ended."""
+
+    records: list[WALRecord] = field(default_factory=list)
+    #: Segment holding the last valid byte (None for an empty log).
+    tail_segment: Path | None = None
+    #: Valid bytes inside :attr:`tail_segment`; appends resume there.
+    tail_valid_bytes: int = 0
+    #: Valid records inside :attr:`tail_segment` (rotation bookkeeping).
+    tail_records: int = 0
+    #: Why the scan stopped early (None: the whole log was valid).
+    truncated_reason: str | None = None
+    #: Segments that lie entirely after the stop point (untrusted).
+    orphan_segments: list[Path] = field(default_factory=list)
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+
+def wal_segments(directory: str | os.PathLike) -> list[Path]:
+    """Existing segment files, in replay order."""
+    return sorted(Path(directory).glob(_SEGMENT_GLOB))
+
+
+def read_wal(directory: str | os.PathLike) -> WALScan:
+    """Scan a WAL directory and return its longest valid record prefix.
+
+    Never raises on corruption: the scan stops at the first invalid line
+    (torn tail, checksum mismatch, sequence gap) and reports why.
+    """
+    scan = WALScan()
+    expected_seq = 1
+    for segment in wal_segments(directory):
+        scan.tail_segment = segment
+        scan.tail_valid_bytes = 0
+        scan.tail_records = 0
+        with open(segment, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    # A torn final record: the crash cut the write short.
+                    scan.truncated_reason = f"torn record in {segment.name}"
+                    break
+                try:
+                    record = decode_record(line)
+                except WALCorruption as exc:
+                    scan.truncated_reason = f"{segment.name}: {exc}"
+                    break
+                if record.seq != expected_seq:
+                    scan.truncated_reason = (
+                        f"{segment.name}: sequence gap "
+                        f"(expected {expected_seq}, found {record.seq})"
+                    )
+                    break
+                scan.records.append(record)
+                scan.tail_valid_bytes += len(line)
+                scan.tail_records += 1
+                expected_seq += 1
+        if scan.truncated_reason is not None:
+            break
+    if scan.truncated_reason is not None:
+        stop = scan.tail_segment
+        scan.orphan_segments = [
+            segment for segment in wal_segments(directory) if segment > stop
+        ]
+    return scan
+
+
+class WriteAheadLog:
+    """Append-only log over a directory of rotated, checksummed segments.
+
+    Opening an existing directory recovers it for appending: the valid
+    record prefix is kept, a torn/corrupt tail is moved aside as
+    ``*.corrupt``, and new appends continue from the highest valid
+    sequence number.  ``sync_every=1`` (the default) fsyncs every append —
+    the durability the serving tier's ack contract needs; larger values
+    batch fsyncs for throughput and callers :meth:`sync` at commit points.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        segment_max_records: int = DEFAULT_SEGMENT_RECORDS,
+        sync_every: int = 1,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segment_max = max(1, int(segment_max_records))
+        self._sync_every = max(1, int(sync_every))
+        self._unsynced = 0
+        scan = read_wal(self.directory)
+        self._repair(scan)
+        #: Records recovered from disk when the log was opened (replay input).
+        self.recovered_records: list[WALRecord] = scan.records
+        self.recovered_reason = scan.truncated_reason
+        self._seq = scan.last_seq
+        self.appended = 0
+        if scan.tail_segment is not None and scan.tail_records < self._segment_max:
+            self._segment_path = scan.tail_segment
+            self._segment_records = scan.tail_records
+        else:
+            self._segment_path = self._next_segment_path()
+            self._segment_records = 0
+        self._handle = open(self._segment_path, "ab")
+
+    # -------------------------------------------------------------- recovery
+    def _repair(self, scan: WALScan) -> None:
+        """Cut the invalid suffix found by the scan, preserving it aside."""
+        if scan.truncated_reason is None:
+            return
+        tail = scan.tail_segment
+        if tail is not None and tail.stat().st_size > scan.tail_valid_bytes:
+            with open(tail, "rb") as handle:
+                handle.seek(scan.tail_valid_bytes)
+                remainder = handle.read()
+            corrupt = tail.with_suffix(tail.suffix + ".corrupt")
+            with open(corrupt, "ab") as handle:
+                handle.write(remainder)
+            with open(tail, "ab") as handle:
+                handle.truncate(scan.tail_valid_bytes)
+            _metric_names.WAL_RECORDS.inc(outcome="discarded")
+        for orphan in scan.orphan_segments:
+            orphan.rename(orphan.with_suffix(orphan.suffix + ".corrupt"))
+
+    def _next_segment_path(self) -> Path:
+        existing = wal_segments(self.directory)
+        index = 0
+        if existing:
+            last = existing[-1].stem  # "wal-XXXXXXXX"
+            index = int(last.split("-")[1]) + 1
+        return self.directory / _SEGMENT_FORMAT.format(index=index)
+
+    # --------------------------------------------------------------- appends
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent durable record."""
+        return self._seq
+
+    def append(self, event: dict, *, txid: str | None = None) -> int:
+        """Durably append one event; returns its sequence number.
+
+        The record is flushed to the OS always and fsynced according to
+        ``sync_every`` — with the default of 1 the append is fully durable
+        before this method returns (the ack ordering the server relies on).
+        """
+        seq = self._seq + 1
+        self._handle.write(encode_record(seq, event, txid))
+        self._handle.flush()
+        self._seq = seq
+        self.appended += 1
+        self._segment_records += 1
+        self._unsynced += 1
+        _metric_names.WAL_RECORDS.inc(outcome="appended")
+        if self._unsynced >= self._sync_every:
+            self._fsync()
+        if self._segment_records >= self._segment_max:
+            self._rotate()
+        return seq
+
+    def sync(self) -> None:
+        """Flush and fsync any batched appends now."""
+        self._handle.flush()
+        if self._unsynced:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+        _metric_names.WAL_FSYNC_SECONDS.observe(time.perf_counter() - started)
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._handle.close()
+        self._segment_path = self._next_segment_path()
+        self._segment_records = 0
+        self._handle = open(self._segment_path, "ab")
+
+    def segment_paths(self) -> list[Path]:
+        return wal_segments(self.directory)
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -274,6 +274,7 @@ class ServeBackend:
     description = "ServeEngine behind the JSONL socket protocol, one client"
 
     def run(self, data: Dataset, events: list[dict]) -> CellOutcome:
+        from repro.resilience.retry import RetryPolicy
         from repro.serve import ServeEngine
         from repro.serve.client import ServeClient
         from repro.serve.server import ServerThread
@@ -283,7 +284,10 @@ class ServeBackend:
         outcome = CellOutcome()
         try:
             host, port = thread.start()
-            with ServeClient(host, port) as client:
+            # A bounded deadline + a couple of retries: a wedged server
+            # fails the cell with a ServeTimeout instead of hanging CI.
+            with ServeClient(host, port, timeout=60.0,
+                             retry=RetryPolicy(max_attempts=3)) as client:
                 for index, event in enumerate(events):
                     if event["op"] != "query":
                         client.send_event(

@@ -1,51 +1,207 @@
-"""Blocking JSONL client for the serve protocol (one connection per client).
+"""Blocking JSONL client for the serve protocol, with retry and deadlines.
 
 Thread-safe per instance only in the trivial sense that each request holds
 the connection for its full round trip; concurrent load uses one
 :class:`ServeClient` per thread (as the soak harness does).
+
+Resilience semantics:
+
+* every socket operation carries a deadline — a dead or wedged server
+  raises :class:`ServeTimeout` instead of hanging forever;
+* **idempotent** requests (query/ping/stats, and updates carrying a
+  ``txid`` the server deduplicates) are retried through the configured
+  :class:`~repro.resilience.retry.RetryPolicy`: the client reconnects,
+  re-sends the *same* ``rid``, and backs off exponentially with seeded
+  jitter.  Server errors are retried only when their machine-readable
+  ``code`` is transient (``overloaded`` — honouring ``retry_after`` —
+  ``worker_crash``, ``shutting_down``); permanent errors
+  (``bad_request``) raise immediately;
+* update helpers (:meth:`insert` / :meth:`delete` / :meth:`send_event`)
+  attach a client-unique ``txid`` automatically, so a retry after a lost
+  ack is applied exactly once even across a server crash + WAL recovery.
+
+``inject_fault`` is the deterministic chaos hook: it makes the *next*
+request lose its connection before or after the send, exercising exactly
+the reconnect/retry path a flaky network would.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
+import random
 import socket
+import time
+
+from repro.obs import names as _metric_names
+from repro.resilience.retry import DEFAULT_RETRY, RETRIABLE_CODES, RetryPolicy
+
+#: Default per-socket-operation deadline (connect and read), seconds.
+DEFAULT_TIMEOUT = 30.0
 
 
 class ServeError(RuntimeError):
-    """The server answered ``{"ok": false}``."""
+    """The server answered ``{"ok": false}`` (or broke protocol).
+
+    ``code`` carries the server's machine-readable error class when one was
+    supplied (``bad_request`` / ``overloaded`` / ``worker_crash`` /
+    ``shutting_down``); ``retry_after`` the suggested backoff for
+    ``overloaded`` responses.
+    """
+
+    def __init__(self, message: str, *, code: str | None = None,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServeTimeout(ServeError, TimeoutError):
+    """A socket operation exceeded its deadline (server dead or wedged)."""
 
 
 class ServeClient:
     """One socket connection speaking the ``repro serve`` JSONL protocol."""
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._retry = DEFAULT_RETRY if retry is None else retry
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: socket.socket | None = None
+        self._file = None
         self._rids = itertools.count(1)
+        self._txid_tag = f"{os.getpid():x}-{os.urandom(4).hex()}"
+        self._txids = itertools.count(1)
+        self._fail_next: str | None = None
+        self.retries_total = 0
+        self._connect()
 
     # ------------------------------------------------------------- transport
-    def request(self, payload: dict) -> dict:
-        """One round trip; raises :class:`ServeError` on a server-side error."""
-        rid = next(self._rids)
-        line = json.dumps({"rid": rid, **payload}).encode() + b"\n"
+    def _connect(self) -> None:
+        self._abort_connection()
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except socket.timeout as exc:
+            raise ServeTimeout(
+                f"connect to {self._host}:{self._port} timed out "
+                f"after {self._timeout}s"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def _abort_connection(self) -> None:
+        """Drop the connection so the next request reconnects."""
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._file = None
+        self._sock = None
+
+    def inject_fault(self, mode: str) -> None:
+        """Chaos hook: fail the next request's connection.
+
+        ``"before_send"`` drops the connection before the request leaves;
+        ``"after_send"`` drops it after the send but before the response is
+        read — the server may have executed the request, so only the retry
+        machinery (rid re-send, txid dedup) makes this safe.
+        """
+        if mode not in ("before_send", "after_send"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self._fail_next = mode
+
+    def _roundtrip(self, body: dict) -> dict:
+        if self._fail_next == "before_send":
+            self._fail_next = None
+            self._abort_connection()
+            raise ConnectionResetError("injected disconnect before send")
+        if self._file is None:
+            self._connect()
+        line = json.dumps(body).encode() + b"\n"
         self._file.write(line)
         self._file.flush()
-        answer = self._file.readline()
+        if self._fail_next == "after_send":
+            self._fail_next = None
+            self._abort_connection()
+            raise ConnectionResetError("injected disconnect after send")
+        try:
+            answer = self._file.readline()
+        except socket.timeout as exc:
+            raise ServeTimeout(
+                f"no response within {self._timeout}s (rid {body.get('rid')})"
+            ) from exc
         if not answer:
-            raise ConnectionError("server closed the connection")
+            raise ConnectionResetError("server closed the connection")
         response = json.loads(answer)
-        if response.get("rid") != rid:
+        if response.get("rid") != body.get("rid"):
             raise ServeError(f"response out of order: {response!r}")
-        if not response.get("ok"):
-            raise ServeError(response.get("error", "unknown server error"))
         return response
 
+    def request(self, payload: dict, *, idempotent: bool | None = None) -> dict:
+        """One logical request; retried per policy when safe to do so.
+
+        A request is considered retriable when ``idempotent`` is true or it
+        carries a ``txid`` (the server deduplicates re-sends).  Raises
+        :class:`ServeError` (with ``code``) on a server-side error,
+        :class:`ServeTimeout`/:class:`ConnectionError` when every attempt
+        failed to complete a round trip.
+        """
+        rid = next(self._rids)
+        body = {"rid": rid, **payload}
+        if idempotent is None:
+            idempotent = "txid" in payload
+        attempts = self._retry.max_attempts if idempotent else 1
+        op = str(payload.get("op"))
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = self._retry.delay(attempt - 1, self._rng)
+                retry_after = getattr(last_error, "retry_after", None)
+                if retry_after:
+                    delay = max(delay, float(retry_after))
+                time.sleep(delay)
+                self.retries_total += 1
+                reason = (
+                    getattr(last_error, "code", None)
+                    or type(last_error).__name__.lower()
+                )
+                _metric_names.RETRIES.inc(op=op, reason=str(reason))
+            try:
+                response = self._roundtrip(body)
+            except (ServeTimeout, ConnectionError, OSError) as error:
+                self._abort_connection()
+                last_error = error
+                continue
+            if response.get("ok"):
+                return response
+            error = ServeError(
+                response.get("error", "unknown server error"),
+                code=response.get("code"),
+                retry_after=response.get("retry_after"),
+            )
+            if idempotent and error.code in RETRIABLE_CODES:
+                last_error = error
+                continue
+            raise error
+        assert last_error is not None
+        raise last_error
+
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._abort_connection()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -54,8 +210,11 @@ class ServeClient:
         self.close()
 
     # ------------------------------------------------------------------- ops
+    def _next_txid(self) -> str:
+        return f"{self._txid_tag}-{next(self._txids)}"
+
     def ping(self) -> bool:
-        return self.request({"op": "ping"})["ok"]
+        return self.request({"op": "ping"}, idempotent=True)["ok"]
 
     def query(self, lower, upper, k: int, version: str = "utk1") -> dict:
         return self.request({
@@ -64,20 +223,35 @@ class ServeClient:
             "upper": [float(v) for v in upper],
             "k": int(k),
             "version": version,
-        })
+        }, idempotent=True)
 
     def insert(self, values) -> dict:
-        return self.request({"op": "insert", "values": [float(v) for v in values]})
+        return self.request({
+            "op": "insert",
+            "values": [float(v) for v in values],
+            "txid": self._next_txid(),
+        })
 
     def delete(self, record_id: int) -> dict:
-        return self.request({"op": "delete", "id": int(record_id)})
+        return self.request({
+            "op": "delete", "id": int(record_id), "txid": self._next_txid()
+        })
 
     def send_event(self, event: dict) -> dict:
-        """Submit a stream-format event (``op`` in insert/delete/query) as is."""
-        return self.request(dict(event))
+        """Submit a stream-format event (``op`` in insert/delete/query).
+
+        Update events get a ``txid`` attached (unless the caller supplied
+        one), making them safely retriable; query events are idempotent by
+        nature.
+        """
+        payload = dict(event)
+        if payload.get("op") in ("insert", "delete"):
+            payload.setdefault("txid", self._next_txid())
+            return self.request(payload)
+        return self.request(payload, idempotent=payload.get("op") == "query")
 
     def stats(self) -> dict:
-        return self.request({"op": "stats"})["stats"]
+        return self.request({"op": "stats"}, idempotent=True)["stats"]
 
     def shutdown(self) -> dict:
         """Ask the server to drain; the connection dies shortly after."""

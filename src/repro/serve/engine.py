@@ -289,6 +289,19 @@ class ServeEngine(DynamicUTKEngine):
                 "count": int(self._store.high_water),
             }
 
+    def shm_segment_names(self) -> list[str]:
+        """Every shared segment currently backing this engine, by name.
+
+        The serving front-end persists this set alongside the WAL (the shm
+        manifest) so a restart after ``SIGKILL`` can unlink the orphaned
+        segments the dead process never cleaned up.
+        """
+        with self._lock:
+            names = self._store.segment_names()
+            if self._packed_segment is not None:
+                names.append(self._packed_segment.name)
+        return names
+
     # ------------------------------------------------------------------ stats
     def stripe_epochs(self) -> dict[str, list[int]]:
         """Per-cache, per-stripe epoch snapshot (for metrics export)."""

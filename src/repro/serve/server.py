@@ -4,14 +4,17 @@ One line in, one line out: requests are JSON objects carrying an ``op``
 (``query`` / ``insert`` / ``delete`` / ``stats`` / ``ping`` / ``shutdown``)
 plus the same fields the ``repro stream`` event format uses, and an optional
 ``rid`` echoed back for correlation.  Responses are ``{"rid", "ok", ...}``;
-failures carry ``{"ok": false, "error": ...}`` and never tear down the
-connection.
+failures carry ``{"ok": false, "error", "code"}`` — ``code`` is the
+machine-readable error class (``bad_request`` / ``overloaded`` /
+``worker_crash`` / ``shutting_down``) clients key their retry decisions on
+— and never tear down the connection.
 
 Concurrency model:
 
 * the event loop owns admission and the update counters; queries fan out to
-  a thread pool (or, with ``shared_workers``, to a spawn process pool that
-  attaches the engine's shared-memory descriptor zero-copy);
+  a thread pool (or, with ``shared_workers``, to a supervised spawn process
+  pool that attaches the engine's shared-memory descriptor zero-copy and
+  survives worker ``SIGKILL``);
 * updates serialize through a dedicated single-thread executor, so the
   stream order of any one updater connection is the order applied;
 * every query response carries ``{"seq": {"lo", "hi"}}`` — the number of
@@ -20,6 +23,14 @@ Concurrency model:
   update prefix within that window, which is exactly what the soak
   checker's serial replay verifies (zero stale answers).
 
+Durability (``wal=`` given): each update is validated, appended to the
+write-ahead log, *then* applied, and only acked after both — so every acked
+update survives a ``SIGKILL`` (replayed by
+:func:`repro.resilience.recovery.recover`).  Updates carrying a ``txid``
+are deduplicated against a bounded cache seeded from the recovery replay,
+making client retries exactly-once even across a crash: a WAL'd-but-unacked
+update that recovery re-applied acks the retry with its original position.
+
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: stop accepting, let
 in-flight requests finish, flush per-stripe epoch gauges, exit 0.
 """
@@ -27,19 +38,48 @@ in-flight requests finish, flush per-stripe epoch gauges, exit 0.
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
 import functools
 import json
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.region import Region, hyperrectangle
 from repro.exceptions import ReproError
 from repro.obs import names as _metric_names
+from repro.resilience.supervisor import SupervisedPool, WorkerCrashError
 from repro.serve.engine import ServeEngine
 
 #: Update ops accepted on the wire (same shapes as the stream event format).
 _UPDATE_OPS = ("insert", "delete")
+
+#: Most recent txid→ack payloads kept for exactly-once update retries.
+_TXID_CACHE = 4096
+
+
+class OverloadedError(ReproError):
+    """Admission refused: too many queries in flight (client should back off)."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ShuttingDownError(ReproError):
+    """The server is draining and no longer admits work."""
+
+
+def _error_code(error: Exception) -> tuple[str, dict]:
+    """Map an exception to the wire ``code`` plus extra response fields."""
+    if isinstance(error, OverloadedError):
+        return "overloaded", {"retry_after": error.retry_after}
+    if isinstance(error, ShuttingDownError):
+        return "shutting_down", {}
+    if isinstance(error, WorkerCrashError):
+        return "worker_crash", {}
+    return "bad_request", {}
 
 
 class UTKServer:
@@ -53,6 +93,11 @@ class UTKServer:
         port: int = 0,
         query_threads: int = 4,
         shared_workers: int = 0,
+        wal=None,
+        recovered: int = 0,
+        recovered_txids: dict | None = None,
+        max_inflight: int = 64,
+        fault_plan=None,
     ):
         self._engine = engine
         self._host = host
@@ -64,16 +109,36 @@ class UTKServer:
             max_workers=1, thread_name_prefix="serve-update"
         )
         self._shared_workers = int(shared_workers)
-        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_pool: SupervisedPool | None = None
         self._regions: dict[tuple, Region] = {}
         self._regions_lock = threading.Lock()
         self._descriptor: dict | None = None
+        self._wal = wal
+        self._fault_plan = fault_plan
+        self._max_inflight = max(1, int(max_inflight))
+        self._inflight_queries = 0  # event-loop thread only
+        # txid → the ack payload its first application produced; bounded
+        # LRU-ish (insertion order) and seeded from the recovery replay.
+        self._txids: collections.OrderedDict[str, dict] = collections.OrderedDict(
+            recovered_txids or {}
+        )
+        while len(self._txids) > _TXID_CACHE:
+            self._txids.popitem(last=False)
+        self._inflight_txids: dict[str, asyncio.Future] = {}
         # Owned by the event-loop thread; read (racily but monotonically)
         # by query threads via the admission/completion snapshots.
-        self.updates_started = 0
-        self.updates_finished = 0
+        self.recovered = int(recovered)
+        self.updates_started = self.recovered
+        self.updates_finished = self.recovered
         self.update_failures = 0
         self.requests_served = 0
+        # Applied-update count maintained *inside* the single update
+        # executor: the fault plan's stall positions key off it, and unlike
+        # updates_finished it never lags the executor's own progress.
+        self._apply_count = self.recovered
+        self._manifest_names = (
+            sorted(engine.shm_segment_names()) if wal is not None else None
+        )
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -83,11 +148,7 @@ class UTKServer:
     async def start(self) -> tuple[str, int]:
         self._loop = asyncio.get_running_loop()
         if self._shared_workers > 0:
-            import multiprocessing as mp
-
-            self._process_pool = ProcessPoolExecutor(
-                self._shared_workers, mp_context=mp.get_context("spawn")
-            )
+            self._process_pool = SupervisedPool(self._shared_workers)
             self._descriptor = self._engine.shared_descriptor()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
@@ -105,6 +166,8 @@ class UTKServer:
         # Connection handlers exit on their own once readers hit EOF or the
         # in-flight request finishes; executor shutdown waits for the rest.
         await asyncio.get_running_loop().run_in_executor(None, self._shutdown_pools)
+        if self._wal is not None:
+            self._wal.sync()
         self.flush_gauges()
 
     def _shutdown_pools(self) -> None:
@@ -149,7 +212,8 @@ class UTKServer:
                 raise ValueError("request must be a JSON object")
         except ValueError as error:
             _metric_names.SERVE_REQUESTS.inc(op="invalid", outcome="error")
-            return {"rid": None, "ok": False, "error": f"bad request: {error}"}
+            return {"rid": None, "ok": False, "code": "bad_request",
+                    "error": f"bad request: {error}"}
         rid = request.get("rid")
         op = request.get("op")
         _metric_names.SERVE_INFLIGHT.inc(op=str(op))
@@ -157,8 +221,9 @@ class UTKServer:
             payload = await self._dispatch(op, request)
         except (ReproError, KeyError, TypeError, ValueError) as error:
             _metric_names.SERVE_REQUESTS.inc(op=str(op), outcome="error")
-            return {"rid": rid, "ok": False, "op": op,
-                    "error": f"{type(error).__name__}: {error}"}
+            code, extra = _error_code(error)
+            return {"rid": rid, "ok": False, "op": op, "code": code,
+                    "error": f"{type(error).__name__}: {error}", **extra}
         finally:
             _metric_names.SERVE_INFLIGHT.inc(-1, op=str(op))
         _metric_names.SERVE_REQUESTS.inc(op=str(op), outcome="ok")
@@ -166,6 +231,8 @@ class UTKServer:
         return {"rid": rid, "ok": True, "op": op, **payload}
 
     async def _dispatch(self, op, request: dict) -> dict:
+        if self._stop.is_set() and op not in ("ping", "stats", "shutdown"):
+            raise ShuttingDownError("server is draining")
         if op == "query":
             return await self._handle_query(request)
         if op in _UPDATE_OPS:
@@ -183,7 +250,21 @@ class UTKServer:
                 "update_failures": self.update_failures,
                 "requests_served": self.requests_served,
                 "shared_workers": self._shared_workers,
+                "recovered": self.recovered,
+                "max_inflight": self._max_inflight,
+                "txids_cached": len(self._txids),
             }
+            if self._wal is not None:
+                stats["wal"] = {
+                    "last_seq": self._wal.last_seq,
+                    "appended": self._wal.appended,
+                    "segments": [path.name for path in self._wal.segment_paths()],
+                }
+            if self._process_pool is not None:
+                stats["workers"] = {
+                    "pids": self._process_pool.worker_pids(),
+                    "restarts": self._process_pool.restarts,
+                }
             return {"stats": stats}
         if op == "shutdown":
             self._stop.set()
@@ -197,8 +278,34 @@ class UTKServer:
             event["values"] = request["values"]
         else:
             event["id"] = request["id"]
+        txid = request.get("txid")
+        if txid is not None:
+            cached = self._txids.get(txid)
+            if cached is not None:
+                # Retry of an update already applied (possibly before a
+                # crash, replayed from the WAL): ack with the original
+                # outcome, never apply twice.
+                self._txids.move_to_end(txid)
+                return {**cached, "deduplicated": True}
+            pending = self._inflight_txids.get(txid)
+            if pending is not None:
+                payload = await asyncio.shield(pending)
+                return {**payload, "deduplicated": True}
+
         def apply() -> tuple[dict, dict | None]:
+            # Validate before the WAL append so nothing unapplyable is ever
+            # logged; the single-thread executor makes validate → append →
+            # apply atomic with respect to every other update.
+            self._engine.validate_updates([event])
+            if self._wal is not None:
+                self._wal.append(event, txid=txid)
+            if self._fault_plan is not None:
+                stall = self._fault_plan.stall_for_update(self._apply_count)
+                if stall > 0:
+                    _metric_names.FAULTS_INJECTED.inc(kind="slow_update")
+                    time.sleep(stall)
             outcome = self._engine.apply_updates([event])
+            self._apply_count += 1
             # Repack the shared descriptor in the same executor task: the
             # swap below must happen before updates_finished ticks, so a
             # query admitted at sequence n always reaches workers with a
@@ -207,15 +314,31 @@ class UTKServer:
                 self._engine.shared_descriptor()
                 if self._process_pool is not None else None
             )
+            if self._wal is not None:
+                names = sorted(self._engine.shm_segment_names())
+                if names != self._manifest_names:
+                    from repro.resilience.recovery import write_shm_manifest
+
+                    write_shm_manifest(self._wal.directory, names)
+                    self._manifest_names = names
             return outcome, descriptor
 
+        waiter: asyncio.Future | None = None
+        if txid is not None:
+            waiter = asyncio.get_running_loop().create_future()
+            self._inflight_txids[txid] = waiter
         self.updates_started += 1  # event-loop thread: admission order
         try:
             outcome, descriptor = await asyncio.get_running_loop().run_in_executor(
                 self._update_pool, apply
             )
-        except Exception:
+        except Exception as error:
             self.update_failures += 1
+            if waiter is not None:
+                self._inflight_txids.pop(txid, None)
+                if not waiter.done():
+                    waiter.set_exception(error)
+                    waiter.exception()  # mark retrieved if nobody awaits
             raise
         if descriptor is not None:
             self._descriptor = descriptor
@@ -229,6 +352,13 @@ class UTKServer:
             payload["record"] = int(outcome["inserted_ids"][0])
         else:
             payload["record"] = int(event["id"])
+        if txid is not None:
+            self._txids[txid] = payload
+            while len(self._txids) > _TXID_CACHE:
+                self._txids.popitem(last=False)
+            self._inflight_txids.pop(txid, None)
+            if not waiter.done():
+                waiter.set_result(payload)
         return payload
 
     # --------------------------------------------------------------- queries
@@ -267,15 +397,17 @@ class UTKServer:
 
         A stale descriptor (the engine retired a segment after an update)
         is refreshed and the query retried; the descriptor call itself
-        re-packs at most once per dataset generation.
+        re-packs at most once per dataset generation.  A crashed worker
+        (``SIGKILL`` mid-query) is absorbed by the supervised pool, which
+        respawns and retries before surfacing ``WorkerCrashError``.
         """
         from repro.serve.workers import worker_query
 
         for _attempt in range(3):
             descriptor = self._descriptor
-            answer = self._process_pool.submit(
+            answer = self._process_pool.run(
                 worker_query, descriptor, lower, upper, k, version
-            ).result()
+            )
             if not answer.get("stale"):
                 payload: dict = {"sources": {}}
                 if "utk1" in answer:
@@ -296,15 +428,24 @@ class UTKServer:
         if version not in ("utk1", "utk2", "both"):
             raise ValueError(f"unknown problem version {version!r}")
         lower, upper, k = request["lower"], request["upper"], int(request["k"])
+        if self._inflight_queries >= self._max_inflight:
+            raise OverloadedError(
+                f"{self._inflight_queries} queries in flight (max "
+                f"{self._max_inflight}); retry after backoff"
+            )
         lo = self.updates_finished  # admission snapshot (event-loop thread)
         runner = (
             self._query_shared
             if self._process_pool is not None
             else self._query_inline
         )
-        payload = await asyncio.get_running_loop().run_in_executor(
-            self._query_pool, functools.partial(runner, lower, upper, k, version)
-        )
+        self._inflight_queries += 1
+        try:
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._query_pool, functools.partial(runner, lower, upper, k, version)
+            )
+        finally:
+            self._inflight_queries -= 1
         payload["k"] = k
         payload["version"] = version
         payload["seq"] = {"lo": lo, "hi": self.updates_started}

@@ -139,6 +139,26 @@ def _close_attached(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
+def unlink_segment(name: str) -> bool:
+    """Unlink a segment by name (orphan cleanup after a ``SIGKILL``).
+
+    A killed owner never ran its finalizers, so its segments outlive it in
+    ``/dev/shm``; crash recovery calls this for every name recorded in the
+    shm manifest.  Returns ``True`` when a segment was actually removed.
+    """
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        return False
+    finally:
+        _close_attached(shm)
+    return True
+
+
 def pack_arrays(arrays: dict[str, np.ndarray], *, meta: dict | None = None
                 ) -> tuple[OwnedSegment, dict]:
     """Copy named arrays into one owned segment; returns it plus a manifest.
@@ -220,6 +240,10 @@ class SharedRecordStore(RecordStore):
         for segment in pair:
             segment.unlink()
         self._retired.append(pair)
+
+    def segment_names(self) -> list[str]:
+        """Names of every *live* segment (retired mappings are unlinked)."""
+        return [segment.name for pair in self._segments for segment in pair]
 
     def shared_location(self) -> dict:
         """Where the *current* value buffer lives: segment name plus shape."""
