@@ -1,0 +1,300 @@
+"""Colstore at scale: streaming build + paged-R-tree queries under an RSS cap.
+
+The colstore's promise is that dataset size stops being a RAM question: the
+records stream into memory-mapped column files chunk by chunk, the R-tree is
+STR-bulk-loaded with external chunked sort passes, and queries traverse the
+paged index through a bounded buffer pool.  This benchmark builds a synthetic
+dataset (10M records in the nightly configuration), answers UTK queries
+against it, and gates on three facts:
+
+* **RSS budget** — peak RSS (``ru_maxrss``) stays under the configured cap.
+  ``main()`` additionally lowers the ``RLIMIT_DATA`` soft limit (recorded via
+  ``resource.getrlimit`` in the artifact) so any code path that tried to
+  materialize the dataset on the heap would fail to allocate outright —
+  file-backed mappings are exempt from ``RLIMIT_DATA``, which is exactly the
+  boundary the colstore is supposed to respect.
+* **Bit-identical storage** — sampled chunks re-generated from the
+  deterministic per-chunk streams compare equal (``==`` on every byte-width
+  float) against the store's mmap views.
+* **Identical answers** (smoke) — UTK1/UTK2 answers through the colstore
+  backend match an in-memory engine over the same data exactly.
+
+Results land in ``BENCH_colstore.json``; the smoke configuration is a CI
+gate (``repro matrix --gates``), the default configuration is the nightly
+10M bulk-load + query job.
+
+Usage::
+
+    python benchmarks/bench_colstore.py [--smoke]
+        [--output BENCH_colstore.json] [--store-dir DIR]
+"""
+
+import argparse
+import math
+import resource
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Make the shared benchmark helpers importable no matter where the
+# benchmark is launched from (pytest, CI smoke step, or repo root).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import emit_metrics_artifact, print_rows
+
+import numpy as np
+
+from repro import obs
+from repro.bench.reporting import write_bench_json
+from repro.colstore import INDEX_NAME, ColumnarRecordStore, build_paged_rtree
+from repro.core.api import make_engine
+from repro.core.region import hyperrectangle
+from repro.datasets.synthetic import synthetic_chunks
+
+SETTINGS = {
+    # The nightly 10M-record configuration: records and index live on disk,
+    # the RSS cap is far below what materializing the dataset (let alone an
+    # in-memory R-tree over it) would need.
+    "default": {
+        "cardinality": 10_000_000,
+        "dimensionality": 3,
+        "seed": 23,
+        "chunk_rows": 1 << 18,
+        "max_entries": 64,
+        "budget_rows": 1 << 20,
+        "rss_budget_mb": 2048,
+        "heap_cap_mb": 1536,
+        "check_answers": False,
+    },
+    # CI-sized: small enough to also build the in-memory reference engine
+    # and require exactly identical answers.
+    "smoke": {
+        "cardinality": 24_000,
+        "dimensionality": 3,
+        "seed": 23,
+        "chunk_rows": 4096,
+        "max_entries": 32,
+        "budget_rows": 4096,
+        "rss_budget_mb": 1024,
+        "heap_cap_mb": 896,
+        "check_answers": True,
+    },
+}
+
+#: Probe queries (hyper-rectangles inside the d-1 weight simplex).
+QUERIES = (
+    {"lower": [0.10, 0.10], "upper": [0.22, 0.22], "k": 2},
+    {"lower": [0.30, 0.20], "upper": [0.40, 0.30], "k": 3},
+)
+
+
+def _rss_mb() -> float:
+    """Peak RSS of this process in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _rlimit_snapshot() -> dict:
+    """The address-space/heap limits in effect, for the artifact."""
+    snapshot = {}
+    for name in ("RLIMIT_DATA", "RLIMIT_AS"):
+        soft, hard = resource.getrlimit(getattr(resource, name))
+        snapshot[name] = {
+            "soft": soft if soft != resource.RLIM_INFINITY else "unlimited",
+            "hard": hard if hard != resource.RLIM_INFINITY else "unlimited",
+        }
+    return snapshot
+
+
+def _sampled_chunk_check(store, setting) -> int:
+    """Regenerate a few chunks from their seeds; count byte-exact matches.
+
+    The chunk streams are deterministic, so ``store.matrix`` must reproduce
+    them bit for bit — this verifies the storage path (mmap writes, growth
+    copies, transposed views) without materializing the dataset.
+    """
+    chunk_rows = setting["chunk_rows"]
+    n_chunks = math.ceil(setting["cardinality"] / chunk_rows)
+    matches = 0
+    for index in sorted({0, n_chunks // 2, n_chunks - 1}):
+        rng = np.random.default_rng([setting["seed"], index])
+        expected = rng.random(
+            (min(chunk_rows, setting["cardinality"] - index * chunk_rows),
+             setting["dimensionality"])
+        )
+        start = index * chunk_rows
+        actual = store.matrix[start:start + expected.shape[0]]
+        if np.array_equal(actual, expected):
+            matches += 1
+    return matches
+
+
+def run_benchmark(setting, store_dir=None):
+    """Build + query the colstore; returns ``(rows, gates)``."""
+    tempdir = None
+    if store_dir is None:
+        tempdir = tempfile.mkdtemp(prefix="bench-colstore-")
+        store_dir = tempdir
+    directory = Path(store_dir)
+    rows = []
+    try:
+        started = time.perf_counter()
+        store = ColumnarRecordStore.from_chunks(
+            synthetic_chunks(
+                "IND", setting["cardinality"], setting["dimensionality"],
+                setting["seed"], chunk_rows=setting["chunk_rows"],
+            ),
+            directory,
+        )
+        build_seconds = time.perf_counter() - started
+        rows.append({
+            "phase": "build_store",
+            "cardinality": setting["cardinality"],
+            "seconds": round(build_seconds, 3),
+            "rows_per_second": round(setting["cardinality"] / max(build_seconds, 1e-9)),
+            "rss_mb": round(_rss_mb(), 1),
+        })
+
+        started = time.perf_counter()
+        meta = build_paged_rtree(
+            store, directory / INDEX_NAME,
+            max_entries=setting["max_entries"],
+            budget_rows=setting["budget_rows"],
+            scratch_dir=directory,
+        )
+        index_seconds = time.perf_counter() - started
+        rows.append({
+            "phase": "build_index",
+            "cardinality": setting["cardinality"],
+            "seconds": round(index_seconds, 3),
+            "rows_per_second": round(setting["cardinality"] / max(index_seconds, 1e-9)),
+            "rss_mb": round(_rss_mb(), 1),
+            "pages": int(meta["n_pages"]),
+            "height": int(meta["height"]),
+        })
+
+        chunks_checked = _sampled_chunk_check(store, setting)
+        store.close()
+
+        engine = make_engine(None, store="colstore", store_dir=directory)
+        latencies = []
+        mismatches = 0
+        reference = None
+        if setting["check_answers"]:
+            values = np.concatenate(list(synthetic_chunks(
+                "IND", setting["cardinality"], setting["dimensionality"],
+                setting["seed"], chunk_rows=setting["chunk_rows"],
+            )))
+            reference = make_engine(values)
+        for query in QUERIES:
+            region = hyperrectangle(query["lower"], query["upper"])
+            started = time.perf_counter()
+            result = engine.utk1(region, query["k"])
+            latencies.append(time.perf_counter() - started)
+            if reference is not None:
+                expected = reference.utk1(region, query["k"])
+                if sorted(map(int, result.indices)) != sorted(map(int, expected.indices)):
+                    mismatches += 1
+                got = sorted(sorted(map(int, s))
+                             for s in engine.utk2(region, query["k"]).distinct_top_k_sets)
+                want = sorted(sorted(map(int, s))
+                              for s in reference.utk2(region, query["k"]).distinct_top_k_sets)
+                if got != want:
+                    mismatches += 1
+        rows.append({
+            "phase": "query",
+            "cardinality": setting["cardinality"],
+            "seconds": round(sum(latencies) / len(latencies), 4),
+            "rows_per_second": None,
+            "rss_mb": round(_rss_mb(), 1),
+        })
+    finally:
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)
+
+    peak_mb = _rss_mb()
+    gates = {
+        "rss_budget_mb": setting["rss_budget_mb"],
+        "peak_rss_mb": round(peak_mb, 1),
+        "rss_within_budget": peak_mb <= setting["rss_budget_mb"],
+        "chunks_checked": chunks_checked,
+        "storage_bit_identical": chunks_checked == 3,
+        "answer_mismatches": mismatches,
+        "answers_identical": mismatches == 0,
+        "answers_checked": bool(setting["check_answers"]),
+        "rlimits": _rlimit_snapshot(),
+    }
+    gates["passed"] = (
+        gates["rss_within_budget"]
+        and gates["storage_bit_identical"]
+        and gates["answers_identical"]
+    )
+    return rows, gates
+
+
+def test_colstore_gate():
+    """Pytest entry point: smoke-sized run asserting the smoke gate."""
+    rows, gates = run_benchmark(SETTINGS["smoke"])
+    print_rows("Colstore — streaming build + paged queries", rows)
+    assert gates["storage_bit_identical"], gates
+    assert gates["answers_identical"], gates
+    assert gates["passed"], gates
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument(
+        "--output",
+        default="BENCH_colstore.json",
+        help="path of the BENCH JSON artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="build into this directory instead of a temp dir (kept afterwards)",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "default"
+    setting = SETTINGS[mode]
+
+    # Cap the heap so a regression that materializes the dataset in memory
+    # fails to allocate instead of quietly inflating RSS.  File-backed
+    # mappings are exempt from RLIMIT_DATA — the exact boundary under test.
+    soft, hard = resource.getrlimit(resource.RLIMIT_DATA)
+    cap = setting["heap_cap_mb"] * 1024 * 1024
+    limited = False
+    if soft == resource.RLIM_INFINITY or soft > cap:
+        try:
+            resource.setrlimit(resource.RLIMIT_DATA, (cap, hard))
+            limited = True
+        except (ValueError, OSError):
+            pass  # sandboxes may forbid it; the ru_maxrss gate still applies
+
+    try:
+        obs.REGISTRY.reset()
+        with obs.activated():
+            rows, gates = run_benchmark(setting, store_dir=args.store_dir)
+    finally:
+        if limited:
+            resource.setrlimit(resource.RLIMIT_DATA, (soft, hard))
+    gates["rlimit_data_capped"] = limited
+
+    print_rows("Colstore — streaming build + paged queries", rows)
+    write_bench_json(args.output, "colstore_scale", rows, gates=gates, meta={"mode": mode})
+    print(f"\nwrote {args.output}")
+    print(f"wrote {emit_metrics_artifact(args.output, 'colstore_scale', mode)}")
+    if not gates["passed"]:
+        print(f"FAIL: colstore gate not met: {gates}", file=sys.stderr)
+        return 1
+    print(
+        f"peak RSS {gates['peak_rss_mb']}MB <= {gates['rss_budget_mb']}MB budget, "
+        f"{gates['chunks_checked']}/3 sampled chunks bit-identical, "
+        f"{gates['answer_mismatches']} answer mismatches"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

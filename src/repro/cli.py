@@ -147,6 +147,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the metrics registry for the run and write a snapshot "
              "to PATH (.prom = Prometheus text, anything else = JSONL)",
     )
+    query.add_argument(
+        "--store",
+        choices=["memory", "colstore"],
+        default="memory",
+        help="storage backend: memory (default) or colstore (memory-mapped "
+             "columnar files + paged R-tree; see `repro build`)",
+    )
+    query.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="colstore directory; attaches an existing store there (dataset "
+             "flags are then ignored) or materializes the generated dataset "
+             "first",
+    )
+
+    build = subparsers.add_parser(
+        "build",
+        help="materialize a dataset into a colstore directory (records + paged R-tree)",
+    )
+    build.add_argument("--dataset", default="IND",
+                       help="IND, COR, ANTI, CLUS, HOTEL, HOUSE or NBA (default IND)")
+    build.add_argument("--cardinality", type=int, default=100_000,
+                       help="records to generate (default 100000)")
+    build.add_argument("--dimensionality", type=int, default=3,
+                       help="attributes for synthetic datasets (default 3)")
+    build.add_argument("--seed", type=int, default=0, help="dataset seed")
+    build.add_argument("--store-dir", metavar="DIR", required=True,
+                       help="target colstore directory")
+    build.add_argument("--chunk-rows", type=int, default=1 << 18,
+                       help="rows generated and ingested per chunk (default 262144)")
+    build.add_argument("--max-entries", type=int, default=None,
+                       help="R-tree page fanout (default 64)")
+    build.add_argument("--budget-rows", type=int, default=None,
+                       help="rows the streaming STR sort may touch per pass "
+                            "(default 1048576)")
+    build.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="print store/index layout statistics for a colstore directory",
+    )
+    inspect.add_argument("--store-dir", metavar="DIR", required=True,
+                         help="colstore directory to inspect")
+    inspect.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     batch = subparsers.add_parser(
         "batch", help="serve a JSON-lines query file through a persistent engine"
@@ -485,11 +528,33 @@ def _load_dataset(name: str, cardinality: int, dimensionality: int, seed: int):
 
 
 def _run_query(args: argparse.Namespace) -> int:
-    data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+    engine = None
+    if args.store == "colstore":
+        if args.store_dir is None:
+            print("error: --store colstore needs --store-dir", file=sys.stderr)
+            return 2
+        from pathlib import Path
+
+        attached = (Path(args.store_dir) / "manifest.json").exists()
+        data = None
+        if not attached:
+            data = _load_dataset(
+                args.dataset, args.cardinality, args.dimensionality, args.seed
+            ).values
+        engine = make_engine(data, store="colstore", store_dir=args.store_dir)
+        n, d = engine.values.shape
+        payload: dict = {
+            "dataset": "colstore" if attached else args.dataset.upper(),
+            "n": int(n), "d": int(d), "k": args.k,
+            "store": "colstore", "store_dir": args.store_dir,
+        }
+    else:
+        data = _load_dataset(args.dataset, args.cardinality, args.dimensionality, args.seed)
+        payload = {
+            "dataset": args.dataset.upper(), "n": data.size, "d": data.dimensionality,
+            "k": args.k,
+        }
     region = hyperrectangle(args.lower, args.upper)
-    payload: dict = {
-        "dataset": args.dataset.upper(), "n": data.size, "d": data.dimensionality, "k": args.k
-    }
     if args.workers > 1:
         payload["workers"] = args.workers
     result = partitioning = None
@@ -498,7 +563,14 @@ def _run_query(args: argparse.Namespace) -> int:
         _obs_start()
     try:
         with _obs_trace.capture() as captured:
-            if args.version == "both":
+            if engine is not None:
+                # Colstore path: the engine traverses the paged R-tree over
+                # the store's mmap views (workers stay serial here).
+                if args.version in ("utk1", "both"):
+                    result = engine.utk1(region, args.k)
+                if args.version in ("utk2", "both"):
+                    partitioning = engine.utk2(region, args.k)
+            elif args.version == "both":
                 # One utk_query call shares the r-skyband filtering (and, with
                 # workers > 1, a single pool pass) across both problem versions.
                 result, partitioning = utk_query(data, region, args.k, workers=args.workers)
@@ -545,6 +617,105 @@ def _run_query(args: argparse.Namespace) -> int:
         if stats:
             print(f"{version.upper()} stats: "
                   + " ".join(f"{key}={value}" for key, value in stats.items()))
+    return 0
+
+
+def _run_build(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.colstore import INDEX_NAME, ColumnarRecordStore, build_paged_rtree
+    from repro.datasets.synthetic import synthetic_chunks
+
+    started = time.perf_counter()
+    key = args.dataset.upper()
+    if key in DISTRIBUTIONS:
+        chunks = synthetic_chunks(
+            key, args.cardinality, args.dimensionality, args.seed,
+            chunk_rows=args.chunk_rows,
+        )
+        store = ColumnarRecordStore.from_chunks(chunks, args.store_dir)
+    else:
+        store = ColumnarRecordStore(
+            real_dataset(key, args.cardinality, args.seed).values,
+            directory=args.store_dir,
+        )
+    options: dict = {}
+    if args.max_entries is not None:
+        options["max_entries"] = args.max_entries
+    if args.budget_rows is not None:
+        options["budget_rows"] = args.budget_rows
+    meta = build_paged_rtree(store, Path(args.store_dir) / INDEX_NAME, **options)
+    store.close()
+    payload = {
+        "store_dir": args.store_dir,
+        "dataset": key,
+        "records": int(meta["size"]),
+        "dimensionality": args.dimensionality,
+        "index": meta,
+        "seconds": round(time.perf_counter() - started, 3),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"built colstore at {args.store_dir}: {payload['records']} records "
+          f"({key}), {meta['n_pages']} index pages (height {meta['height']}, "
+          f"fanout {meta['fanout']}) in {payload['seconds']}s")
+    return 0
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.colstore import INDEX_NAME, ColumnarRecordStore, PagedRTree
+    from repro.exceptions import StorageError
+
+    try:
+        store = ColumnarRecordStore.open(args.store_dir, mode="r")
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        "store_dir": args.store_dir,
+        "records": int(store.high_water),
+        "active": len(store),
+        "tombstones": int(store.high_water) - len(store),
+        "capacity": store.manifest()["capacity"],
+        "generation": store.generation,
+        "column_dtypes": store.column_dtypes(),
+    }
+    index_path = Path(args.store_dir) / INDEX_NAME
+    if index_path.exists():
+        tree = PagedRTree(index_path, store.matrix)
+        _ = tree.root.is_leaf  # touch the root so the pool is warm
+        payload["index"] = {
+            "pages": int(tree.meta["n_pages"]),
+            "leaves": int(tree.meta["n_leaves"]),
+            "height": tree.height(),
+            "fanout": tree.fanout,
+            "fill_factor": round(tree.fill_factor(), 4),
+            "page_size": int(tree.meta["page_size"]),
+            "resident_pages": tree.pool.resident(),
+            "pool_capacity": tree.pool.capacity,
+        }
+    else:
+        payload["index"] = None
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"colstore {args.store_dir} (generation {payload['generation']})")
+    print(f"  records: {payload['records']} ({payload['active']} active, "
+          f"{payload['tombstones']} tombstones, capacity {payload['capacity']})")
+    print(f"  columns: {len(payload['column_dtypes'])} × "
+          f"{payload['column_dtypes'][0] if payload['column_dtypes'] else '-'}")
+    index = payload["index"]
+    if index is None:
+        print("  index: none (run `repro build` or attach once to create it)")
+    else:
+        print(f"  index: {index['pages']} pages ({index['leaves']} leaves), "
+              f"height {index['height']}, fanout {index['fanout']}, "
+              f"fill {index['fill_factor']}, page size {index['page_size']}B")
+        print(f"  buffer pool: {index['resident_pages']}/{index['pool_capacity']} "
+              f"pages resident")
     return 0
 
 
@@ -993,6 +1164,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "build":
+        return _run_build(args)
+    if args.command == "inspect":
+        return _run_inspect(args)
     if args.command == "batch":
         return _run_batch(args)
     if args.command == "stream":

@@ -1,0 +1,333 @@
+"""Streaming STR bulk load: build a :class:`PagedRTree` without holding the
+dataset in memory.
+
+The in-memory :meth:`RTree.bulk_load` materializes the full point matrix and
+argsorts it wholesale.  At 10M+ records the colstore path must not: this
+loader reproduces the exact STR recursion (near-even slabs per axis, leaves
+cut to ``max_entries``, parents packed by MBB-centre lexsort) over an id
+**order file** in a scratch directory, touching at most ``budget_rows``
+record coordinates at a time:
+
+* ranges that fit the budget sort in memory (a stable argsort of one gathered
+  key column);
+* larger ranges run an external sample-splitter bucket sort — sample the key
+  column for quantile splitters, count bucket occupancy in one chunked pass,
+  scatter ids into a second scratch file in a second pass, then stable-sort
+  each bucket in memory.  Ties across bucket boundaries keep the original
+  order (buckets partition by key value and the scatter is stable), so the
+  result matches a single stable argsort;
+* leaf MBBs come from chunked gathers reduced with ``minimum.reduceat`` —
+  leaves are contiguous spans of the order file, so one gather serves many
+  leaves;
+* the upper levels are O(n / fanout) nodes and build in memory, then
+  everything streams top-down into the page file via
+  :func:`~repro.colstore.pages.write_pages` (leaf entry ids live in a third
+  scratch memmap, never in RAM at once).
+
+Peak resident memory is O(budget_rows + n / fanout), independent of ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.colstore.pages import DEFAULT_FANOUT, write_pages
+from repro.dynamic.store import RecordStore
+from repro.exceptions import InvalidDatasetError
+
+#: Default number of record coordinates a single sort/gather pass may touch.
+DEFAULT_BUDGET_ROWS = 1 << 20
+
+#: Rows per streaming chunk for liveness scans and scatter passes.
+_CHUNK_ROWS = 1 << 18
+
+
+class _Source:
+    """Uniform chunked access to a :class:`RecordStore` or an ``(n, d)`` array."""
+
+    def __init__(self, source):
+        if isinstance(source, RecordStore):
+            self.high_water = source.high_water
+            self.d = source.dimensionality
+            self.column = source.column
+            self.active_mask = source.active_mask
+            self.n_active = len(source)
+        else:
+            values = np.asarray(source, dtype=float)
+            if values.ndim != 2:
+                raise InvalidDatasetError("bulk load expects an (n, d) matrix")
+            self.high_water = values.shape[0]
+            self.d = values.shape[1]
+            self.column = lambda axis: values[:, axis]
+            self.active_mask = lambda start, stop: np.ones(stop - start, dtype=bool)
+            self.n_active = values.shape[0]
+
+
+def _write_active_order(source: _Source, order: np.memmap) -> None:
+    """Fill the order file with the active ids, ascending, chunk by chunk."""
+    filled = 0
+    for start in range(0, source.high_water, _CHUNK_ROWS):
+        stop = min(start + _CHUNK_ROWS, source.high_water)
+        ids = np.flatnonzero(source.active_mask(start, stop)) + start
+        order[filled:filled + ids.shape[0]] = ids
+        filled += ids.shape[0]
+
+
+def _external_sort(order, aux, col, lo: int, hi: int, budget: int) -> None:
+    """Stable-sort ``order[lo:hi]`` by ``col`` without gathering it at once."""
+    m = hi - lo
+    n_buckets = min(4096, max(2, 2 * math.ceil(m / budget)))
+    # Quantile splitters from a strided sample of the keys.
+    step = max(1, m // min(m, n_buckets * 64))
+    sample = np.sort(col[np.asarray(order[lo:hi:step])])
+    cuts = (np.arange(1, n_buckets) * sample.shape[0]) // n_buckets
+    splitters = sample[cuts]
+    # Pass 1: bucket occupancy.
+    counts = np.zeros(n_buckets, dtype=np.int64)
+    for start in range(lo, hi, budget):
+        ids = np.asarray(order[start:min(start + budget, hi)])
+        buckets = np.searchsorted(splitters, col[ids], side="right")
+        counts += np.bincount(buckets, minlength=n_buckets)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    cursors = offsets[:-1].copy()
+    # Pass 2: stable scatter into the aux file.
+    for start in range(lo, hi, budget):
+        ids = np.asarray(order[start:min(start + budget, hi)])
+        buckets = np.searchsorted(splitters, col[ids], side="right")
+        by_bucket = np.argsort(buckets, kind="stable")
+        ids, buckets = ids[by_bucket], buckets[by_bucket]
+        present, first, runs = np.unique(buckets, return_index=True, return_counts=True)
+        for bucket, begin, run in zip(present, first, runs):
+            at = lo + cursors[bucket]
+            aux[at:at + run] = ids[begin:begin + run]
+            cursors[bucket] += run
+    # Pass 3: each bucket now fits in memory (equal-key pileups may exceed the
+    # budget, but they are already in stable order and sort as a no-op).
+    for bucket in range(n_buckets):
+        begin, end = lo + offsets[bucket], lo + offsets[bucket + 1]
+        if end <= begin:
+            continue
+        ids = np.asarray(aux[begin:end])
+        order[begin:end] = ids[np.argsort(col[ids], kind="stable")]
+
+
+class _Builder:
+    def __init__(self, source: _Source, scratch: Path, *, max_entries: int, budget_rows: int):
+        self.source = source
+        self.capacity = max_entries
+        self.budget = max(max_entries, int(budget_rows))
+        n = source.n_active
+        self.order = np.memmap(scratch / "order.bin", dtype=np.int64, mode="w+",
+                               shape=(max(n, 1),))
+        self._aux: np.memmap | None = None
+        self._scratch = scratch
+        self.bounds: list[tuple[int, int]] = []
+        _write_active_order(source, self.order)
+
+    def _sort_range(self, lo: int, hi: int, axis: int) -> None:
+        col = self.source.column(axis)
+        if hi - lo <= self.budget:
+            ids = np.asarray(self.order[lo:hi])
+            self.order[lo:hi] = ids[np.argsort(col[ids], kind="stable")]
+            return
+        if self._aux is None:
+            self._aux = np.memmap(self._scratch / "aux.bin", dtype=np.int64,
+                                  mode="w+", shape=self.order.shape)
+        _external_sort(self.order, self._aux, col, lo, hi, self.budget)
+
+    def tile(self, lo: int, hi: int, axis: int) -> None:
+        """Mirror of :meth:`RTree._str_partition` over the order file."""
+        capacity, d = self.capacity, self.source.d
+        count = hi - lo
+        if count <= capacity:
+            self.bounds.append((lo, hi))
+            return
+        self._sort_range(lo, hi, axis)
+        leaf_count = math.ceil(count / capacity)
+        slabs = math.ceil(leaf_count ** (1.0 / (d - axis))) if axis < d - 1 else leaf_count
+        start = lo
+        for size in _even_sizes(count, slabs):
+            begin, end = start, start + size
+            start = end
+            if axis + 1 < d and end - begin > capacity:
+                self.tile(begin, end, axis + 1)
+            else:
+                inner = begin
+                for piece in _even_sizes(end - begin, math.ceil((end - begin) / capacity)):
+                    self.bounds.append((inner, inner + piece))
+                    inner += piece
+
+    def leaf_mbbs(self) -> tuple[np.ndarray, np.ndarray]:
+        """MBBs of the tiled leaves via chunked gather + segmented reduce."""
+        starts = np.array([lo for lo, _ in self.bounds], dtype=np.int64)
+        ends = np.array([hi for _, hi in self.bounds], dtype=np.int64)
+        n_leaves, d = starts.shape[0], self.source.d
+        lower = np.empty((n_leaves, d))
+        upper = np.empty((n_leaves, d))
+        leaves_per_pass = max(1, self.budget // self.capacity)
+        for first in range(0, n_leaves, leaves_per_pass):
+            last = min(first + leaves_per_pass, n_leaves)
+            span = np.asarray(self.order[starts[first]:ends[last - 1]])
+            cuts = starts[first:last] - starts[first]
+            for axis in range(d):
+                keys = self.source.column(axis)[span]
+                lower[first:last, axis] = np.minimum.reduceat(keys, cuts)
+                upper[first:last, axis] = np.maximum.reduceat(keys, cuts)
+        return lower, upper
+
+
+def _even_sizes(count: int, parts: int) -> list[int]:
+    base, remainder = divmod(count, parts)
+    return [base + 1] * remainder + [base] * (parts - remainder)
+
+
+def _centre_order(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    centres = (lower + upper) / 2.0
+    return np.lexsort(tuple(centres[:, axis] for axis in reversed(range(centres.shape[1]))))
+
+
+def _pack_levels(leaf_lower, leaf_upper, leaf_starts, leaf_counts, capacity: int):
+    """Build all tree levels bottom-up; returns them root-first.
+
+    Each level dict holds the node MBBs plus either scratch-file spans
+    (leaves) or a contiguous child slice into the next level down (internal
+    nodes).  Every level is stored in its *written* order: children are
+    lexsorted by MBB centre before grouping (as :meth:`RTree._pack_upwards`
+    does), so a parent's children occupy a contiguous run of page ids.
+    """
+    levels = [{
+        "is_leaf": True,
+        "lower": leaf_lower,
+        "upper": leaf_upper,
+        "starts": leaf_starts,
+        "counts": leaf_counts,
+    }]
+    while levels[-1]["lower"].shape[0] > 1:
+        nodes = levels[-1]
+        m = nodes["lower"].shape[0]
+        perm = _centre_order(nodes["lower"], nodes["upper"])
+        for key in ("lower", "upper", "starts", "counts", "child_start", "child_count"):
+            if key in nodes:
+                nodes[key] = nodes[key][perm]
+        sizes = np.array(_even_sizes(m, math.ceil(m / capacity)), dtype=np.int64)
+        cuts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        levels.append({
+            "is_leaf": False,
+            "lower": np.minimum.reduceat(nodes["lower"], cuts, axis=0),
+            "upper": np.maximum.reduceat(nodes["upper"], cuts, axis=0),
+            "child_start": cuts,
+            "child_count": sizes,
+        })
+    levels.reverse()
+    return levels
+
+
+def build_paged_rtree(
+    source,
+    path,
+    *,
+    max_entries: int = DEFAULT_FANOUT,
+    budget_rows: int = DEFAULT_BUDGET_ROWS,
+    page_size: int | None = None,
+    scratch_dir=None,
+) -> dict:
+    """Bulk-load the active records of ``source`` into a page file at ``path``.
+
+    ``source`` is any :class:`RecordStore` (tombstoned rows are skipped; leaf
+    entries carry stable ids) or a plain ``(n, d)`` array.  ``budget_rows``
+    bounds the coordinates touched per pass; scratch files live under
+    ``scratch_dir`` (a temp directory by default) and are removed on return.
+    Returns the page-file meta mapping.
+    """
+    source = _Source(source)
+    d = source.d
+    n = source.n_active
+    if n == 0:
+        empty = np.zeros((1, max(d, 1)))
+        return write_pages(path, {
+            "dimension": d,
+            "size": 0,
+            "node_lower": np.full_like(empty, np.nan),
+            "node_upper": np.full_like(empty, np.nan),
+            "node_is_leaf": np.ones(1, dtype=bool),
+            "node_first": np.zeros(1, dtype=np.int64),
+            "node_count": np.zeros(1, dtype=np.int64),
+            "child_nodes": np.empty(0, dtype=np.int64),
+            "entry_ids": np.empty(0, dtype=np.int64),
+        }, fanout=max_entries, page_size=page_size)
+    scratch = Path(tempfile.mkdtemp(prefix="colstore-str-", dir=scratch_dir))
+    try:
+        builder = _Builder(source, scratch, max_entries=max_entries,
+                           budget_rows=budget_rows)
+        builder.tile(0, n, axis=0)
+        leaf_lower, leaf_upper = builder.leaf_mbbs()
+        starts = np.array([lo for lo, _ in builder.bounds], dtype=np.int64)
+        counts = np.array([hi - lo for lo, hi in builder.bounds], dtype=np.int64)
+        levels = _pack_levels(leaf_lower, leaf_upper, starts, counts, max_entries)
+        flat = _flatten_levels(levels, builder.order, scratch, d, n)
+        return write_pages(path, flat, fanout=max_entries, page_size=page_size)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _flatten_levels(levels, order, scratch: Path, d: int, n: int) -> dict:
+    """Concatenate root-first levels into the :func:`write_pages` layout.
+
+    Node-level arrays are O(n / fanout) and live in memory; the leaf entry
+    ids are gathered from the order file into a scratch memmap chunk by
+    chunk, so the flattened entry list never materializes in RAM.
+    """
+    offsets = np.cumsum([0] + [level["lower"].shape[0] for level in levels])
+    node_lower = np.concatenate([level["lower"] for level in levels])
+    node_upper = np.concatenate([level["upper"] for level in levels])
+    node_is_leaf = np.concatenate([
+        np.full(level["lower"].shape[0], level["is_leaf"], dtype=bool) for level in levels
+    ])
+    node_first = np.zeros(node_lower.shape[0], dtype=np.int64)
+    node_count = np.zeros(node_lower.shape[0], dtype=np.int64)
+    child_chunks: list[np.ndarray] = []
+    child_filled = 0
+    entry_ids = np.memmap(scratch / "entries.bin", dtype=np.int64, mode="w+",
+                          shape=(max(n, 1),))
+    entry_filled = 0
+    for depth, level in enumerate(levels):
+        at = offsets[depth]
+        m = level["lower"].shape[0]
+        if level["is_leaf"]:
+            counts = level["counts"]
+            node_count[at:at + m] = counts
+            node_first[at:at + m] = entry_filled + np.cumsum(counts) - counts
+            for j in range(m):
+                lo = int(level["starts"][j])
+                run = int(counts[j])
+                entry_ids[entry_filled:entry_filled + run] = order[lo:lo + run]
+                entry_filled += run
+        else:
+            counts = level["child_count"]
+            node_count[at:at + m] = counts
+            node_first[at:at + m] = child_filled + np.cumsum(counts) - counts
+            # Children of this level occupy a contiguous run of the next
+            # level's page ids: expand each node's (child_start, count) span.
+            total = int(counts.sum())
+            within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            child_chunks.append(
+                offsets[depth + 1] + np.repeat(level["child_start"], counts) + within
+            )
+            child_filled += total
+    return {
+        "dimension": d,
+        "size": n,
+        "node_lower": node_lower,
+        "node_upper": node_upper,
+        "node_is_leaf": node_is_leaf,
+        "node_first": node_first,
+        "node_count": node_count,
+        "child_nodes": (np.concatenate(child_chunks) if child_chunks
+                        else np.empty(0, dtype=np.int64)),
+        "entry_ids": entry_ids,
+    }

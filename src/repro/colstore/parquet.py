@@ -1,0 +1,89 @@
+"""Optional compressed-at-rest Parquet import/export for the colstore.
+
+The live format stays raw memory-mapped columns (zero-copy query path);
+Parquet is the interchange/archive format.  ``pyarrow`` is an optional
+dependency behind the ``[parquet]`` extra — importing this module is always
+safe, the dependency is resolved lazily at call time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+
+PARQUET_AVAILABLE: bool
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow  # noqa: F401
+
+    PARQUET_AVAILABLE = True
+except ImportError:
+    PARQUET_AVAILABLE = False
+
+
+def _require_pyarrow():
+    if not PARQUET_AVAILABLE:
+        raise StorageError(
+            "Parquet import/export needs pyarrow; install the optional extra: "
+            "pip install 'repro-utk[parquet]'"
+        )
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    return pa, pq
+
+
+def export_parquet(store, path, *, batch_rows: int = 1 << 18) -> int:
+    """Write the active records of ``store`` to a Parquet file.
+
+    Emits ``id`` plus one ``a<axis>`` column per attribute, streamed in
+    batches of ``batch_rows`` active rows.  Returns the rows written.
+    """
+    pa, pq = _require_pyarrow()
+    d = store.dimensionality
+    schema = pa.schema([("id", pa.int64())] + [(f"a{j}", pa.float64()) for j in range(d)])
+    ids = store.active_ids()
+    written = 0
+    with pq.ParquetWriter(str(Path(path)), schema) as writer:
+        for start in range(0, ids.shape[0], batch_rows):
+            batch_ids = ids[start:start + batch_rows]
+            rows = store.matrix[batch_ids]
+            arrays = [pa.array(batch_ids)] + [
+                pa.array(np.ascontiguousarray(rows[:, j])) for j in range(d)
+            ]
+            writer.write_batch(pa.record_batch(arrays, schema=schema))
+            written += batch_ids.shape[0]
+    return written
+
+
+def import_parquet(path, directory, *, batch_rows: int = 1 << 18):
+    """Load a Parquet file into a fresh :class:`ColumnarRecordStore`.
+
+    Records are appended in file order and receive fresh dense ids (Parquet
+    archives active records only, so original tombstone gaps collapse).
+    """
+    from repro.colstore.store import ColumnarRecordStore
+
+    pa, pq = _require_pyarrow()
+    handle = pq.ParquetFile(str(Path(path)))
+    value_names = [name for name in handle.schema_arrow.names if name != "id"]
+    if not value_names:
+        raise StorageError(f"{path} has no attribute columns")
+    store: ColumnarRecordStore | None = None
+    for batch in handle.iter_batches(batch_size=batch_rows, columns=value_names):
+        rows = np.column_stack([
+            np.asarray(batch.column(name), dtype=float) for name in value_names
+        ])
+        if store is None:
+            store = ColumnarRecordStore(rows, directory=directory)
+        else:
+            for row in rows:
+                store.insert(row)
+    if store is None:
+        store = ColumnarRecordStore(
+            np.empty((0, len(value_names))), directory=directory
+        )
+    store.sync()
+    return store

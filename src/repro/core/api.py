@@ -85,6 +85,8 @@ def make_engine(
     cache_size: int = 128,
     parallel_workers: int = 0,
     parallel_min_candidates: int | None = None,
+    store: str = "memory",
+    store_dir=None,
 ):
     """Bind a persistent :class:`~repro.engine.engine.UTKEngine` to ``data``.
 
@@ -93,12 +95,40 @@ def make_engine(
     its caches.  ``parallel_workers`` enables the region-partitioned parallel
     path for heavy cache-miss queries (see :class:`UTKEngine`).  Imported
     lazily to keep the one-shot path dependency-free.
+
+    ``store`` selects the storage backend.  ``"memory"`` (default) holds the
+    dataset in RAM.  ``"colstore"`` binds to memory-mapped columnar storage
+    under ``store_dir``: when ``data`` is ``None`` the persisted store there
+    is attached read-only together with its paged R-tree (built on demand);
+    otherwise ``data`` is first materialized into a fresh colstore at
+    ``store_dir``.  The colstore path queries the mmap views zero-copy, so
+    it requires the identity (linear) scoring transform.
     """
     from repro.engine import UTKEngine
 
     options: dict = {}
     if parallel_min_candidates is not None:
         options["parallel_min_candidates"] = parallel_min_candidates
+    if store == "colstore":
+        from repro.core.scoring import LinearScoring
+        from repro.colstore.attach import attach_engine_inputs
+
+        if scoring is not None and not isinstance(scoring, LinearScoring):
+            raise InvalidQueryError(
+                "the colstore backend indexes raw attribute values; only the "
+                "identity (linear) scoring transform is supported"
+            )
+        values, tree = attach_engine_inputs(data, store_dir)
+        return UTKEngine(
+            values,
+            scoring=scoring,
+            cache_size=cache_size,
+            parallel_workers=parallel_workers,
+            tree=tree,
+            **options,
+        )
+    if store != "memory":
+        raise InvalidQueryError(f"unknown store backend {store!r} (memory|colstore)")
     return UTKEngine(
         data,
         scoring=scoring,

@@ -9,6 +9,7 @@ from repro.datasets.synthetic import (
     independent,
     correlated,
     anticorrelated,
+    synthetic_chunks,
     synthetic_dataset,
     update_stream,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "independent",
     "correlated",
     "anticorrelated",
+    "synthetic_chunks",
     "synthetic_dataset",
     "update_stream",
     "hotel_dataset",

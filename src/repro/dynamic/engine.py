@@ -99,7 +99,9 @@ class DynamicUTKEngine(UTKEngine):
         cache_size: int = 128,
         parallel_workers: int = 0,
         parallel_min_candidates: int = 48,
+        store_factory=None,
     ):
+        self._store_factory = store_factory
         super().__init__(
             data,
             scoring=scoring,
@@ -115,7 +117,13 @@ class DynamicUTKEngine(UTKEngine):
         self.update_stats = UpdateStatistics()
 
     def _make_store(self, values) -> RecordStore:
-        """Store factory; the serve tier substitutes a shared-memory store."""
+        """Store factory; the serve tier substitutes a shared-memory store and
+        ``store_factory=`` swaps in any other backend (e.g. a
+        :class:`~repro.colstore.store.ColumnarRecordStore` bound to a
+        directory).  The maintained R-tree stays in memory either way — only
+        the record bytes move to the backend."""
+        if self._store_factory is not None:
+            return self._store_factory(values)
         return RecordStore(values)
 
     # ------------------------------------------------------------- filtering

@@ -29,31 +29,76 @@ class RecordStore:
     values:
         Initial ``(n, d)`` matrix; record ``i`` of it receives id ``i``.
     capacity:
-        Optional initial buffer capacity (grows by doubling when exceeded).
+        Optional initial buffer capacity (grows geometrically when exceeded).
+
+    **Storage-backend hook contract.**  Every storage backend —
+    :class:`~repro.serve.shm.SharedRecordStore` over shared memory,
+    :class:`~repro.colstore.store.ColumnarRecordStore` over memory-mapped
+    column files — is this class plus exactly two overridden hooks:
+
+    * :meth:`_allocate` produces the backing arrays for one capacity
+      generation;
+    * :meth:`_discard` releases the generation a grow retired.
+
+    All id assignment, tombstoning, bounds/validity checks and the geometric
+    growth schedule stay in this base class, so backends cannot diverge on
+    semantics — only on where the bytes live.
     """
+
+    #: Geometric growth factor: both the initial headroom over ``values`` and
+    #: every :meth:`_grow` step multiply capacity by this, so ``n`` inserts
+    #: cost O(n) amortized copying for every backend.
+    GROWTH_FACTOR = 2
+
+    #: Smallest capacity ever allocated (keeps tiny stores from re-growing
+    #: on their first few inserts).
+    MIN_CAPACITY = 16
 
     def __init__(self, values, *, capacity: int | None = None):
         values = np.asarray(values, dtype=float)
         if values.ndim != 2:
             raise InvalidDatasetError("record store expects an (n, d) matrix")
         n, d = values.shape
-        size = max(capacity or 0, 2 * n, 16)
+        size = max(capacity or 0, self._next_capacity(n))
         self._buffer, self._active = self._allocate(size, d)
         self._buffer[:n] = values
         self._active[:n] = True
         self._count = n
         self._n_active = n
 
-    def _allocate(self, size: int, d: int) -> tuple[np.ndarray, np.ndarray]:
-        """Allocate zeroed ``(size, d)`` value and ``(size,)`` liveness arrays.
+    @classmethod
+    def _next_capacity(cls, occupied: int) -> int:
+        """The geometric over-allocation target for ``occupied`` records."""
+        return max(occupied * cls.GROWTH_FACTOR, cls.MIN_CAPACITY)
 
-        Subclasses back these with other storage (the serve tier returns
-        views over ``multiprocessing.shared_memory`` segments).
+    def _allocate(self, size: int, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Allocate one capacity generation: zeroed backing arrays.
+
+        Contract (every storage backend implements exactly this):
+
+        * return a ``(size, d)`` float64 value array and a ``(size,)`` bool
+          liveness array, both **zero-filled** and indexable/assignable with
+          ordinary numpy semantics (views over shared memory, transposed
+          views over memory-mapped column files, ... are all fine);
+        * the arrays must stay valid until passed to :meth:`_discard` — the
+          base class never re-allocates behind the backend's back;
+        * called once from ``__init__`` and once per :meth:`_grow`, so a
+          backend that needs per-generation resources (segment names,
+          on-disk files) should create them here keyed by generation.
         """
         return np.zeros((size, d), dtype=float), np.zeros(size, dtype=bool)
 
     def _discard(self, buffer: np.ndarray, active: np.ndarray) -> None:
-        """Release arrays replaced by :meth:`_grow` (hook for shared stores)."""
+        """Release the capacity generation a :meth:`_grow` just replaced.
+
+        Contract: ``buffer``/``active`` are exactly the arrays a prior
+        :meth:`_allocate` returned, already copied into the new generation.
+        Backends unlink the backing resource here (shm segment, mmap file);
+        per POSIX semantics existing mappings stay readable in processes
+        that attached the retired generation, while *new* attachments fail
+        and trigger the stale-descriptor retry protocol.  The in-memory
+        backend lets the garbage collector do the work.
+        """
 
     # ------------------------------------------------------------------ views
     @property
@@ -85,6 +130,25 @@ class RecordStore:
         if not self.is_active(record_id):
             raise KeyError(f"record {record_id} is not active")
         return self._buffer[int(record_id)].copy()
+
+    def column(self, axis: int) -> np.ndarray:
+        """One attribute column over the id prefix (zero-copy view).
+
+        Columnar backends override this with a contiguous on-disk view; here
+        it is a strided view into the row-major buffer.
+        """
+        if not 0 <= axis < self.dimensionality:
+            raise IndexError(f"column {axis} out of range for d={self.dimensionality}")
+        return self._buffer[: self._count, axis]
+
+    def active_mask(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Liveness flags for ids ``[start, stop)`` (read-only intent, view).
+
+        Lets chunked consumers (the streaming bulk loader, ``repro inspect``)
+        scan liveness without materializing :meth:`active_ids` at once.
+        """
+        stop = self._count if stop is None else min(int(stop), self._count)
+        return self._active[start:stop]
 
     def active_ids(self) -> np.ndarray:
         """Ids of all active records, ascending."""
@@ -122,6 +186,30 @@ class RecordStore:
         self._n_active += 1
         return record_id
 
+    def extend(self, rows) -> np.ndarray:
+        """Append a chunk of records at once; returns their assigned ids.
+
+        Semantically ``[insert(row) for row in rows]``, but one bounds check
+        and one buffer write per chunk — the bulk-ingestion path for
+        streaming builders that feed millions of rows.
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self.dimensionality:
+            raise InvalidDatasetError(
+                f"extend expects an (m, {self.dimensionality}) matrix"
+            )
+        if not np.all(np.isfinite(rows)):
+            raise InvalidDatasetError("records contain NaN or infinite values")
+        m = rows.shape[0]
+        while self._count + m > self._buffer.shape[0]:
+            self._grow()
+        ids = np.arange(self._count, self._count + m)
+        self._buffer[self._count:self._count + m] = rows
+        self._active[self._count:self._count + m] = True
+        self._count += m
+        self._n_active += m
+        return ids
+
     def delete(self, record_id: int) -> np.ndarray:
         """Tombstone a record; returns its row (the id is never reused)."""
         if not self.is_active(record_id):
@@ -133,7 +221,7 @@ class RecordStore:
 
     def _grow(self) -> None:
         size, d = self._buffer.shape
-        buffer, active = self._allocate(2 * size, d)
+        buffer, active = self._allocate(self._next_capacity(size), d)
         buffer[:size] = self._buffer
         active[:size] = self._active
         old_buffer, old_active = self._buffer, self._active

@@ -172,6 +172,7 @@ class UTKEngine:
         index_threshold: int = _BRUTE_FORCE_LIMIT,
         parallel_workers: int = 0,
         parallel_min_candidates: int = 48,
+        tree=None,
     ):
         self._dataset = data if isinstance(data, Dataset) else None
         matrix = data.values if isinstance(data, Dataset) else np.asarray(data, dtype=float)
@@ -179,8 +180,11 @@ class UTKEngine:
             raise InvalidQueryError("engine data must be an (n, d) matrix")
         self.scoring = scoring or LinearScoring()
         self._values = self.scoring.transform(matrix)
-        self._tree: RTree | None = None
-        if self._values.shape[0] > index_threshold:
+        # A pre-built index (e.g. a colstore PagedRTree over the same id
+        # space) short-circuits bulk loading; it must satisfy the RTree
+        # traversal contract and index exactly the rows of ``data``.
+        self._tree: RTree | None = tree
+        if self._tree is None and self._values.shape[0] > index_threshold:
             self._tree = RTree(self._values)
         self._lock = threading.RLock()
         # Dataset generation: bumped by update-aware subclasses whenever the

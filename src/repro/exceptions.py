@@ -37,3 +37,12 @@ class LinearProgramError(ReproError):
 
 class GeometryError(ReproError):
     """Raised for unrecoverable computational-geometry failures."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-backend failures (colstore layout, buffer pool).
+
+    Typical causes: a directory that is not a colstore (missing or
+    incompatible manifest), writes against a read-only mapping, or a buffer
+    pool whose every frame is pinned when a new page must be loaded.
+    """

@@ -104,6 +104,22 @@ RTREE_NODE_ACCESSES = REGISTRY.counter(
     ("op",),
 )
 
+# ----------------------------------------------------------------- colstore
+#: Paged R-tree buffer-pool traffic: lookups that hit a resident frame,
+#: misses that loaded a page from the mapping, and LRU evictions of unpinned
+#: frames.  hit + miss = lookups; miss - eviction = resident-set delta.
+BUFFERPOOL_EVENTS = REGISTRY.counter(
+    "repro_bufferpool_events_total",
+    "Buffer-pool page events (hit/miss/eviction)",
+    ("event",),
+)
+
+#: Pages currently resident in the paged R-tree buffer pool.
+BUFFERPOOL_RESIDENT = REGISTRY.gauge(
+    "repro_bufferpool_resident_pages",
+    "Pages resident in the buffer pool",
+)
+
 # ------------------------------------------------------------ scenario matrix
 #: Scenario-matrix cells executed, by cell coordinates and oracle outcome
 #: (``ok``/``mismatch``/``skipped`` — see :mod:`repro.scenarios.matrix`).

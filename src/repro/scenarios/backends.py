@@ -229,10 +229,18 @@ class DynamicBackend:
     name = "dynamic"
     description = "DynamicUTKEngine with incremental r-skyband repair"
 
-    def run(self, data: Dataset, events: list[dict]) -> CellOutcome:
-        from repro.dynamic import DynamicUTKEngine, serve_events
+    def _make_engine(self, data: Dataset):
+        from repro.dynamic import DynamicUTKEngine
 
-        engine = DynamicUTKEngine(data)
+        return DynamicUTKEngine(data)
+
+    def _cleanup(self) -> None:
+        """Release backend resources after the engine closed (hook)."""
+
+    def run(self, data: Dataset, events: list[dict]) -> CellOutcome:
+        from repro.dynamic import serve_events
+
+        engine = self._make_engine(data)
         outcome = CellOutcome()
         try:
             reports = serve_events(engine, events)
@@ -255,7 +263,44 @@ class DynamicBackend:
             outcome.stats = engine.statistics()
         finally:
             engine.close()
+            self._cleanup()
         return outcome
+
+
+@register_backend
+class ColstoreBackend(DynamicBackend):
+    """The dynamic engine over memory-mapped columnar storage.
+
+    Identical event semantics to ``dynamic`` — only the record bytes move
+    from RAM into a :class:`~repro.colstore.store.ColumnarRecordStore` under
+    a per-cell temp directory — so the SQL oracle checks that the storage
+    backend swap changes no answer.
+    """
+
+    name = "colstore"
+    description = "DynamicUTKEngine over a ColumnarRecordStore (mmap column files)"
+
+    def _make_engine(self, data: Dataset):
+        import tempfile
+
+        from repro.colstore.store import ColumnarRecordStore
+        from repro.dynamic import DynamicUTKEngine
+
+        self._tempdir = tempfile.mkdtemp(prefix="repro-matrix-colstore-")
+        return DynamicUTKEngine(
+            data,
+            store_factory=lambda values: ColumnarRecordStore(
+                values, directory=self._tempdir
+            ),
+        )
+
+    def _cleanup(self) -> None:
+        import shutil
+
+        tempdir = getattr(self, "_tempdir", None)
+        if tempdir is not None:
+            self._tempdir = None
+            shutil.rmtree(tempdir, ignore_errors=True)
 
 
 @register_backend

@@ -79,6 +79,13 @@ BENCH_GATES = (
         "workers attach shared memory >=3x faster than per-spawn rebuild, "
         "identical answers",
     ),
+    BenchGate(
+        "colstore",
+        "benchmarks/bench_colstore.py",
+        "BENCH_colstore.json",
+        "streaming STR bulk-load under the RSS cap, colstore answers "
+        "bit-identical to the in-memory store",
+    ),
 )
 
 

@@ -72,6 +72,15 @@ class ServeEngine(DynamicUTKEngine):
         Stripe count of each engine cache (see
         :data:`~repro.serve.stripes.DEFAULT_STRIPES` and the CONTRIBUTING
         notes on tuning).
+    store_backend:
+        ``"shm"`` (default) keeps records in shared-memory segments and
+        packs the R-tree into one; ``"colstore"`` keeps both in
+        memory-mapped files under ``store_dir`` — query workers then attach
+        the files directly (no ``/dev/shm`` usage, datasets beyond RAM).
+    store_dir:
+        Directory of the colstore backend.  Defaults to a private temp
+        directory that is removed on :meth:`close`; pass an explicit path to
+        persist the store past the engine.
     """
 
     def __init__(
@@ -83,13 +92,23 @@ class ServeEngine(DynamicUTKEngine):
         stripes: int = DEFAULT_STRIPES,
         parallel_workers: int = 0,
         parallel_min_candidates: int = 48,
+        store_backend: str = "shm",
+        store_dir=None,
     ):
+        if store_backend not in ("shm", "colstore"):
+            raise InvalidQueryError(
+                f"unknown store backend {store_backend!r} (shm|colstore)"
+            )
         # Consumed by _make_cache/_make_store during super().__init__.
         self._cache_stripes = int(stripes)
+        self._store_backend = store_backend
+        self._store_dir = store_dir
+        self._store_tempdir = None
         self._stats_lock = threading.Lock()
         self._writer_lock = threading.Lock()
         self._update_seq = 0
         self._packed_segment = None
+        self._packed_path = None
         self._packed_manifest: dict | None = None
         self._packed_generation = -1
         super().__init__(
@@ -104,7 +123,16 @@ class ServeEngine(DynamicUTKEngine):
     def _make_cache(self, name: str, size: int) -> StripedCache:
         return StripedCache(size, stripes=self._cache_stripes, name=name)
 
-    def _make_store(self, values) -> SharedRecordStore:
+    def _make_store(self, values):
+        if self._store_backend == "colstore":
+            import tempfile
+
+            from repro.colstore.store import ColumnarRecordStore
+
+            if self._store_dir is None:
+                self._store_tempdir = tempfile.mkdtemp(prefix="repro-colstore-")
+                self._store_dir = self._store_tempdir
+            return ColumnarRecordStore(values, directory=self._store_dir)
         return SharedRecordStore(values)
 
     # ---------------------------------------------------------------- seqlock
@@ -270,24 +298,49 @@ class ServeEngine(DynamicUTKEngine):
         with self._lock:
             if self._packed_manifest is None or self._packed_generation != self._generation:
                 flat = self._tree.flatten()
-                arrays = {
-                    key: value for key, value in flat.items()
-                    if isinstance(value, np.ndarray)
-                }
-                meta = {"dimension": flat["dimension"], "size": flat["size"]}
-                segment, manifest = pack_arrays(arrays, meta=meta)
-                previous = self._packed_segment
-                self._packed_segment = segment
-                self._packed_manifest = manifest
-                self._packed_generation = self._generation
-                if previous is not None:
-                    previous.close()
-            return {
+                if self._store_backend == "colstore":
+                    from pathlib import Path
+
+                    from repro.colstore.pages import META_SUFFIX, write_pages
+
+                    path = Path(self._store_dir) / f"rtree.g{self._generation}.pages"
+                    meta = write_pages(path, flat)
+                    previous_path = self._packed_path
+                    self._packed_path = path
+                    self._packed_manifest = {"path": str(path), "meta": meta}
+                    self._packed_generation = self._generation
+                    if previous_path is not None and previous_path != path:
+                        for stale in (previous_path,
+                                      Path(str(previous_path) + META_SUFFIX)):
+                            try:
+                                stale.unlink()
+                            except FileNotFoundError:
+                                pass
+                else:
+                    arrays = {
+                        key: value for key, value in flat.items()
+                        if isinstance(value, np.ndarray)
+                    }
+                    meta = {"dimension": flat["dimension"], "size": flat["size"]}
+                    segment, manifest = pack_arrays(arrays, meta=meta)
+                    previous = self._packed_segment
+                    self._packed_segment = segment
+                    self._packed_manifest = manifest
+                    self._packed_generation = self._generation
+                    if previous is not None:
+                        previous.close()
+            descriptor = {
                 "generation": int(self._packed_generation),
                 "tree": self._packed_manifest,
-                "buffer": self._store.shared_location(),
+                "buffer": (self._store.mmap_location()
+                           if self._store_backend == "colstore"
+                           else self._store.shared_location()),
                 "count": int(self._store.high_water),
             }
+            if self._store_backend == "colstore":
+                descriptor["kind"] = "colstore"
+                self._store.sync()
+            return descriptor
 
     def shm_segment_names(self) -> list[str]:
         """Every shared segment currently backing this engine, by name.
@@ -319,13 +372,18 @@ class ServeEngine(DynamicUTKEngine):
         return merged
 
     def close(self) -> None:
-        """Release the worker pool and every shared segment."""
+        """Release the worker pool, shared segments and temp store files."""
         super().close()
         segment, self._packed_segment = self._packed_segment, None
         self._packed_manifest = None
         if segment is not None:
             segment.close()
         self._store.close()
+        if self._store_tempdir is not None:
+            import shutil
+
+            shutil.rmtree(self._store_tempdir, ignore_errors=True)
+            self._store_tempdir = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -52,11 +52,41 @@ def reset_worker_state() -> None:
 
 
 def _descriptor_key(descriptor: dict) -> tuple:
+    if descriptor.get("kind") == "colstore":
+        return (
+            "colstore",
+            int(descriptor["generation"]),
+            descriptor["buffer"]["directory"],
+            descriptor["buffer"]["columns_file"],
+            descriptor["tree"]["path"],
+        )
     return (
         int(descriptor["generation"]),
         descriptor["buffer"]["segment"],
         descriptor["tree"]["segment"],
     )
+
+
+def _attach_colstore(descriptor: dict) -> tuple:
+    """Map the colstore descriptor's files directly: no shm, no pickling.
+
+    The generation's column file and page file are both unlinked when the
+    owner moves on, so staleness surfaces exactly like retired segments —
+    as :class:`FileNotFoundError` on attach.
+    """
+    from repro.colstore.pages import PagedRTree
+    from repro.colstore.store import attach_columns
+    from repro.exceptions import StorageError
+
+    values = attach_columns(descriptor["buffer"], descriptor["count"])
+    try:
+        tree = PagedRTree(descriptor["tree"]["path"], values)
+    except StorageError as exc:
+        # A vanished meta sidecar means the pack generation was retired.
+        if isinstance(exc.__cause__, FileNotFoundError):
+            raise exc.__cause__
+        raise
+    return ((), values, tree)
 
 
 def _attachment(descriptor: dict) -> tuple:
@@ -71,6 +101,10 @@ def _attachment(descriptor: dict) -> tuple:
     # The dataset moved on: release stale mappings before attaching anew.
     if _ATTACHMENTS:
         reset_worker_state()
+    if descriptor.get("kind") == "colstore":
+        triple = _attach_colstore(descriptor)
+        _ATTACHMENTS[key] = triple
+        return triple
     buffer_segment = AttachedSegment(descriptor["buffer"]["segment"])
     try:
         tree_segment, arrays = attach_arrays(descriptor["tree"])

@@ -1,0 +1,160 @@
+"""Page files, the pinning buffer pool, and the paged R-tree traversal.
+
+Pool invariants under test: pinned pages are never evicted, the resident
+set never exceeds capacity, ``hits + misses == lookups`` and
+``resident == misses - evictions`` (stats conservation), and exhausting a
+fully pinned pool raises instead of over-committing.  The paged tree must
+answer exactly like the in-memory R-tree it was serialized from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.colstore import read_meta, write_pages
+from repro.colstore.pages import META_SUFFIX, BufferPool, PagedRTree, page_dtype
+from repro.core.region import hyperrectangle
+from repro.core.rskyband import compute_r_skyband
+from repro.exceptions import StorageError
+from repro.index.rtree import RTree
+
+
+@pytest.fixture
+def values():
+    return np.random.default_rng(11).random((300, 3))
+
+
+@pytest.fixture
+def paged(tmp_path, values):
+    tree = RTree(values, max_entries=8)
+    write_pages(tmp_path / "t.pages", tree.flatten(), fanout=8)
+    return PagedRTree(tmp_path / "t.pages", values)
+
+
+def region():
+    return hyperrectangle([0.1, 0.1], [0.3, 0.3])
+
+
+class TestPageFile:
+    def test_page_size_is_padded_power_of_two(self):
+        dtype, size = page_dtype(3, 64)
+        assert size == dtype.itemsize
+        assert size >= 256 and size & (size - 1) == 0
+
+    def test_explicit_page_size_must_fit(self):
+        with pytest.raises(StorageError, match="cannot hold"):
+            page_dtype(3, 64, page_size=64)
+
+    def test_meta_sidecar_round_trips(self, tmp_path, values):
+        tree = RTree(values, max_entries=8)
+        meta = write_pages(tmp_path / "t.pages", tree.flatten(), fanout=8)
+        assert read_meta(tmp_path / "t.pages") == meta
+        assert meta["schema"] == 1
+        assert meta["size"] == 300
+        assert meta["height"] >= 2
+
+    def test_schema_mismatch_is_rejected(self, tmp_path, values):
+        tree = RTree(values, max_entries=8)
+        write_pages(tmp_path / "t.pages", tree.flatten(), fanout=8)
+        meta_path = tmp_path / ("t.pages" + META_SUFFIX)
+        meta_path.write_text(meta_path.read_text().replace('"schema": 1', '"schema": 9'))
+        with pytest.raises(StorageError, match="schema"):
+            PagedRTree(tmp_path / "t.pages", values)
+
+    def test_fanout_overflow_is_rejected(self, tmp_path, values):
+        tree = RTree(values, max_entries=8)
+        with pytest.raises(StorageError, match="fanout"):
+            write_pages(tmp_path / "t.pages", tree.flatten(), fanout=4)
+
+
+class TestBufferPool:
+    def pool(self, paged, capacity):
+        return BufferPool(paged._pages, capacity=capacity)
+
+    def test_stats_conservation(self, paged):
+        pool = self.pool(paged, capacity=4)
+        n_pages = paged.meta["n_pages"]
+        lookups = 0
+        rng = np.random.default_rng(3)
+        for page in rng.integers(0, n_pages, size=200):
+            pool.get(int(page))
+            lookups += 1
+        stats = pool.stats
+        assert stats["hits"] + stats["misses"] == lookups
+        assert pool.resident() == stats["misses"] - stats["evictions"]
+        assert pool.resident() <= pool.capacity
+
+    def test_pinned_pages_are_never_evicted(self, paged):
+        pool = self.pool(paged, capacity=4)
+        pinned = pool.pin(0)
+        for page in range(1, paged.meta["n_pages"]):
+            pool.get(page)
+        assert pool.pinned() == 1
+        # Still resident, and another lookup of it is a hit, not a reload.
+        before = pool.stats["misses"]
+        assert pool.get(0) is pinned
+        assert pool.stats["misses"] == before
+        pool.unpin(0)
+
+    def test_lru_evicts_least_recently_used(self, paged):
+        pool = self.pool(paged, capacity=3)
+        for page in (0, 1, 2):
+            pool.get(page)
+        pool.get(0)      # 1 is now the LRU frame
+        pool.get(3)      # must evict 1
+        misses = pool.stats["misses"]
+        pool.get(0)
+        pool.get(2)
+        pool.get(3)
+        assert pool.stats["misses"] == misses  # all still resident
+        pool.get(1)
+        assert pool.stats["misses"] == misses + 1
+
+    def test_fully_pinned_pool_raises(self, paged):
+        pool = self.pool(paged, capacity=2)
+        pool.pin(0)
+        pool.pin(1)
+        with pytest.raises(StorageError, match="pinned"):
+            pool.get(2)
+        pool.unpin(1)
+        pool.get(2)  # one unpinned frame frees it up again
+
+    def test_unbalanced_unpin_raises(self, paged):
+        pool = self.pool(paged, capacity=2)
+        pool.get(0)
+        with pytest.raises(StorageError, match="not pinned"):
+            pool.unpin(0)
+        with pytest.raises(StorageError, match="not pinned"):
+            pool.unpin(7)
+
+    def test_pinned_page_context_balances(self, paged):
+        pool = self.pool(paged, capacity=2)
+        with pool.pinned_page(0) as node:
+            assert pool.pinned() == 1
+            assert node.count > 0
+        assert pool.pinned() == 0
+
+
+class TestPagedRTree:
+    def test_traversal_matches_in_memory_rtree(self, values, paged):
+        tree = RTree(values, max_entries=8)
+        for k in (1, 2, 3):
+            expected = compute_r_skyband(values, region(), k, tree=tree)
+            actual = compute_r_skyband(values, region(), k, tree=paged)
+            assert set(actual.members()) == set(expected.members())
+
+    def test_contract_surface(self, values, paged):
+        assert len(paged) == 300
+        assert paged.dimension == 3
+        assert paged.root.is_leaf is False
+        assert paged.root.mbb is not None
+        assert 0.0 < paged.fill_factor() <= 1.0
+        paged.count_access("search", 5)
+        assert paged.access_counts["search"] == 5
+
+    def test_page_count_mismatch_is_detected(self, tmp_path, values):
+        tree = RTree(values, max_entries=8)
+        write_pages(tmp_path / "t.pages", tree.flatten(), fanout=8)
+        with open(tmp_path / "t.pages", "ab") as handle:
+            handle.write(b"\0" * read_meta(tmp_path / "t.pages")["page_size"])
+        with pytest.raises(StorageError, match="pages"):
+            PagedRTree(tmp_path / "t.pages", values)

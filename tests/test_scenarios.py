@@ -295,7 +295,7 @@ class TestGateRunner:
 
         root = Path(__file__).resolve().parent.parent
         names = [gate.name for gate in BENCH_GATES]
-        assert len(names) == len(set(names)) == 7
+        assert len(names) == len(set(names)) == 8
         for gate in BENCH_GATES:
             assert (root / gate.script).exists(), gate.script
             assert gate.output.startswith("BENCH_")
